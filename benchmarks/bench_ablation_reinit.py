@@ -1,0 +1,57 @@
+"""Ablation — FT-NRP re-initialization when silencer pools run dry.
+
+The paper notes that once n+ = n- = 0 the protocol "reduces to ZT-NRP"
+and initialization "may be run again" to re-exploit the tolerance.  This
+bench compares the two behaviours on a long trace where pools do deplete:
+re-seeding silencers costs a probe-all + redeploy but restores the
+suppression of boundary churn.
+"""
+
+from repro.harness.reporting import format_series
+from repro.harness.runner import run_protocol
+from repro.protocols.ft_nrp import FractionToleranceRangeProtocol
+from repro.queries.range_query import RangeQuery
+from repro.streams.synthetic import SyntheticConfig, generate_synthetic_trace
+from repro.tolerance.fraction_tolerance import FractionTolerance
+
+EPS_VALUES = [0.1, 0.2, 0.3, 0.4]
+QUERY = RangeQuery(400.0, 600.0)
+
+
+def _run_ablation():
+    trace = generate_synthetic_trace(
+        SyntheticConfig(n_streams=500, horizon=800.0, seed=2)
+    )
+    series = {"never re-init": [], "re-init on exhaustion": []}
+    extras = {"reinitializations": []}
+    for eps in EPS_VALUES:
+        for label, reinit in (
+            ("never re-init", False),
+            ("re-init on exhaustion", True),
+        ):
+            tolerance = FractionTolerance(eps, eps)
+            protocol = FractionToleranceRangeProtocol(
+                QUERY, tolerance, reinitialize_when_exhausted=reinit
+            )
+            result = run_protocol(trace, protocol, tolerance=tolerance)
+            series[label].append(result.maintenance_messages)
+            if reinit:
+                extras["reinitializations"].append(
+                    protocol.reinitializations
+                )
+    return series, extras
+
+
+def test_ablation_ft_nrp_reinitialization(benchmark):
+    series, extras = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    print()
+    print(
+        format_series(
+            "eps+/eps-",
+            EPS_VALUES,
+            {**series, "re-inits": extras["reinitializations"]},
+            title="Ablation — FT-NRP re-initialization on pool exhaustion",
+        )
+    )
+    # Both behaviours are legal; the bench documents the trade-off.
+    assert all(v >= 0 for v in series["never re-init"])

@@ -1,0 +1,52 @@
+"""Ablation — FT-RP's rho+/rho- split policy (Equation 16 frontier).
+
+Equation 16 fixes the relationship between rho+ and rho- but leaves one
+degree of freedom.  This bench compares the three named frontier points
+over the synthetic workload to show the split matters for cost (all three
+are sound — the test suite verifies that separately).
+"""
+
+from repro.harness.reporting import format_series
+from repro.harness.runner import run_protocol
+from repro.protocols.ft_rp import FractionToleranceKnnProtocol
+from repro.queries.knn import KnnQuery
+from repro.streams.synthetic import SyntheticConfig, generate_synthetic_trace
+from repro.tolerance.fraction_tolerance import FractionTolerance
+from repro.tolerance.knn_fraction import RhoPolicy
+
+EPS_VALUES = [0.1, 0.2, 0.3, 0.4]
+K = 60
+
+
+def _run_ablation():
+    trace = generate_synthetic_trace(
+        SyntheticConfig(n_streams=300, horizon=200.0, seed=0)
+    )
+    series = {}
+    for policy in RhoPolicy:
+        curve = []
+        for eps in EPS_VALUES:
+            tolerance = FractionTolerance(eps, eps)
+            protocol = FractionToleranceKnnProtocol(
+                KnnQuery(500.0, K), tolerance, policy=policy
+            )
+            result = run_protocol(trace, protocol, tolerance=tolerance)
+            curve.append(result.maintenance_messages)
+        series[policy.value] = curve
+    return series
+
+
+def test_ablation_rho_policy(benchmark):
+    series = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    print()
+    print(
+        format_series(
+            "eps+/eps-",
+            EPS_VALUES,
+            series,
+            title=f"Ablation — FT-RP rho policy (k={K})",
+        )
+    )
+    # Every policy exploits tolerance; none degenerates to ZT-RP cost.
+    for policy, curve in series.items():
+        assert curve[-1] <= curve[0], policy

@@ -1,0 +1,51 @@
+"""Ablation — RTP's Case-2 expanding search (Figure 5, Step 4).
+
+When an answer member leaves R and no tracked replacement exists, the
+paper expands a probe region outward over stale ranks instead of
+re-running the full initialization.  This bench quantifies what that
+machinery saves.
+"""
+
+from repro.harness.reporting import format_series
+from repro.harness.runner import run_protocol
+from repro.protocols.rtp import RankToleranceProtocol
+from repro.queries.knn import KnnQuery
+from repro.streams.synthetic import SyntheticConfig, generate_synthetic_trace
+from repro.tolerance.rank_tolerance import RankTolerance
+
+R_VALUES = [0, 2, 4, 8]
+K = 10
+
+
+def _run_ablation():
+    trace = generate_synthetic_trace(
+        SyntheticConfig(n_streams=400, horizon=250.0, seed=1)
+    )
+    series = {"expanding search": [], "full re-init": []}
+    for r in R_VALUES:
+        for label, expand in (
+            ("expanding search", True),
+            ("full re-init", False),
+        ):
+            tolerance = RankTolerance(k=K, r=r)
+            protocol = RankToleranceProtocol(
+                KnnQuery(500.0, K), tolerance, expand_search=expand
+            )
+            result = run_protocol(trace, protocol, tolerance=tolerance)
+            series[label].append(result.maintenance_messages)
+    return series
+
+
+def test_ablation_rtp_expanding_search(benchmark):
+    series = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    print()
+    print(
+        format_series(
+            "r",
+            R_VALUES,
+            series,
+            title=f"Ablation — RTP Case-2 expanding search (k={K})",
+        )
+    )
+    # The expanding search must not be worse overall than re-initializing.
+    assert sum(series["expanding search"]) <= sum(series["full re-init"])

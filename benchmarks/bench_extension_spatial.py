@@ -1,0 +1,80 @@
+"""Extension bench — the protocols in two dimensions (Section 7).
+
+The paper closes with "the concepts of our protocols can be extended to
+multiple dimensions".  This bench runs the 2-D moving-objects workload
+through the spatial counterparts and checks the same qualitative story
+as Figures 9/15: tolerance collapses the communication cost.
+"""
+
+from repro.harness.reporting import format_series
+from repro.spatial.protocols import (
+    SpatialFractionKnnProtocol,
+    SpatialRankToleranceProtocol,
+    SpatialZeroKnnProtocol,
+)
+from repro.spatial.queries import SpatialKnnQuery
+from repro.spatial.runner import run_spatial_protocol
+from repro.spatial.workloads import MovingObjectsConfig, generate_moving_objects_trace
+from repro.tolerance.fraction_tolerance import FractionTolerance
+from repro.tolerance.rank_tolerance import RankTolerance
+
+K = 10
+R_VALUES = [0, 2, 4, 8]
+EPS_VALUES = [0.1, 0.2, 0.4]
+CENTER = [500.0, 500.0]
+
+
+def _run_extension():
+    trace = generate_moving_objects_trace(
+        MovingObjectsConfig(n_objects=200, horizon=300.0, seed=0)
+    )
+    rtp_curve = []
+    for r in R_VALUES:
+        tolerance = RankTolerance(k=K, r=r)
+        result = run_spatial_protocol(
+            trace,
+            SpatialRankToleranceProtocol(SpatialKnnQuery(CENTER, K), tolerance),
+            tolerance=tolerance,
+        )
+        rtp_curve.append(result.maintenance_messages)
+
+    zt = run_spatial_protocol(
+        trace, SpatialZeroKnnProtocol(SpatialKnnQuery(CENTER, K))
+    )
+    ftrp_curve = [zt.maintenance_messages]
+    for eps in EPS_VALUES:
+        tolerance = FractionTolerance(eps, eps)
+        result = run_spatial_protocol(
+            trace,
+            SpatialFractionKnnProtocol(SpatialKnnQuery(CENTER, K), tolerance),
+            tolerance=tolerance,
+        )
+        ftrp_curve.append(result.maintenance_messages)
+    return rtp_curve, ftrp_curve
+
+
+def test_extension_spatial_protocols(benchmark):
+    rtp_curve, ftrp_curve = benchmark.pedantic(
+        _run_extension, rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_series(
+            "r",
+            R_VALUES,
+            {"RTP-2d": rtp_curve},
+            title=f"Extension — 2-D RTP over moving objects (k={K})",
+        )
+    )
+    print(
+        format_series(
+            "eps",
+            [0.0, *EPS_VALUES],
+            {"ZT/FT-RP-2d": ftrp_curve},
+            title=f"Extension — 2-D ZT-RP/FT-RP (k={K})",
+        )
+    )
+    # Same shapes as the 1-D figures: slack collapses cost.
+    assert rtp_curve[-1] < rtp_curve[0]
+    assert ftrp_curve[1] < ftrp_curve[0] / 2
+    assert ftrp_curve[-1] < ftrp_curve[0] / 20

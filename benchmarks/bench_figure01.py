@@ -1,0 +1,17 @@
+"""Figure 1 (motivation) — value-based vs rank-based tolerance."""
+
+from repro.experiments import figure01
+
+
+def test_figure01(run_figure):
+    result = run_figure(figure01.run)
+
+    messages = result.series["value-eps messages"]
+    worst_ranks = result.series["value-eps worst rank"]
+    # Larger eps: fewer messages...
+    assert messages[-1] < messages[0]
+    # ...but unboundedly worse ranks (Figure 1's "eps_l" failure mode).
+    assert worst_ranks[-1] > worst_ranks[0]
+    # At the largest eps, the observed rank blows past RTP's guarantee.
+    rtp_bound = result.series[[s for s in result.series if "rank bound" in s][0]][0]
+    assert worst_ranks[-1] > rtp_bound

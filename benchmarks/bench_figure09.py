@@ -1,0 +1,21 @@
+"""Figure 9 — RTP: effect of r (TCP data, top-k query)."""
+
+from repro.experiments import figure09
+
+
+def test_figure09(run_figure):
+    result = run_figure(figure09.run)
+
+    baseline = result.series["no filter"][0]
+    k_curves = {
+        name: curve
+        for name, curve in result.series.items()
+        if name.startswith("k=")
+    }
+    for name, curve in k_curves.items():
+        # Tolerance is exploited: the r = max point is far below r = 0.
+        assert curve[-1] < curve[0] / 2, name
+        # And beats the no-filter baseline at generous slack.
+        assert curve[-1] < baseline, name
+    # At r = 0 the largest k is worse than no filtering (paper's k=30).
+    assert max(curve[0] for curve in k_curves.values()) > baseline

@@ -1,0 +1,14 @@
+"""Figure 10 — FT-NRP: effect of eps+/eps- (TCP data)."""
+
+from repro.experiments import figure10
+
+
+def test_figure10(run_figure):
+    result = run_figure(figure10.run)
+
+    eps_minus_low = result.series[f"eps-={result.x_values[0]}"]
+    eps_minus_high = result.series[f"eps-={result.x_values[-1]}"]
+    # The high-tolerance corner is the cheapest region of the surface.
+    assert eps_minus_high[-1] < eps_minus_low[0]
+    # More eps- tolerance never hurts much at fixed eps+ (noise margin).
+    assert sum(eps_minus_high) <= sum(eps_minus_low) * 1.05

@@ -1,0 +1,19 @@
+"""Figure 11 — FT-NRP: scalability over the number of streams."""
+
+from repro.experiments import figure11
+
+
+def test_figure11(run_figure):
+    result = run_figure(figure11.run)
+
+    for name, curve in result.series.items():
+        # Cost grows with the stream population.
+        assert curve[-1] > curve[0], name
+    zero = result.series["eps+=eps-=0.0"]
+    best = result.series[f"eps+=eps-={max(float(v) for v in _eps(result))}"]
+    # At the largest population, tolerance yields a visible saving.
+    assert best[-1] < zero[-1]
+
+
+def _eps(result):
+    return [name.split("=")[-1] for name in result.series]

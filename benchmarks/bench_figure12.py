@@ -1,0 +1,12 @@
+"""Figure 12 — FT-NRP: effect of eps+/eps- (synthetic data)."""
+
+from repro.experiments import figure12
+
+
+def test_figure12(run_figure):
+    result = run_figure(figure12.run)
+
+    zero_corner = result.series["eps-=0.0"][0]
+    best_corner = result.series[f"eps-={result.x_values[-1]}"][-1]
+    # The paper's surface slopes down toward high tolerance.
+    assert best_corner < zero_corner * 0.8

@@ -1,0 +1,17 @@
+"""Figure 13 — FT-NRP: effect of data fluctuation (sigma sweep)."""
+
+from repro.experiments import figure13
+
+
+def test_figure13(run_figure):
+    result = run_figure(figure13.run)
+
+    sigmas = sorted(
+        float(name.split("=")[1]) for name in result.series
+    )
+    # Curves are vertically ordered by sigma: more fluctuation, more
+    # boundary crossings, more messages — at every tolerance level.
+    for low, high in zip(sigmas, sigmas[1:]):
+        low_curve = result.series[f"sigma={low:g}"]
+        high_curve = result.series[f"sigma={high:g}"]
+        assert sum(high_curve) > sum(low_curve), (low, high)

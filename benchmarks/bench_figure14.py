@@ -1,0 +1,16 @@
+"""Figure 14 — FT-NRP: random vs boundary-nearest silencer placement."""
+
+from repro.experiments import figure14
+
+
+def test_figure14(run_figure):
+    result = run_figure(figure14.run)
+
+    random_curve = result.series["random"]
+    boundary_curve = result.series["boundary-nearest"]
+    # Boundary-nearest dominates overall...
+    assert sum(boundary_curve) < sum(random_curve)
+    # ...and the gap widens as tolerance grows (more silencers placed).
+    first_gap = random_curve[0] - boundary_curve[0]
+    last_gap = random_curve[-1] - boundary_curve[-1]
+    assert last_gap > first_gap

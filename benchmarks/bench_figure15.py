@@ -1,0 +1,14 @@
+"""Figure 15 — ZT-RP/FT-RP: effect of eps+/eps- (log-scale drop)."""
+
+from repro.experiments import figure15
+
+
+def test_figure15(run_figure):
+    result = run_figure(figure15.run)
+
+    for name, curve in result.series.items():
+        # The paper plots log scale: the drop from eps = 0 (ZT-RP) to any
+        # positive tolerance is at least ~5x for every k.
+        assert curve[1] < curve[0] / 5, name
+        # eps = 0 is the most expensive point of every curve.
+        assert curve[0] == max(curve), name

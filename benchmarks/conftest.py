@@ -1,0 +1,37 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper figure at the ``default`` profile
+(tens of seconds in total), prints the reproduced series, and asserts the
+figure's qualitative shape.  ``pedantic(rounds=1)`` is used throughout:
+the experiments are deterministic, and a figure's value is its series,
+not its wall-clock variance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import FigureResult, Profile
+
+
+@pytest.fixture(scope="session")
+def profile() -> Profile:
+    return Profile.DEFAULT
+
+
+@pytest.fixture
+def run_figure(benchmark, profile):
+    """Run an experiment once under the benchmark timer and print it."""
+
+    def runner(experiment_fn, **kwargs) -> FigureResult:
+        result = benchmark.pedantic(
+            experiment_fn,
+            kwargs={"profile": profile, **kwargs},
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.format())
+        return result
+
+    return runner

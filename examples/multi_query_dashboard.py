@@ -1,0 +1,114 @@
+"""A monitoring dashboard: many standing queries over one sensor field.
+
+The Section-7 extension in action: an operations dashboard keeps four
+standing queries alive against the same 400 sensors —
+
+* three alert tiers (nested range queries with increasing tolerance),
+* plus a top-10 hottest-sensors ranking with rank slack.
+
+Every sensor carries one filter slot per query; a reading that crosses
+several deployed boundaries at once costs a single radio message.
+
+Run:  python examples/multi_query_dashboard.py
+"""
+
+from repro import (
+    FractionTolerance,
+    FractionToleranceRangeProtocol,
+    RangeQuery,
+    RankTolerance,
+    RankToleranceProtocol,
+    RunConfig,
+    TopKQuery,
+    format_table,
+    generate_synthetic_trace,
+    run_protocol,
+)
+from repro.multiquery import run_multi_query
+from repro.streams.generators import BoundedRandomWalk
+
+N_SENSORS = 400
+
+
+def build_queries():
+    """The dashboard's standing queries (fresh protocol instances).
+
+    The two operators watch the *same* warn tier with different error
+    budgets — their filter boundaries coincide, so their violations ride
+    the same physical updates.  The danger tier has its own boundary and
+    shares only when a reading jumps across both at once.
+    """
+    queries = {}
+    tiers = {
+        "ops-A warn [700, 1000]": (RangeQuery(700.0, 1000.0), 0.20),
+        "ops-B warn [700, 1000]": (RangeQuery(700.0, 1000.0), 0.10),
+        "danger     [850, 1000]": (RangeQuery(850.0, 1000.0), 0.10),
+    }
+    for name, (query, eps) in tiers.items():
+        tolerance = FractionTolerance(eps, eps)
+        queries[name] = (
+            FractionToleranceRangeProtocol(query, tolerance),
+            query,
+            tolerance,
+        )
+    topk = TopKQuery(k=10)
+    rank_tolerance = RankTolerance(k=10, r=5)
+    queries["top-10 hottest"] = (
+        RankToleranceProtocol(topk, rank_tolerance),
+        topk,
+        rank_tolerance,
+    )
+    return queries
+
+
+def main() -> None:
+    trace = generate_synthetic_trace(
+        n_streams=N_SENSORS,
+        horizon=400.0,
+        seed=21,
+        process=BoundedRandomWalk(sigma=30.0, low=0.0, high=1000.0),
+    )
+    print(f"{N_SENSORS} sensors, {trace.n_records} readings")
+
+    shared = run_multi_query(
+        trace, build_queries(), config=RunConfig(check_every=10)
+    )
+    independent = sum(
+        run_protocol(trace, protocol, tolerance=tolerance).maintenance_messages
+        for protocol, _, tolerance in build_queries().values()
+    )
+
+    rows = [
+        {
+            "deployment": "four independent systems",
+            "messages": independent,
+            "sharing factor": "1.00",
+        },
+        {
+            "deployment": "shared multi-query sources",
+            "messages": shared.maintenance_messages,
+            "sharing factor": f"{shared.sharing_factor:.2f}",
+        },
+    ]
+    print()
+    print(format_table(rows, title="Dashboard communication cost"))
+    print()
+    print("current answers:")
+    for name, answer in shared.answers.items():
+        preview = sorted(answer)[:6]
+        suffix = " ..." if len(answer) > 6 else ""
+        print(f"  {name:<22} {len(answer):>3} sensors  {preview}{suffix}")
+    print()
+    print(
+        f"all tolerances held: {shared.tolerance_ok} "
+        f"({shared.checks} ground-truth checks)"
+    )
+    print(
+        "\nSharing pays exactly where filter boundaries coincide (the two\n"
+        "warn-tier operators); queries with disjoint boundaries ride their\n"
+        "own crossings and gain nothing — the deployment is never worse."
+    )
+
+
+if __name__ == "__main__":
+    main()

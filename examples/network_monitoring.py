@@ -1,0 +1,89 @@
+"""Network monitoring: continuous top-k heavy-hitter subnets (Section 6.1).
+
+Models the paper's remote-network-monitoring application: a central
+console watches 800 subnets (one stream per 16-bit prefix) and maintains
+a standing top-k query over per-connection bytes-sent — the pattern used
+to flag potential DoS sources ("addresses from and to which packet
+frequencies rank among the top few might signal alerts").
+
+Rank-based tolerance is the natural error model here: the operator is
+happy with any subnet that truly ranks in the top k + r, and has no idea
+how many *bytes* of slack would encode that.  The example sweeps r and
+shows the message savings RTP buys, with the rank guarantee verified
+against ground truth throughout.
+
+Run:  python examples/network_monitoring.py
+"""
+
+from repro import (
+    NoFilterProtocol,
+    RankTolerance,
+    RankToleranceProtocol,
+    RunConfig,
+    TcpTraceConfig,
+    TopKQuery,
+    format_table,
+    generate_tcp_trace,
+    run_protocol,
+)
+
+K = 20  # monitor the top-20 heaviest subnets
+
+
+def main() -> None:
+    trace = generate_tcp_trace(
+        TcpTraceConfig(n_subnets=800, n_connections=20_000, days=30.0, seed=0)
+    )
+    print(
+        f"trace: {trace.metadata['n_connections']} connections across "
+        f"{trace.n_streams} subnets over {trace.metadata['days']:g} days"
+    )
+
+    baseline = run_protocol(trace, NoFilterProtocol(TopKQuery(k=K)))
+    rows = [
+        {
+            "protocol": "no filter",
+            "r": "-",
+            "messages": baseline.maintenance_messages,
+            "savings": "-",
+            "rank guarantee held": "exact",
+        }
+    ]
+
+    for r in (0, 5, 10, 15):
+        tolerance = RankTolerance(k=K, r=r)
+        protocol = RankToleranceProtocol(TopKQuery(k=K), tolerance)
+        result = run_protocol(
+            trace,
+            protocol,
+            tolerance=tolerance,
+            # Rank checks cost O(n log n); sample every 20th update.
+            config=RunConfig(check_every=20),
+        )
+        savings = 1 - result.maintenance_messages / baseline.maintenance_messages
+        rows.append(
+            {
+                "protocol": "RTP",
+                "r": r,
+                "messages": result.maintenance_messages,
+                "savings": f"{savings:+.1%}",
+                "rank guarantee held": result.tolerance_ok,
+            }
+        )
+
+    print()
+    print(
+        format_table(
+            rows, title=f"Top-{K} heavy-hitter monitoring, varying rank slack"
+        )
+    )
+    print()
+    print(
+        "r = 0 can cost MORE than shipping every update (the bound R is\n"
+        "recomputed and re-broadcast on every boundary crossing); a little\n"
+        "rank slack collapses the cost — Figure 9's story."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Sensor danger-zone alerts: fraction tolerance as a battery budget.
+
+The paper's Section 3.4 example: warning messages are sent to soldiers
+(here: environmental sensors) whose readings enter a danger zone, and the
+operator accepts a bounded fraction of false alerts.  FT-NRP turns that
+tolerance into *silenced* sensors — filters ``[-inf, inf]`` / ``[inf, inf]``
+mean those radios never transmit, "potentially beneficial for sensors
+with limited battery power".
+
+This example measures both the message savings and the silencing
+(battery) effect, and contrasts the two placement heuristics of
+Figure 14.
+
+Run:  python examples/sensor_alert.py
+"""
+
+from repro import (
+    BoundaryNearestSelection,
+    FractionTolerance,
+    FractionToleranceRangeProtocol,
+    RandomSelection,
+    RangeQuery,
+    RunConfig,
+    ZeroToleranceRangeProtocol,
+    format_table,
+    generate_synthetic_trace,
+    run_protocol,
+)
+from repro.streams.generators import BoundedRandomWalk
+
+N_SENSORS = 600
+DANGER_ZONE = RangeQuery(700.0, 850.0)  # e.g. temperature band
+
+
+def main() -> None:
+    # Readings bounded to a physical scale so selectivity stays stable.
+    trace = generate_synthetic_trace(
+        n_streams=N_SENSORS,
+        horizon=500.0,
+        seed=2,
+        process=BoundedRandomWalk(sigma=25.0, low=0.0, high=1000.0),
+    )
+    in_zone = int(
+        (
+            (trace.initial_values >= DANGER_ZONE.lower)
+            & (trace.initial_values <= DANGER_ZONE.upper)
+        ).sum()
+    )
+    print(
+        f"{N_SENSORS} sensors, {trace.n_records} readings; "
+        f"{in_zone} initially inside the danger zone "
+        f"[{DANGER_ZONE.lower:g}, {DANGER_ZONE.upper:g}]"
+    )
+
+    exact = run_protocol(
+        trace,
+        ZeroToleranceRangeProtocol(DANGER_ZONE),
+        config=RunConfig(check_every=1),
+    )
+
+    rows = [
+        {
+            "configuration": "ZT-NRP (exact)",
+            "messages": exact.maintenance_messages,
+            "sensors silenced": 0,
+            "tolerance held": exact.tolerance_ok,
+        }
+    ]
+    tolerance = FractionTolerance(eps_plus=0.3, eps_minus=0.3)
+    for heuristic in (RandomSelection(seed=2), BoundaryNearestSelection()):
+        protocol = FractionToleranceRangeProtocol(
+            DANGER_ZONE, tolerance, selection=heuristic
+        )
+        result = run_protocol(
+            trace,
+            protocol,
+            tolerance=tolerance,
+            config=RunConfig(check_every=1),
+        )
+        rows.append(
+            {
+                "configuration": f"FT-NRP / {heuristic.name}",
+                "messages": result.maintenance_messages,
+                "sensors silenced": protocol.n_plus + protocol.n_minus,
+                "tolerance held": result.tolerance_ok,
+            }
+        )
+
+    print()
+    print(
+        format_table(
+            rows, title="Danger-zone alerting under a 30%/30% error budget"
+        )
+    )
+    print()
+    print(
+        "Silenced sensors transmit nothing at all — the tolerance budget\n"
+        "converts directly into radio sleep time.  Placing the silencers\n"
+        "on boundary-nearest sensors suppresses the chattiest radios,\n"
+        "which is exactly Figure 14's finding."
+    )
+
+
+if __name__ == "__main__":
+    main()

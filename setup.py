@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools 65 without the ``wheel`` package,
+so PEP-517 editable installs (``pip install -e .``) cannot build a wheel.
+This shim enables the legacy path: ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation --no-use-pep517``).
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

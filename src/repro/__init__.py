@@ -1,0 +1,117 @@
+"""Adaptive stream filters for entity-based queries with non-value tolerance.
+
+A from-scratch reproduction of Cheng, Kao, Prabhakar, Kwan and Tu,
+"Adaptive Stream Filters for Entity-based Queries with Non-Value
+Tolerance", VLDB 2005.
+
+Quickstart
+----------
+>>> from repro import (
+...     FractionTolerance, FractionToleranceRangeProtocol, RangeQuery,
+...     RunConfig, generate_synthetic_trace, run_protocol,
+... )
+>>> trace = generate_synthetic_trace(n_streams=100, horizon=200.0, seed=7)
+>>> query = RangeQuery(400.0, 600.0)
+>>> tolerance = FractionTolerance(eps_plus=0.2, eps_minus=0.2)
+>>> protocol = FractionToleranceRangeProtocol(query, tolerance)
+>>> result = run_protocol(
+...     trace, protocol, tolerance=tolerance,
+...     config=RunConfig(check_every=1),
+... )
+>>> result.tolerance_ok
+True
+
+See ``examples/`` for richer scenarios and ``repro.experiments`` for the
+paper's figures.
+"""
+
+from repro.correctness import Oracle, ToleranceChecker
+from repro.harness import (
+    RunConfig,
+    RunResult,
+    format_series,
+    format_table,
+    run_grid,
+    run_protocol,
+    sweep_values,
+)
+from repro.network import MessageKind, MessageLedger
+from repro.protocols import (
+    BoundaryNearestSelection,
+    FilterProtocol,
+    FractionToleranceKnnProtocol,
+    FractionToleranceRangeProtocol,
+    NoFilterProtocol,
+    RandomSelection,
+    RankToleranceProtocol,
+    ZeroToleranceKnnProtocol,
+    ZeroToleranceRangeProtocol,
+)
+from repro.queries import (
+    KMinQuery,
+    KnnQuery,
+    RangeQuery,
+    TopKQuery,
+)
+from repro.sim import SimulationEngine
+from repro.streams import (
+    FilterConstraint,
+    StreamSource,
+    StreamTrace,
+    SyntheticConfig,
+    TcpTraceConfig,
+    TraceRecord,
+    generate_synthetic_trace,
+    generate_tcp_trace,
+)
+from repro.tolerance import (
+    FractionTolerance,
+    RankTolerance,
+    RhoPolicy,
+    answer_size_bounds,
+    derive_rho,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoundaryNearestSelection",
+    "FilterConstraint",
+    "FilterProtocol",
+    "FractionTolerance",
+    "FractionToleranceKnnProtocol",
+    "FractionToleranceRangeProtocol",
+    "KMinQuery",
+    "KnnQuery",
+    "MessageKind",
+    "MessageLedger",
+    "NoFilterProtocol",
+    "Oracle",
+    "RandomSelection",
+    "RangeQuery",
+    "RankTolerance",
+    "RankToleranceProtocol",
+    "RhoPolicy",
+    "RunConfig",
+    "RunResult",
+    "SimulationEngine",
+    "StreamSource",
+    "StreamTrace",
+    "SyntheticConfig",
+    "TcpTraceConfig",
+    "ToleranceChecker",
+    "TopKQuery",
+    "TraceRecord",
+    "ZeroToleranceKnnProtocol",
+    "ZeroToleranceRangeProtocol",
+    "answer_size_bounds",
+    "derive_rho",
+    "format_series",
+    "format_table",
+    "generate_synthetic_trace",
+    "generate_tcp_trace",
+    "run_grid",
+    "run_protocol",
+    "sweep_values",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Workload analysis: the quantities that drive protocol cost.
+
+Filter protocols pay for *boundary crossings*, not updates, so
+understanding a workload means understanding its crossing structure:
+how many updates cross a query's boundary, how concentrated those
+crossings are on few streams (what the boundary-nearest heuristic can
+exploit), and how rank churn behaves for rank-based queries.  These
+utilities compute exactly that, and back the diagnostics quoted in
+EXPERIMENTS.md.
+"""
+
+from repro.analysis.crossings import (
+    CrossingProfile,
+    range_crossing_profile,
+    rank_churn_profile,
+)
+
+__all__ = [
+    "CrossingProfile",
+    "range_crossing_profile",
+    "rank_churn_profile",
+]

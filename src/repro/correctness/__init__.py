@@ -1,0 +1,25 @@
+"""Ground-truth tracking and tolerance validation.
+
+The simulator — unlike the server — sees every stream's true value.  The
+:class:`~repro.correctness.oracle.Oracle` maintains that ground truth as
+trace records are applied; the
+:class:`~repro.correctness.checker.ToleranceChecker` compares the
+protocol's answer set against it after every processed event, verifying
+the paper's Correctness Requirements 1 and 2 continuously.
+"""
+
+from repro.correctness.checker import (
+    CheckerReport,
+    ToleranceChecker,
+    ToleranceViolationError,
+    Violation,
+)
+from repro.correctness.oracle import Oracle
+
+__all__ = [
+    "CheckerReport",
+    "Oracle",
+    "ToleranceChecker",
+    "ToleranceViolationError",
+    "Violation",
+]

@@ -1,0 +1,151 @@
+"""Continuous validation of tolerance constraints.
+
+The paper's Correctness Requirements (Section 3.5):
+
+1. at every point in time with no resolution in progress, all running
+   queries remain valid within their tolerance constraints;
+2. immediately after a resolution completes, the constraint is satisfied
+   (values assumed frozen during resolution).
+
+Our channel delivers messages synchronously, so "resolution" is atomic
+within a simulation event; checking right after each applied trace record
+therefore validates both requirements at every instant the paper quantifies
+over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.correctness.oracle import Oracle
+from repro.queries.base import EntityQuery, RankBasedQuery
+from repro.tolerance.fraction_tolerance import FractionTolerance
+from repro.tolerance.rank_tolerance import RankTolerance
+
+
+class ToleranceViolationError(AssertionError):
+    """Raised in strict mode when a protocol breaks its tolerance."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed tolerance breach."""
+
+    time: float
+    reason: str
+
+
+@dataclass
+class CheckerReport:
+    """Aggregate outcome of a checked run.
+
+    ``violations`` retains at most ``max_violations`` detailed records;
+    ``violation_count`` counts every breach regardless.
+    """
+
+    checks: int = 0
+    violation_count: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.violation_count == 0
+
+    @property
+    def violation_rate(self) -> float:
+        if self.checks == 0:
+            return 0.0
+        return self.violation_count / self.checks
+
+
+class ToleranceChecker:
+    """Validates a protocol's answer set against ground truth.
+
+    Parameters
+    ----------
+    oracle:
+        The ground-truth value store.
+    query:
+        The standing query under test.
+    tolerance:
+        Either a :class:`RankTolerance` or a :class:`FractionTolerance`;
+        ``None`` demands the exact answer (zero tolerance).
+    answer_of:
+        Callable returning the protocol's current answer set.
+    every:
+        Check every *every*-th invocation (1 = every event); lets large
+        benchmark runs sample instead of paying O(n) per event.
+    strict:
+        Raise :class:`ToleranceViolationError` on the first breach instead
+        of accumulating it — the mode unit tests use.
+    max_violations:
+        Retain at most this many violation records (counters keep going).
+    """
+
+    def __init__(
+        self,
+        oracle: Oracle,
+        query: EntityQuery,
+        tolerance: RankTolerance | FractionTolerance | None,
+        answer_of: Callable[[], Iterable[int]],
+        every: int = 1,
+        strict: bool = False,
+        max_violations: int = 100,
+    ) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        if isinstance(tolerance, RankTolerance) and not isinstance(
+            query, RankBasedQuery
+        ):
+            raise TypeError("rank tolerance requires a rank-based query")
+        self.oracle = oracle
+        self.query = query
+        self.tolerance = tolerance
+        self.answer_of = answer_of
+        self.every = every
+        self.strict = strict
+        self.max_violations = max_violations
+        self.report = CheckerReport()
+        self._tick = 0
+
+    def check(self, time: float) -> Violation | None:
+        """Validate the current answer; honours the sampling interval."""
+        self._tick += 1
+        if (self._tick - 1) % self.every != 0:
+            return None
+        return self.check_now(time)
+
+    def check_now(self, time: float) -> Violation | None:
+        """Validate immediately, ignoring the sampling interval."""
+        self.report.checks += 1
+        reason = self._evaluate()
+        if reason is None:
+            return None
+        violation = Violation(time=time, reason=reason)
+        self.report.violation_count += 1
+        if len(self.report.violations) < self.max_violations:
+            self.report.violations.append(violation)
+        if self.strict:
+            raise ToleranceViolationError(f"t={time}: {reason}")
+        return violation
+
+    def _evaluate(self) -> str | None:
+        answer = set(int(i) for i in self.answer_of())
+        if isinstance(self.tolerance, RankTolerance):
+            assert isinstance(self.query, RankBasedQuery)
+            return self.tolerance.violation(
+                answer, self.query, self.oracle.values
+            )
+        true_set = self.oracle.true_answer(self.query)
+        if isinstance(self.tolerance, FractionTolerance):
+            return self.tolerance.violation(answer, true_set)
+        # Zero tolerance: answers must match exactly.
+        if answer != true_set:
+            extra = answer - true_set
+            missing = true_set - answer
+            return (
+                f"exact answer required: {len(extra)} spurious, "
+                f"{len(missing)} missing"
+            )
+        return None

@@ -1,0 +1,73 @@
+"""The ground-truth oracle.
+
+Holds the true current value of every stream, updated as the harness
+applies trace records, and answers "what is the exact answer set right
+now?" for any entity-based query.  Range-query truth is maintained
+incrementally (O(1) per update); rank-based truth is computed on demand
+(O(n) argpartition), which the checker amortizes via sampling when runs
+are large.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.queries.base import EntityQuery, NonRankBasedQuery, RankBasedQuery
+from repro.queries.range_query import RangeQuery
+
+
+class Oracle:
+    """Ground-truth view of all stream values."""
+
+    def __init__(self, initial_values: np.ndarray) -> None:
+        self._values = np.asarray(initial_values, dtype=np.float64).copy()
+        if self._values.ndim != 1:
+            raise ValueError("initial_values must be one-dimensional")
+        # Incrementally maintained membership sets, one per registered
+        # range query (identified by object id).
+        self._range_queries: dict[int, RangeQuery] = {}
+        self._range_members: dict[int, set[int]] = {}
+
+    @property
+    def n_streams(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only view of the true value vector."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    def value_of(self, stream_id: int) -> float:
+        return float(self._values[stream_id])
+
+    def register_range_query(self, query: RangeQuery) -> None:
+        """Enable O(1)-per-update truth maintenance for *query*."""
+        key = id(query)
+        if key in self._range_queries:
+            return
+        self._range_queries[key] = query
+        members = np.nonzero(query.matches_array(self._values))[0]
+        self._range_members[key] = set(int(i) for i in members)
+
+    def apply(self, stream_id: int, value: float) -> None:
+        """Record that *stream_id* now holds *value*."""
+        self._values[stream_id] = value
+        for key, query in self._range_queries.items():
+            members = self._range_members[key]
+            if query.matches(value):
+                members.add(stream_id)
+            else:
+                members.discard(stream_id)
+
+    def true_answer(self, query: EntityQuery) -> frozenset[int]:
+        """The exact answer set of *query* for the current values."""
+        if isinstance(query, RangeQuery):
+            key = id(query)
+            if key in self._range_members:
+                return frozenset(self._range_members[key])
+            return query.true_answer(self._values)
+        if isinstance(query, (RankBasedQuery, NonRankBasedQuery)):
+            return query.true_answer(self._values)
+        raise TypeError(f"unsupported query type {type(query)!r}")

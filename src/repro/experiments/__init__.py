@@ -1,0 +1,27 @@
+"""Reproductions of the paper's evaluation figures (Section 6).
+
+One module per figure; each exposes ``run(profile=..., seed=...)``
+returning a :class:`~repro.experiments.base.FigureResult` whose series are
+the curves the paper plots.  ``profile`` selects workload scale:
+
+* ``"smoke"`` — seconds; used by the integration tests;
+* ``"default"`` — tens of seconds; used by the benchmark harness;
+* ``"full"`` — approximates the paper's scale (5000 synthetic streams,
+  ~600k TCP connections); minutes to hours in pure Python.
+
+Run any figure from the command line::
+
+    python -m repro.experiments figure09
+    python -m repro.experiments all --profile smoke
+"""
+
+from repro.experiments.base import FigureResult, Profile
+from repro.experiments.registry import REGISTRY, get_experiment, list_experiments
+
+__all__ = [
+    "FigureResult",
+    "Profile",
+    "REGISTRY",
+    "get_experiment",
+    "list_experiments",
+]

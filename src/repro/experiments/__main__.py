@@ -1,0 +1,51 @@
+"""Command-line entry point: ``python -m repro.experiments <figure>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.base import Profile
+from repro.experiments.registry import REGISTRY, run_all
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*REGISTRY, "all"],
+        help="which figure to reproduce ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--profile",
+        default=Profile.DEFAULT.value,
+        choices=[p.value for p in Profile],
+        help="workload scale (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="master random seed"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "all":
+        started = time.perf_counter()
+        for name, result in run_all(profile=args.profile, seed=args.seed).items():
+            print(result.format())
+            print()
+        print(f"(total {time.perf_counter() - started:.1f}s)")
+        return 0
+
+    runner, _ = REGISTRY[args.experiment]
+    started = time.perf_counter()
+    result = runner(profile=args.profile, seed=args.seed)
+    print(result.format())
+    print(f"(ran in {time.perf_counter() - started:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Shared experiment scaffolding: profiles and figure results."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.harness.reporting import format_series
+
+
+class Profile(str, enum.Enum):
+    """Workload scale of an experiment run."""
+
+    SMOKE = "smoke"
+    DEFAULT = "default"
+    FULL = "full"
+
+    @classmethod
+    def coerce(cls, value: "Profile | str") -> "Profile":
+        if isinstance(value, Profile):
+            return value
+        return cls(value.lower())
+
+
+@dataclass
+class FigureResult:
+    """The reproduced data behind one paper figure.
+
+    Attributes
+    ----------
+    figure:
+        Identifier, e.g. ``"figure09"``.
+    title:
+        The paper's caption, e.g. ``"RTP: Effect of r"``.
+    x_name, x_values:
+        The shared x-axis of all curves.
+    series:
+        Curve name -> y values (message counts), aligned with x_values.
+    profile:
+        The workload scale that produced the data.
+    meta:
+        Workload parameters for provenance (seed, stream counts, ...).
+    """
+
+    figure: str
+    title: str
+    x_name: str
+    x_values: Sequence[Any]
+    series: dict[str, list[Any]]
+    profile: Profile
+    meta: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Render the figure as an aligned text table."""
+        header = f"{self.figure} — {self.title} (profile={self.profile.value})"
+        return format_series(
+            self.x_name, self.x_values, self.series, title=header
+        )
+
+    def curve(self, name: str) -> list[Any]:
+        """One named series, for assertions in tests/benches."""
+        return list(self.series[name])

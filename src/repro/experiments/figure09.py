@@ -1,0 +1,91 @@
+"""Figure 9 — RTP: effect of the rank tolerance ``r`` (TCP data).
+
+A top-k query ("report continuously the subnets with the k-highest volume
+of data transferred") over the TCP workload, for k in {15, 20, 25, 30}
+and r swept from 0 upward, against the no-filter baseline.
+
+Expected shape: messages fall as r grows for every k; at r = 0 and large
+k, RTP is *worse* than no filtering because the bound R is recomputed and
+re-broadcast constantly.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import FigureResult, Profile
+from repro.harness.config import RunConfig
+from repro.harness.runner import run_protocol
+from repro.protocols.no_filter import NoFilterProtocol
+from repro.protocols.rtp import RankToleranceProtocol
+from repro.queries.knn import TopKQuery
+from repro.streams.tcp import TcpTraceConfig, generate_tcp_trace
+from repro.tolerance.rank_tolerance import RankTolerance
+
+_PROFILES = {
+    Profile.SMOKE: {
+        "n_subnets": 120,
+        "n_connections": 2_500,
+        "days": 5.0,
+        "k_values": [5, 10],
+        "r_values": [0, 4, 8],
+    },
+    Profile.DEFAULT: {
+        "n_subnets": 800,
+        "n_connections": 12_000,
+        "days": 30.0,
+        "k_values": [15, 20, 25, 30],
+        "r_values": [0, 2, 4, 8, 12, 16, 20],
+    },
+    Profile.FULL: {
+        "n_subnets": 800,
+        "n_connections": 606_497,
+        "days": 30.0,
+        "k_values": [15, 20, 25, 30],
+        "r_values": list(range(0, 21, 2)),
+    },
+}
+
+
+def run(profile: Profile | str = Profile.DEFAULT, seed: int = 0) -> FigureResult:
+    """Reproduce Figure 9; returns one curve per k plus the baseline."""
+    profile = Profile.coerce(profile)
+    params = _PROFILES[profile]
+    trace = generate_tcp_trace(
+        TcpTraceConfig(
+            n_subnets=params["n_subnets"],
+            n_connections=params["n_connections"],
+            days=params["days"],
+            seed=seed,
+        )
+    )
+
+    r_values = list(params["r_values"])
+    series: dict[str, list[int]] = {}
+
+    baseline = run_protocol(
+        trace, NoFilterProtocol(TopKQuery(k=params["k_values"][0]))
+    )
+    series["no filter"] = [baseline.maintenance_messages] * len(r_values)
+
+    for k in params["k_values"]:
+        curve = []
+        for r in r_values:
+            query = TopKQuery(k=k)
+            tolerance = RankTolerance(k=k, r=r)
+            result = run_protocol(
+                trace,
+                RankToleranceProtocol(query, tolerance),
+                tolerance=tolerance,
+                config=RunConfig(label=f"k={k},r={r}"),
+            )
+            curve.append(result.maintenance_messages)
+        series[f"k={k}"] = curve
+
+    return FigureResult(
+        figure="figure09",
+        title="RTP: Effect of r",
+        x_name="r",
+        x_values=r_values,
+        series=series,
+        profile=profile,
+        meta={"workload": trace.metadata, "seed": seed},
+    )

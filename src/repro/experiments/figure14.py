@@ -1,0 +1,86 @@
+"""Figure 14 — FT-NRP: silencer selection heuristics (synthetic data).
+
+Compares random against boundary-nearest placement of the false-positive
+and false-negative filters during initialization.
+
+Expected shape: boundary-nearest at or below random everywhere, with the
+gap widening as tolerance (and hence the number of silencers placed)
+grows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import FigureResult, Profile
+from repro.harness.config import RunConfig
+from repro.harness.runner import run_protocol
+from repro.protocols.ft_nrp import FractionToleranceRangeProtocol
+from repro.protocols.selection import BoundaryNearestSelection, RandomSelection
+from repro.queries.range_query import RangeQuery
+from repro.streams.synthetic import SyntheticConfig, generate_synthetic_trace
+from repro.tolerance.fraction_tolerance import FractionTolerance
+
+SYNTHETIC_RANGE = (400.0, 600.0)
+
+_PROFILES = {
+    Profile.SMOKE: {
+        "n_streams": 200,
+        "horizon": 150.0,
+        "eps_values": [0.1, 0.4],
+    },
+    Profile.DEFAULT: {
+        "n_streams": 1000,
+        "horizon": 400.0,
+        "eps_values": [0.0, 0.1, 0.2, 0.3, 0.4],
+    },
+    Profile.FULL: {
+        "n_streams": 5000,
+        "horizon": 2000.0,
+        "eps_values": [0.0, 0.1, 0.2, 0.3, 0.4, 0.49],
+    },
+}
+
+
+def run(profile: Profile | str = Profile.DEFAULT, seed: int = 0) -> FigureResult:
+    """Reproduce Figure 14: random vs boundary-nearest selection."""
+    profile = Profile.coerce(profile)
+    params = _PROFILES[profile]
+    trace = generate_synthetic_trace(
+        SyntheticConfig(
+            n_streams=params["n_streams"],
+            horizon=params["horizon"],
+            seed=seed,
+        )
+    )
+    query = RangeQuery(*SYNTHETIC_RANGE)
+    eps_values = list(params["eps_values"])
+
+    heuristics = {
+        "random": lambda: RandomSelection(seed=seed),
+        "boundary-nearest": lambda: BoundaryNearestSelection(),
+    }
+    series: dict[str, list[int]] = {}
+    for name, make_heuristic in heuristics.items():
+        curve = []
+        for eps in eps_values:
+            tolerance = FractionTolerance(eps, eps)
+            protocol = FractionToleranceRangeProtocol(
+                query, tolerance, selection=make_heuristic()
+            )
+            result = run_protocol(
+                trace,
+                protocol,
+                tolerance=tolerance,
+                config=RunConfig(label=f"{name},eps={eps}"),
+            )
+            curve.append(result.maintenance_messages)
+        series[name] = curve
+
+    return FigureResult(
+        figure="figure14",
+        title="FT-NRP: Selection heuristics",
+        x_name="eps+/eps-",
+        x_values=eps_values,
+        series=series,
+        profile=profile,
+        meta={"workload": trace.metadata, "range": SYNTHETIC_RANGE, "seed": seed},
+    )

@@ -1,0 +1,55 @@
+"""Registry of the reproducible figures."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    figure01,
+    figure09,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+)
+from repro.experiments.base import FigureResult, Profile
+
+#: Experiment id -> (runner, paper caption).
+REGISTRY: dict[str, tuple[Callable[..., FigureResult], str]] = {
+    "figure01": (
+        figure01.run,
+        "Motivation: value-based vs rank-based tolerance",
+    ),
+    "figure09": (figure09.run, "RTP: Effect of r (TCP)"),
+    "figure10": (figure10.run, "FT-NRP: Effect of eps+/eps- (TCP)"),
+    "figure11": (figure11.run, "FT-NRP: Scalability (TCP)"),
+    "figure12": (figure12.run, "FT-NRP: Effect of eps+/eps- (synthetic)"),
+    "figure13": (figure13.run, "FT-NRP: Data fluctuation (synthetic)"),
+    "figure14": (figure14.run, "FT-NRP: Selection heuristics (synthetic)"),
+    "figure15": (figure15.run, "ZT-RP/FT-RP: Effect of eps+/eps- (synthetic)"),
+}
+
+
+def list_experiments() -> list[str]:
+    """All experiment ids, in paper order."""
+    return list(REGISTRY)
+
+
+def get_experiment(name: str) -> Callable[..., FigureResult]:
+    """The runner for *name*; raises ``KeyError`` with suggestions."""
+    if name not in REGISTRY:
+        known = ", ".join(REGISTRY)
+        raise KeyError(f"unknown experiment {name!r}; choose one of: {known}")
+    return REGISTRY[name][0]
+
+
+def run_all(
+    profile: Profile | str = Profile.DEFAULT, seed: int = 0
+) -> dict[str, FigureResult]:
+    """Run every experiment; returns id -> result."""
+    return {
+        name: runner(profile=profile, seed=seed)
+        for name, (runner, _) in REGISTRY.items()
+    }

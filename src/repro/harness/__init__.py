@@ -1,0 +1,25 @@
+"""Experiment harness: wiring, execution, sweeps, and reporting.
+
+:func:`~repro.harness.runner.run_protocol` is the single entry point that
+turns (trace, query, protocol, tolerance) into a
+:class:`~repro.harness.results.RunResult` with the paper's message-count
+metric and a correctness report.  :mod:`~repro.harness.sweep` iterates it
+over parameter grids; :mod:`~repro.harness.reporting` renders the rows the
+paper's figures plot.
+"""
+
+from repro.harness.config import RunConfig
+from repro.harness.results import RunResult
+from repro.harness.runner import run_protocol
+from repro.harness.sweep import run_grid, sweep_values
+from repro.harness.reporting import format_series, format_table
+
+__all__ = [
+    "RunConfig",
+    "RunResult",
+    "format_series",
+    "format_table",
+    "run_grid",
+    "run_protocol",
+    "sweep_values",
+]

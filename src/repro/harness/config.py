@@ -1,0 +1,30 @@
+"""Run configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Knobs of a single simulation run.
+
+    Attributes
+    ----------
+    check_every:
+        Validate tolerance every N-th applied record; ``0`` disables
+        checking entirely (benchmark mode — checking a rank query costs
+        O(n) per check).  ``1`` checks after every record (test mode).
+    strict:
+        Raise on the first tolerance violation instead of recording it.
+    label:
+        Free-form tag copied into the result, e.g. the sweep coordinates.
+    """
+
+    check_every: int = 0
+    strict: bool = False
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.check_every < 0:
+            raise ValueError("check_every must be >= 0")

@@ -1,0 +1,66 @@
+"""Plain-text rendering of experiment output.
+
+The paper reports line charts; we reproduce each as a table of the same
+series (x-axis value per row, one column per curve) so the shape —
+orderings, monotonicity, crossovers — is inspectable from a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str = "",
+) -> str:
+    """Align *rows* (dicts) into a fixed-width text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0])
+    rendered = [
+        [_format_cell(row.get(column)) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(line, widths))
+        for line in rendered
+    )
+    parts = [title, header, rule, body] if title else [header, rule, body]
+    return "\n".join(parts)
+
+
+def format_series(
+    x_name: str,
+    x_values: Sequence[Any],
+    series: Mapping[str, Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Render curves sharing an x-axis, one row per x value.
+
+    ``series`` maps curve name -> y values (aligned with *x_values*).
+    """
+    rows = []
+    for i, x in enumerate(x_values):
+        row: dict[str, Any] = {x_name: x}
+        for name, ys in series.items():
+            row[name] = ys[i] if i < len(ys) else ""
+        rows.append(row)
+    return format_table(rows, columns=[x_name, *series], title=title)
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,77 @@
+"""Run results: the numbers the paper's figures plot."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.correctness.checker import CheckerReport
+from repro.network.accounting import LedgerSnapshot
+from repro.network.messages import MessageKind
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one protocol over one trace.
+
+    ``maintenance_messages`` is the paper's headline metric ("number of
+    maintenance messages required during the lifetime of the query").
+    """
+
+    protocol: str
+    ledger: LedgerSnapshot
+    checker: CheckerReport | None
+    n_streams: int
+    n_records: int
+    final_answer: frozenset[int]
+    label: str = ""
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def maintenance_messages(self) -> int:
+        return self.ledger.maintenance_total
+
+    @property
+    def initialization_messages(self) -> int:
+        return self.ledger.initialization_total
+
+    @property
+    def total_messages(self) -> int:
+        return self.ledger.total
+
+    @property
+    def update_messages(self) -> int:
+        """Maintenance-phase source reports (filter violations)."""
+        return self.ledger.maintenance_of(MessageKind.UPDATE)
+
+    @property
+    def probe_messages(self) -> int:
+        """Maintenance-phase probe round-trips (requests + replies)."""
+        return self.ledger.maintenance_of(
+            MessageKind.PROBE_REQUEST
+        ) + self.ledger.maintenance_of(MessageKind.PROBE_REPLY)
+
+    @property
+    def constraint_messages(self) -> int:
+        """Maintenance-phase filter (re)deployments."""
+        return self.ledger.maintenance_of(MessageKind.CONSTRAINT)
+
+    @property
+    def tolerance_ok(self) -> bool:
+        """True when every sampled check passed (or checking was off)."""
+        return self.checker is None or self.checker.ok
+
+    def row(self) -> dict:
+        """Flatten into a reporting-friendly dict."""
+        row = {
+            "protocol": self.protocol,
+            "label": self.label,
+            "messages": self.maintenance_messages,
+            "updates": self.update_messages,
+            "probes": self.probe_messages,
+            "constraints": self.constraint_messages,
+            "n_streams": self.n_streams,
+            "n_records": self.n_records,
+            "tolerance_ok": self.tolerance_ok,
+        }
+        row.update(self.extras)
+        return row

@@ -1,0 +1,31 @@
+"""Parameter sweeps over the run loop."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Mapping
+
+
+def sweep_values(
+    run_one: Callable[..., Any], parameter: str, values: Iterable[Any]
+) -> list[Any]:
+    """Run *run_one* once per value of a single swept *parameter*."""
+    return [run_one(**{parameter: value}) for value in values]
+
+
+def run_grid(
+    run_one: Callable[..., Any], grid: Mapping[str, Iterable[Any]]
+) -> list[dict]:
+    """Run the cartesian product of *grid* through *run_one*.
+
+    Returns one dict per combination: the grid coordinates plus a
+    ``"result"`` key with whatever *run_one* returned.  Iteration order is
+    the natural nested-loop order of the grid's insertion order, so rows
+    come out grouped the way the paper's figures group their series.
+    """
+    names = list(grid)
+    rows: list[dict] = []
+    for combo in itertools.product(*(list(grid[name]) for name in names)):
+        params = dict(zip(names, combo))
+        rows.append({**params, "result": run_one(**params)})
+    return rows

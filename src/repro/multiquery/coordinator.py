@@ -1,0 +1,213 @@
+"""The multi-query coordinator and the per-query server facade.
+
+:class:`QueryContext` exposes the exact control-plane API of
+:class:`repro.server.server.Server` (``probe``, ``probe_all``,
+``deploy``, ``broadcast``, ``stream_ids``, ``n_streams``, ``now``), so
+the single-query protocols run against it *unmodified*.  The
+:class:`MultiQueryCoordinator` owns the shared sources and the ledger:
+
+* a physical uplink update is charged **once** however many queries it
+  serves;
+* probes and constraint deployments are charged per query (they are
+  genuinely per-query payloads);
+* updates are forwarded only to the protocols whose slot flipped, so
+  each protocol sees its solo message sequence and its correctness
+  argument is untouched.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.network.accounting import MessageLedger
+from repro.network.messages import MessageKind
+from repro.protocols.base import FilterProtocol
+
+if TYPE_CHECKING:
+    from repro.multiquery.source import MultiQuerySource
+
+
+class QueryContext:
+    """A Server look-alike scoped to one standing query."""
+
+    def __init__(self, query_id: str, coordinator: "MultiQueryCoordinator") -> None:
+        self.query_id = query_id
+        self._coordinator = coordinator
+
+    @property
+    def now(self) -> float:
+        return self._coordinator.now
+
+    @property
+    def stream_ids(self) -> list[int]:
+        return list(range(len(self._coordinator.sources)))
+
+    @property
+    def n_streams(self) -> int:
+        return len(self._coordinator.sources)
+
+    def probe(self, stream_id: int) -> float:
+        return self._coordinator.probe(self.query_id, stream_id)
+
+    def probe_all(self, stream_ids: list[int] | None = None) -> dict[int, float]:
+        targets = self.stream_ids if stream_ids is None else stream_ids
+        return {stream_id: self.probe(stream_id) for stream_id in targets}
+
+    def deploy(
+        self,
+        stream_id: int,
+        lower: float,
+        upper: float,
+        assumed_inside: bool | None = None,
+    ) -> None:
+        self._coordinator.deploy(
+            self.query_id, stream_id, lower, upper, assumed_inside
+        )
+
+    def broadcast(
+        self,
+        lower: float,
+        upper: float,
+        assumed_inside: dict[int, bool] | None = None,
+    ) -> None:
+        for stream_id in self.stream_ids:
+            belief = None
+            if assumed_inside is not None:
+                belief = assumed_inside.get(stream_id)
+            self.deploy(stream_id, lower, upper, assumed_inside=belief)
+
+
+class MultiQueryCoordinator:
+    """Hosts several protocols over one shared source population."""
+
+    def __init__(self, ledger: MessageLedger | None = None) -> None:
+        self.ledger = ledger or MessageLedger()
+        self.sources: list["MultiQuerySource"] = []
+        self._protocols: dict[str, FilterProtocol] = {}
+        self._contexts: dict[str, QueryContext] = {}
+        self.now = 0.0
+        self._busy = False
+        self._pending: deque[tuple[int, float, float, list[str] | None]] = deque()
+        #: Physical uplink updates (each possibly serving several queries).
+        self.shared_updates = 0
+        #: Query deliveries those updates fanned out to.
+        self.logical_deliveries = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def attach_sources(self, initial_values) -> None:
+        from repro.multiquery.source import MultiQuerySource
+
+        self.sources = [
+            MultiQuerySource(stream_id, value, self)
+            for stream_id, value in enumerate(initial_values)
+        ]
+
+    def register(self, query_id: str, protocol: FilterProtocol) -> QueryContext:
+        """Add a standing query; returns its server facade."""
+        if query_id in self._protocols:
+            raise ValueError(f"duplicate query id {query_id!r}")
+        self._protocols[query_id] = protocol
+        context = QueryContext(query_id, self)
+        self._contexts[query_id] = context
+        return context
+
+    def initialize_all(self, time: float = 0.0) -> None:
+        """Run every protocol's initialization phase."""
+        self.now = time
+        self._busy = True
+        try:
+            for query_id, protocol in self._protocols.items():
+                protocol.initialize(self._contexts[query_id])
+        finally:
+            self._busy = False
+        self._drain()
+
+    # ------------------------------------------------------------------
+    # Control plane (invoked via QueryContext)
+    # ------------------------------------------------------------------
+    def probe(self, query_id: str, stream_id: int) -> float:
+        self.ledger.record_kind(MessageKind.PROBE_REQUEST)
+        value = self.sources[stream_id].probe(query_id)
+        self.ledger.record_kind(MessageKind.PROBE_REPLY)
+        return value
+
+    def deploy(
+        self,
+        query_id: str,
+        stream_id: int,
+        lower: float,
+        upper: float,
+        assumed_inside: bool | None,
+    ) -> None:
+        from repro.streams.filters import FilterConstraint
+
+        self.ledger.record_kind(MessageKind.CONSTRAINT)
+        self.sources[stream_id].install(
+            query_id,
+            FilterConstraint(lower, upper),
+            assumed_inside,
+            self.now,
+        )
+
+    # ------------------------------------------------------------------
+    # Data plane (invoked by sources)
+    # ------------------------------------------------------------------
+    def receive_update(
+        self,
+        stream_id: int,
+        value: float,
+        time: float,
+        flipped: list[str] | None,
+    ) -> None:
+        """One physical update; forward to the flipped queries only.
+
+        ``flipped=None`` means the source carries no filters at all, so
+        every query is notified (the no-filter baseline).
+        """
+        self.ledger.record_kind(MessageKind.UPDATE)
+        self.shared_updates += 1
+        self.now = max(self.now, time)
+        if self._busy:
+            self._pending.append((stream_id, value, time, flipped))
+            return
+        self._dispatch(stream_id, value, time, flipped)
+        self._drain()
+
+    def _dispatch(
+        self,
+        stream_id: int,
+        value: float,
+        time: float,
+        flipped: list[str] | None,
+    ) -> None:
+        targets = list(self._protocols) if flipped is None else flipped
+        self._busy = True
+        try:
+            for query_id in targets:
+                protocol = self._protocols.get(query_id)
+                if protocol is None:  # pragma: no cover - defensive
+                    continue
+                self.logical_deliveries += 1
+                protocol.on_update(
+                    self._contexts[query_id], stream_id, value, time
+                )
+        finally:
+            self._busy = False
+
+    def _drain(self) -> None:
+        while self._pending:
+            stream_id, value, time, flipped = self._pending.popleft()
+            self._dispatch(stream_id, value, time, flipped)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def answer(self, query_id: str) -> frozenset[int]:
+        return self._protocols[query_id].answer
+
+    @property
+    def query_ids(self) -> list[str]:
+        return list(self._protocols)

@@ -1,0 +1,144 @@
+"""Replay a trace against several standing queries at once."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.correctness.oracle import Oracle
+from repro.harness.config import RunConfig
+from repro.multiquery.coordinator import MultiQueryCoordinator
+from repro.network.accounting import LedgerSnapshot, Phase
+from repro.protocols.base import FilterProtocol
+from repro.queries.base import EntityQuery, RankBasedQuery
+from repro.queries.range_query import RangeQuery
+from repro.streams.trace import StreamTrace
+from repro.tolerance.fraction_tolerance import FractionTolerance
+from repro.tolerance.rank_tolerance import RankTolerance
+
+Tolerance = RankTolerance | FractionTolerance | None
+
+
+@dataclass
+class MultiQueryResult:
+    """Outcome of a shared multi-query run."""
+
+    ledger: LedgerSnapshot
+    shared_updates: int
+    logical_deliveries: int
+    answers: dict[str, frozenset[int]]
+    checks: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def maintenance_messages(self) -> int:
+        return self.ledger.maintenance_total
+
+    @property
+    def tolerance_ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def sharing_factor(self) -> float:
+        """Average queries served per physical update (>= 1)."""
+        if self.shared_updates == 0:
+            return 1.0
+        return self.logical_deliveries / self.shared_updates
+
+
+def run_multi_query(
+    trace: StreamTrace,
+    queries: dict[str, tuple[FilterProtocol, EntityQuery, Tolerance]],
+    config: RunConfig | None = None,
+) -> MultiQueryResult:
+    """Run every registered query's protocol over one shared population.
+
+    Parameters
+    ----------
+    trace:
+        The shared workload.
+    queries:
+        ``query_id -> (protocol, query, tolerance)``.  The protocol is a
+        normal single-query protocol instance; the query/tolerance pair
+        is used for the optional correctness checking.
+    config:
+        ``check_every`` / ``strict`` as in the single-query runner.
+    """
+    config = config or RunConfig()
+    coordinator = MultiQueryCoordinator()
+    coordinator.attach_sources(trace.initial_values)
+    for query_id, (protocol, _, _) in queries.items():
+        coordinator.register(query_id, protocol)
+
+    oracle: Oracle | None = None
+    if config.check_every > 0:
+        oracle = Oracle(trace.initial_values)
+        for _, (_, query, _) in queries.items():
+            if isinstance(query, RangeQuery):
+                oracle.register_range_query(query)
+
+    coordinator.ledger.phase = Phase.INITIALIZATION
+    coordinator.initialize_all(time=0.0)
+    coordinator.ledger.phase = Phase.MAINTENANCE
+
+    result = MultiQueryResult(
+        ledger=coordinator.ledger.snapshot(),
+        shared_updates=0,
+        logical_deliveries=0,
+        answers={},
+    )
+
+    def check(time: float) -> None:
+        assert oracle is not None
+        result.checks += 1
+        for query_id, (protocol, query, tolerance) in queries.items():
+            reason = _evaluate(protocol, oracle, query, tolerance)
+            if reason is not None:
+                note = f"t={time} [{query_id}]: {reason}"
+                if len(result.violations) < 100:
+                    result.violations.append(note)
+                if config.strict:
+                    raise AssertionError(note)
+
+    if oracle is not None:
+        check(0.0)
+
+    tick = 0
+    for record in trace:
+        if oracle is not None:
+            oracle.apply(record.stream_id, record.value)
+        coordinator.sources[record.stream_id].apply_value(
+            record.value, record.time
+        )
+        if oracle is not None:
+            tick += 1
+            if tick % config.check_every == 0:
+                check(record.time)
+
+    result.ledger = coordinator.ledger.snapshot()
+    result.shared_updates = coordinator.shared_updates
+    result.logical_deliveries = coordinator.logical_deliveries
+    result.answers = {
+        query_id: coordinator.answer(query_id) for query_id in queries
+    }
+    return result
+
+
+def _evaluate(
+    protocol: FilterProtocol,
+    oracle: Oracle,
+    query: EntityQuery,
+    tolerance: Tolerance,
+) -> str | None:
+    answer = set(protocol.answer)
+    if isinstance(tolerance, RankTolerance):
+        assert isinstance(query, RankBasedQuery)
+        return tolerance.violation(answer, query, oracle.values)
+    true_set = oracle.true_answer(query)
+    if isinstance(tolerance, FractionTolerance):
+        return tolerance.violation(answer, true_set)
+    if answer != true_set:
+        return (
+            f"exact answer required: {len(answer - true_set)} spurious, "
+            f"{len(true_set - answer)} missing"
+        )
+    return None

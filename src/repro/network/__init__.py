@@ -1,0 +1,32 @@
+"""Messaging substrate between stream sources and the central server.
+
+The paper's cost metric is "the number of maintenance messages required
+during the lifetime of the query" (Section 6).  This subpackage provides
+the typed message vocabulary exchanged in Figure 3's architecture, a
+zero/fixed-latency channel abstraction, and the
+:class:`~repro.network.accounting.MessageLedger` that tallies every
+message by kind and phase.
+"""
+
+from repro.network.accounting import MessageLedger, Phase
+from repro.network.channel import Channel
+from repro.network.messages import (
+    ConstraintMessage,
+    Message,
+    MessageKind,
+    ProbeReplyMessage,
+    ProbeRequestMessage,
+    UpdateMessage,
+)
+
+__all__ = [
+    "Channel",
+    "ConstraintMessage",
+    "Message",
+    "MessageKind",
+    "MessageLedger",
+    "Phase",
+    "ProbeReplyMessage",
+    "ProbeRequestMessage",
+    "UpdateMessage",
+]

@@ -1,0 +1,59 @@
+"""The source ↔ server communication channel.
+
+The paper's correctness requirement 2 assumes "stream values do not change
+during resolution", i.e. constraint resolution is atomic with respect to
+the data.  We model this with synchronous, zero-virtual-latency delivery:
+a message is recorded in the ledger and handed to the recipient within the
+same simulation event.  (An optional fixed latency is supported for
+experimentation but not used by the paper's protocols.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.network.accounting import MessageLedger
+from repro.network.messages import Message
+
+
+class Channel:
+    """Synchronous message channel with cost accounting.
+
+    Parameters
+    ----------
+    ledger:
+        Every message sent through the channel is charged to this ledger.
+    """
+
+    def __init__(self, ledger: MessageLedger) -> None:
+        self.ledger = ledger
+        self._server_handler: Callable[[Message], None] | None = None
+        self._source_handlers: dict[int, Callable[[Message], None]] = {}
+
+    def bind_server(self, handler: Callable[[Message], None]) -> None:
+        """Register the server's message handler."""
+        self._server_handler = handler
+
+    def bind_source(self, stream_id: int, handler: Callable[[Message], None]) -> None:
+        """Register the handler of source *stream_id*."""
+        self._source_handlers[stream_id] = handler
+
+    def send_to_server(self, message: Message) -> None:
+        """Deliver a source-to-server message (update or probe reply)."""
+        if self._server_handler is None:
+            raise RuntimeError("no server bound to channel")
+        self.ledger.record(message)
+        self._server_handler(message)
+
+    def send_to_source(self, message: Message) -> None:
+        """Deliver a server-to-source message (probe request or constraint)."""
+        handler = self._source_handlers.get(message.stream_id)
+        if handler is None:
+            raise RuntimeError(f"no source {message.stream_id} bound to channel")
+        self.ledger.record(message)
+        handler(message)
+
+    @property
+    def source_ids(self) -> list[int]:
+        """Identifiers of all bound sources."""
+        return sorted(self._source_handlers)

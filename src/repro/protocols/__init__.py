@@ -1,0 +1,46 @@
+"""Filter-bound assignment protocols — the paper's contribution.
+
+Six protocols, each an Initialization phase (collect values, compute and
+deploy filter constraints) plus a Maintenance phase (react to filter
+violations, probing and re-deploying as needed):
+
+* :class:`~repro.protocols.no_filter.NoFilterProtocol` — the baseline with
+  no filters: every update travels to the server;
+* :class:`~repro.protocols.rtp.RankToleranceProtocol` (RTP) — rank-based
+  tolerance for rank-based queries (Section 4, Figure 5);
+* :class:`~repro.protocols.zt_nrp.ZeroToleranceRangeProtocol` (ZT-NRP) —
+  exact range queries via per-stream ``[l, u]`` filters (Section 5.1);
+* :class:`~repro.protocols.ft_nrp.FractionToleranceRangeProtocol`
+  (FT-NRP) — fraction-based tolerance for range queries (Figure 7);
+* :class:`~repro.protocols.zt_rp.ZeroToleranceKnnProtocol` (ZT-RP) — exact
+  k-NN via the range-view bound ``R`` (Section 5.2.1);
+* :class:`~repro.protocols.ft_rp.FractionToleranceKnnProtocol` (FT-RP) —
+  fraction-based tolerance for k-NN via FT-NRP over ``R`` with the
+  ``rho+/rho-`` internal tolerances (Sections 5.2.2-5.2.3).
+"""
+
+from repro.protocols.base import FilterProtocol
+from repro.protocols.ft_nrp import FractionToleranceRangeProtocol
+from repro.protocols.ft_rp import FractionToleranceKnnProtocol
+from repro.protocols.no_filter import NoFilterProtocol
+from repro.protocols.rtp import RankToleranceProtocol
+from repro.protocols.selection import (
+    BoundaryNearestSelection,
+    RandomSelection,
+    SelectionHeuristic,
+)
+from repro.protocols.zt_nrp import ZeroToleranceRangeProtocol
+from repro.protocols.zt_rp import ZeroToleranceKnnProtocol
+
+__all__ = [
+    "BoundaryNearestSelection",
+    "FilterProtocol",
+    "FractionToleranceKnnProtocol",
+    "FractionToleranceRangeProtocol",
+    "NoFilterProtocol",
+    "RandomSelection",
+    "RankToleranceProtocol",
+    "SelectionHeuristic",
+    "ZeroToleranceKnnProtocol",
+    "ZeroToleranceRangeProtocol",
+]

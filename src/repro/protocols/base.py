@@ -1,0 +1,44 @@
+"""The protocol interface.
+
+A protocol owns the server-side state of one standing query: the answer
+set ``A(t)``, whatever bookkeeping its tolerance exploitation requires,
+and the filter constraints installed at the sources.  The server calls
+:meth:`FilterProtocol.initialize` once and then
+:meth:`FilterProtocol.on_update` for every update message (including
+self-correction reports triggered by stale-belief deployments — the
+server serializes those, so handlers are never re-entered).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a circular import; Server imports this module
+    from repro.server.server import Server
+
+
+class FilterProtocol(ABC):
+    """Base class of all filter-bound assignment protocols."""
+
+    #: Short name used in results tables (e.g. "RTP", "FT-NRP").
+    name: str = "abstract"
+
+    @abstractmethod
+    def initialize(self, server: "Server") -> None:
+        """Initialization phase: collect values, deploy constraints."""
+
+    @abstractmethod
+    def on_update(
+        self, server: "Server", stream_id: int, value: float, time: float
+    ) -> None:
+        """Maintenance phase: react to one update message."""
+
+    @property
+    @abstractmethod
+    def answer(self) -> frozenset[int]:
+        """The answer set ``A(t)`` currently reported to the user."""
+
+    def describe(self) -> str:
+        """One-line human-readable description for results tables."""
+        return self.name

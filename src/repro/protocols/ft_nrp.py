@@ -1,0 +1,246 @@
+"""FT-NRP: fraction-based tolerance for range queries (Section 5.1.1, Fig. 7).
+
+Initialization probes every stream, then hands out silencing filters:
+
+* of the ``|A(t0)|`` streams inside ``[l, u]``, ``n+ = Emax+`` get the
+  false-positive filter ``[-inf, +inf]`` and go silent;
+* of the streams outside, ``n- = Emax-`` get the false-negative filter
+  ``[+inf, +inf]`` and likewise go silent;
+* everyone else gets ``[l, u]`` itself (ZT-NRP behaviour).
+
+Maintenance tracks the slack variable ``count`` — the surplus of
+entering-range reports over leaving-range reports since the last deficit.
+While ``count > 0`` the answer only ever got *better* than at the last
+critical instant, so nothing need be done; when a leave-report hits
+``count == 0``, ``Fix_Error`` spends silenced streams to restore the
+budgets (Section 5.1.1's case analysis).
+
+One bookkeeping deviation from Figure 7, equivalent in messages and
+strictly no weaker in correctness: when ``Fix_Error`` probes a
+false-positive-filtered stream and finds it *outside* the range, the paper
+removes it from ``A`` and leaves it silenced in limbo (it keeps its
+``[-inf, +inf]`` filter but is no longer counted anywhere).  Such a stream
+is at that point *exactly* a false-negative-filtered stream — silenced and
+believed outside — so we move it to the false-negative pool.  The silenced
+population is identical to the paper's at every instant; the stream merely
+remains reachable by later ``Fix_Error`` invocations instead of being
+stranded.
+
+A second deviation closes a soundness gap (found by the continuous
+checker; documented in EXPERIMENTS.md): the paper sizes ``n-`` against
+``|A(t0)|`` once, but ``F-``'s denominator is the *current* true-set
+size, which shrinks as in-range streams legitimately leave.  At small
+populations / high tolerance an outstanding FN silencer then pushes
+``F-`` past ``eps-`` (e.g. ``E- = 1`` of ``|T| = 2`` with
+``eps- = 0.45``).  After every maintenance step we therefore enforce the
+worst-case budgets against the current answer:
+
+    ``|fp_pool| <= eps+ * |A|``                                  (F+ safe)
+    ``|fn_pool| * (1 - eps-) <= eps- * (|A| - |fp_pool|)``        (F- safe)
+
+reclaiming (probing and unsilencing) silencers while either fails.  Both
+inequalities hold with equality at the paper's initialization sizing, so
+behaviour only diverges exactly where the paper's arithmetic breaks.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.protocols.base import FilterProtocol
+from repro.protocols.selection import BoundaryNearestSelection, SelectionHeuristic
+from repro.queries.range_query import RangeQuery
+from repro.server.answers import AnswerSet
+from repro.tolerance.fraction_tolerance import FractionTolerance
+
+if TYPE_CHECKING:
+    from repro.server.server import Server
+
+
+class FractionToleranceRangeProtocol(FilterProtocol):
+    """The FT-NRP algorithm of Figure 7.
+
+    Parameters
+    ----------
+    query:
+        The standing range query.
+    tolerance:
+        Maximum false-positive / false-negative fractions (< 0.5 each).
+    selection:
+        Placement heuristic for the silencing filters (Fig. 14 compares
+        random vs boundary-nearest; the latter is the default).
+    reinitialize_when_exhausted:
+        When both silencer pools are spent the protocol degenerates to
+        ZT-NRP; the paper notes initialization "may be run again" to
+        re-exploit the tolerance.  Off by default (matches the figures);
+        the ablation bench turns it on.
+    """
+
+    name = "FT-NRP"
+
+    def __init__(
+        self,
+        query: RangeQuery,
+        tolerance: FractionTolerance,
+        selection: SelectionHeuristic | None = None,
+        reinitialize_when_exhausted: bool = False,
+    ) -> None:
+        self.query = query
+        self.tolerance = tolerance
+        self.selection = selection or BoundaryNearestSelection()
+        self.reinitialize_when_exhausted = reinitialize_when_exhausted
+        self._answer = AnswerSet()
+        self._count = 0
+        self._fp_pool: deque[int] = deque()  # silenced, believed inside
+        self._fn_pool: deque[int] = deque()  # silenced, believed outside
+        self.reinitializations = 0
+
+    # ------------------------------------------------------------------
+    # Initialization phase (Figure 7, top)
+    # ------------------------------------------------------------------
+    def initialize(self, server: "Server") -> None:
+        values = server.probe_all()
+        self._install(server, values)
+
+    def _install(self, server: "Server", values: dict[int, float]) -> None:
+        """Compute A, choose silencers, and deploy all filters."""
+        inside = {
+            stream_id: value
+            for stream_id, value in values.items()
+            if self.query.matches(value)
+        }
+        outside = {
+            stream_id: value
+            for stream_id, value in values.items()
+            if stream_id not in inside
+        }
+        self._answer.replace(inside)
+        self._count = 0
+
+        n_plus = min(self.tolerance.emax_plus(len(inside)), len(inside))
+        n_minus = min(self.tolerance.emax_minus(len(inside)), len(outside))
+        lower, upper = self.query.lower, self.query.upper
+        fp_ids = self.selection.select(inside, n_plus, lower, upper)
+        fn_ids = self.selection.select(outside, n_minus, lower, upper)
+        self._fp_pool = deque(fp_ids)
+        self._fn_pool = deque(fn_ids)
+
+        fp_set = set(fp_ids)
+        fn_set = set(fn_ids)
+        for stream_id in values:
+            if stream_id in fp_set:
+                server.deploy(stream_id, -math.inf, math.inf)
+            elif stream_id in fn_set:
+                server.deploy(stream_id, math.inf, math.inf)
+            else:
+                server.deploy(stream_id, lower, upper)
+        self._enforce_budgets(server)
+
+    # ------------------------------------------------------------------
+    # Maintenance phase (Figure 7, middle)
+    # ------------------------------------------------------------------
+    def on_update(
+        self, server: "Server", stream_id: int, value: float, time: float
+    ) -> None:
+        if self.query.matches(value):
+            # Case 1: a stream entered the range — the answer improves.
+            self._answer.add(stream_id)
+            self._count += 1
+        else:
+            # Case 2: a stream left the range.
+            self._answer.discard(stream_id)
+            if self._count > 0:
+                self._count -= 1
+            else:
+                self._fix_error(server)
+                if (
+                    self.reinitialize_when_exhausted
+                    and not self._fp_pool
+                    and not self._fn_pool
+                ):
+                    self.reinitializations += 1
+                    self._install(server, server.probe_all())
+                    return
+            # The answer shrank: the silencer budgets may no longer fit.
+            self._enforce_budgets(server)
+
+    # ------------------------------------------------------------------
+    # Fix_Error (Figure 7, bottom)
+    # ------------------------------------------------------------------
+    def _fix_error(self, server: "Server") -> None:
+        """Spend silenced streams to restore the F+/F- budgets."""
+        if self._fp_pool:
+            candidate = self._fp_pool.popleft()
+            value = server.probe(candidate)
+            if self.query.matches(value):
+                # True positive after all: pin it with the real range
+                # filter; budgets strictly improve (Section 5.1.1 case 1).
+                server.deploy(candidate, self.query.lower, self.query.upper)
+                return
+            # True negative: drop it from the answer.  It is now silenced
+            # and believed outside — i.e. a false-negative filter — so it
+            # joins that pool (see module docstring).
+            self._answer.discard(candidate)
+            self._fn_pool.append(candidate)
+        if self._fn_pool:
+            candidate = self._fn_pool.popleft()
+            value = server.probe(candidate)
+            if self.query.matches(value):
+                self._answer.add(candidate)
+            server.deploy(candidate, self.query.lower, self.query.upper)
+
+    # ------------------------------------------------------------------
+    # Budget enforcement (see module docstring, second deviation)
+    # ------------------------------------------------------------------
+    def _fp_budget_ok(self) -> bool:
+        return len(self._fp_pool) <= (
+            self.tolerance.eps_plus * len(self._answer) + 1e-9
+        )
+
+    def _fn_budget_ok(self) -> bool:
+        in_range_floor = len(self._answer) - len(self._fp_pool)
+        return len(self._fn_pool) * (1.0 - self.tolerance.eps_minus) <= (
+            self.tolerance.eps_minus * in_range_floor + 1e-9
+        )
+
+    def _enforce_budgets(self, server: "Server") -> None:
+        """Reclaim silencers while a worst-case fraction bound would fail."""
+        while self._fp_pool and not self._fp_budget_ok():
+            self._reclaim_fp(server)
+        while self._fn_pool and not self._fn_budget_ok():
+            candidate = self._fn_pool.popleft()
+            value = server.probe(candidate)
+            if self.query.matches(value):
+                self._answer.add(candidate)
+            server.deploy(candidate, self.query.lower, self.query.upper)
+
+    def _reclaim_fp(self, server: "Server") -> None:
+        candidate = self._fp_pool.popleft()
+        value = server.probe(candidate)
+        if not self.query.matches(value):
+            self._answer.discard(candidate)
+        server.deploy(candidate, self.query.lower, self.query.upper)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def answer(self) -> frozenset[int]:
+        return self._answer.snapshot()
+
+    @property
+    def count(self) -> int:
+        """The maintenance slack variable (Figure 7)."""
+        return self._count
+
+    @property
+    def n_plus(self) -> int:
+        """Remaining false-positive filters (paper's ``n+``)."""
+        return len(self._fp_pool)
+
+    @property
+    def n_minus(self) -> int:
+        """Remaining false-negative filters (paper's ``n-``)."""
+        return len(self._fn_pool)

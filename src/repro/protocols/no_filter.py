@@ -1,0 +1,76 @@
+"""The no-filter baseline.
+
+With no filters installed, every value change travels to the server
+(Section 3.1: "If no filter is installed at a stream, all updates from
+the stream are reported").  The server therefore always knows every true
+value and reports the exact answer; the cost is one maintenance message
+per update, which is the reference line labelled "no filter" in Figure 9.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.protocols.base import FilterProtocol
+from repro.queries.base import EntityQuery, NonRankBasedQuery
+
+if TYPE_CHECKING:
+    from repro.server.server import Server
+
+
+class NoFilterProtocol(FilterProtocol):
+    """Exact answering with zero filtering.
+
+    The answer set is recomputed lazily: range-query membership is
+    maintained incrementally, rank-based answers are evaluated from the
+    tracked value vector only when :attr:`answer` is read (the checker or
+    user asks; the hot update path stays O(1)).
+    """
+
+    name = "no-filter"
+
+    def __init__(self, query: EntityQuery) -> None:
+        self.query = query
+        self._values: np.ndarray | None = None
+        self._range_members: set[int] = set()
+        self._is_range = isinstance(query, NonRankBasedQuery)
+        self._rank_cache: frozenset[int] | None = None
+
+    def initialize(self, server: "Server") -> None:
+        # No filters are deployed; the server still needs a first snapshot
+        # of every value to answer before any update arrives.
+        values = server.probe_all()
+        self._values = np.empty(len(values), dtype=np.float64)
+        for stream_id, value in values.items():
+            self._values[stream_id] = value
+        if self._is_range:
+            assert isinstance(self.query, NonRankBasedQuery)
+            matches = self.query.matches_array(self._values)
+            self._range_members = set(int(i) for i in np.nonzero(matches)[0])
+        self._rank_cache = None
+
+    def on_update(
+        self, server: "Server", stream_id: int, value: float, time: float
+    ) -> None:
+        assert self._values is not None, "initialize() must run first"
+        self._values[stream_id] = value
+        if self._is_range:
+            assert isinstance(self.query, NonRankBasedQuery)
+            if self.query.matches(value):
+                self._range_members.add(stream_id)
+            else:
+                self._range_members.discard(stream_id)
+        else:
+            self._rank_cache = None
+
+    @property
+    def answer(self) -> frozenset[int]:
+        if self._values is None:
+            return frozenset()
+        if self._is_range:
+            return frozenset(self._range_members)
+        if self._rank_cache is None:
+            self._rank_cache = self.query.true_answer(self._values)
+        return self._rank_cache

@@ -1,0 +1,262 @@
+"""RTP: the rank-based tolerance protocol (Section 4, Figure 5).
+
+The server maintains a closed region ``R`` — an interval centred on the
+query point — positioned halfway between the ``(k+r)``-th and
+``(k+r+1)``-st closest objects.  Every stream's filter *is* ``R``, so the
+server learns exactly when an object enters or leaves ``R``.  Server-side
+state:
+
+* ``X(t)`` — the objects currently inside ``R`` (at most ``eps = k + r``);
+* ``A(t) ⊆ X(t)`` — the ``k`` objects reported to the user.
+
+Because every member of ``A`` is inside ``R`` and at most ``eps`` objects
+are inside ``R``, every member's true rank is at most ``eps`` — exactly
+Definition 1.
+
+Maintenance handles the three cases of Figure 5 and charges messages as:
+one update per violation, two messages per probe, one per constraint
+deployed (a broadcast of a new ``R`` costs ``n``).  This is why ``r = 0``
+can be *worse* than no filtering (Figure 9): every boundary crossing then
+forces a recompute-and-broadcast.
+
+Staleness: the expanding search of Case 2 (Step 4) deploys a new ``R``
+without probing every stream, so the server attaches its believed
+membership to each deployment; a source whose actual membership differs
+self-corrects with one update, which the server handles through the
+normal Case 1-3 routing.  See ``repro.streams.source``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.protocols.base import FilterProtocol
+from repro.queries.base import RankBasedQuery
+from repro.server.answers import AnswerSet
+from repro.tolerance.rank_tolerance import RankTolerance
+
+if TYPE_CHECKING:
+    from repro.server.server import Server
+
+
+class RankToleranceProtocol(FilterProtocol):
+    """The RTP algorithm of Figure 5.
+
+    Parameters
+    ----------
+    query:
+        A rank-based query (k-NN, top-k, or k-min).
+    tolerance:
+        The rank slack ``r``; ``tolerance.k`` must equal ``query.k``.
+    expand_search:
+        Whether Case 2 uses the Figure-5 Step-4 expanding search before
+        falling back to full re-initialization.  Disabling it (ablation)
+        makes every replacement-exhausted departure cost a full
+        probe-all + broadcast.
+    """
+
+    name = "RTP"
+
+    def __init__(
+        self,
+        query: RankBasedQuery,
+        tolerance: RankTolerance,
+        expand_search: bool = True,
+    ) -> None:
+        if tolerance.k != query.k:
+            raise ValueError(
+                f"tolerance k={tolerance.k} does not match query k={query.k}"
+            )
+        self.query = query
+        self.tolerance = tolerance
+        self.expand_search = expand_search
+        self._answer = AnswerSet()
+        self._x: set[int] = set()
+        # Latest value the server has seen per stream (fresh for probed /
+        # reporting streams, stale otherwise) — the "old ranking scores
+        # kept by the server" that Case 2's expanding search consults.
+        self._known: dict[int, float] = {}
+        self._region: tuple[float, float] | None = None
+        self.reinitializations = 0
+        self.expansions = 0
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @property
+    def eps(self) -> int:
+        """``eps_k^r = k + r``, the worst admissible rank."""
+        return self.tolerance.eps
+
+    def _distance(self, value: float) -> float:
+        return self.query.distance(value)
+
+    def _ranked_known(self) -> list[int]:
+        """Stream ids sorted by (distance of last-known value, id)."""
+        return sorted(
+            self._known, key=lambda i: (self._distance(self._known[i]), i)
+        )
+
+    def _in_region(self, value: float) -> bool:
+        assert self._region is not None
+        lower, upper = self._region
+        return lower <= value <= upper
+
+    # ------------------------------------------------------------------
+    # Initialization (Figure 5, top)
+    # ------------------------------------------------------------------
+    def initialize(self, server: "Server") -> None:
+        if server.n_streams <= self.eps:
+            raise ValueError(
+                f"RTP needs more than eps = {self.eps} streams "
+                f"(got {server.n_streams}): the bound R must separate the "
+                f"(k+r)-th and (k+r+1)-st ranked objects"
+            )
+        self._known = server.probe_all()
+        order = self._ranked_known()
+        self._answer.replace(order[: self.query.k])
+        self._x = set(order[: self.eps])
+        self._deploy_bound(server, fresh_ids=set(self._known))
+
+    def _deploy_bound(self, server: "Server", fresh_ids: set[int]) -> None:
+        """Deploy_bound(t): position R halfway past the eps-th object.
+
+        The halfway point is computed over the server's *known* values —
+        exact for streams in ``fresh_ids`` (probed this resolution), the
+        last report otherwise.  Deployments to non-fresh streams carry the
+        believed membership so stale sources self-correct.
+        """
+        order = self._ranked_known()
+        inside = [i for i in order if i in self._x]
+        outside = [i for i in order if i not in self._x]
+        if not inside or not outside:  # pragma: no cover - guarded at init
+            raise RuntimeError("R must separate a non-empty in/out split")
+        d_inside = self._distance(self._known[inside[-1]])
+        d_outside = self._distance(self._known[outside[0]])
+        # A stale outside value can appear closer than a fresh X member;
+        # R must nevertheless enclose all of X.  Clamping degenerates the
+        # halfway gap to zero in that rare case, and the stale stream
+        # self-corrects via its believed-membership flag if it truly sits
+        # inside the deployed bound.
+        threshold = (d_inside + max(d_outside, d_inside)) / 2.0
+        self._region = self.query.region(threshold)
+        lower, upper = self._region
+        for stream_id in server.stream_ids:
+            if stream_id in fresh_ids:
+                server.deploy(stream_id, lower, upper)
+            else:
+                server.deploy(
+                    stream_id,
+                    lower,
+                    upper,
+                    assumed_inside=stream_id in self._x,
+                )
+
+    # ------------------------------------------------------------------
+    # Maintenance (Figure 5, middle)
+    # ------------------------------------------------------------------
+    def on_update(
+        self, server: "Server", stream_id: int, value: float, time: float
+    ) -> None:
+        self._known[stream_id] = value
+        if self._region is None:  # pragma: no cover - defensive
+            raise RuntimeError("initialize() must run before updates")
+        entering = self._in_region(value)
+        if not entering:
+            if stream_id in self._answer:
+                self._case_leaves_answer(server, stream_id)
+            else:
+                # Case 1 — or a consistent self-correction from a stream
+                # that was never tracked; discarding is a no-op then.
+                self._x.discard(stream_id)
+        else:
+            if stream_id not in self._x:
+                self._case_enters(server, stream_id)
+            # else: already tracked inside R; nothing to maintain.
+
+    def _case_leaves_answer(self, server: "Server", stream_id: int) -> None:
+        """Case 2: an answer member left R."""
+        self._answer.discard(stream_id)
+        self._x.discard(stream_id)
+        replacements = self._x - set(self._answer)
+        if replacements:
+            # Step 3: promote the highest-ranked tracked non-answer object.
+            best = min(
+                replacements,
+                key=lambda i: (self._distance(self._known[i]), i),
+            )
+            self._answer.add(best)
+            return
+        # Step 4: X = A with only k-1 members left; expand the search
+        # region over the stale ranking until two candidates surface.
+        if self.expand_search and self._expand_search(server):
+            return
+        # Step 5: nothing found anywhere — start over.
+        self.reinitializations += 1
+        self.initialize(server)
+
+    def _expand_search(self, server: "Server") -> bool:
+        """Case 2 Step 4: probe outward by stale rank; True on success."""
+        self.expansions += 1
+        candidates = [
+            i for i in self._ranked_known() if i not in self._answer
+        ]
+        probed: dict[int, float] = {}
+        for candidate in candidates:
+            probed[candidate] = server.probe(candidate)
+            self._known[candidate] = probed[candidate]
+            # R' is bounded by the candidate's (now fresh) distance; U is
+            # every probed stream currently within R'.
+            radius = self._distance(probed[candidate])
+            u_set = {
+                i
+                for i, v in probed.items()
+                if self._distance(v) <= radius
+            }
+            if len(u_set) >= 2:
+                ranked_u = sorted(
+                    u_set, key=lambda i: (self._distance(probed[i]), i)
+                )
+                self._answer.add(ranked_u[0])
+                keep = ranked_u[: self.tolerance.r + 1]
+                self._x = set(self._answer) | set(keep)
+                self._deploy_bound(server, fresh_ids=set(probed))
+                return True
+        return False
+
+    def _case_enters(self, server: "Server", stream_id: int) -> None:
+        """Case 3: an untracked object entered R."""
+        if len(self._x) < self.eps:
+            # Step 6: room to spare — track it; R still holds <= eps.
+            self._x.add(stream_id)
+            return
+        # Step 7: R now holds eps + 1 objects — re-evaluate it from fresh
+        # values of the tracked set (everyone else is provably farther).
+        fresh = {stream_id: self._known[stream_id]}
+        for member in sorted(self._x):
+            fresh[member] = server.probe(member)
+            self._known[member] = fresh[member]
+        self._x.add(stream_id)
+        ranked = sorted(
+            self._x, key=lambda i: (self._distance(self._known[i]), i)
+        )
+        self._answer.replace(ranked[: self.query.k])
+        self._x = set(ranked[: self.eps])
+        self._deploy_bound(server, fresh_ids=set(fresh))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def answer(self) -> frozenset[int]:
+        return self._answer.snapshot()
+
+    @property
+    def tracked(self) -> frozenset[int]:
+        """The server's ``X(t)`` — objects believed inside ``R``."""
+        return frozenset(self._x)
+
+    @property
+    def region(self) -> tuple[float, float] | None:
+        """The currently deployed bound ``R`` (value-space interval)."""
+        return self._region

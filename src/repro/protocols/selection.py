@@ -1,0 +1,102 @@
+"""Heuristics for placing false-positive / false-negative filters.
+
+Section 6.2 (Figure 14) compares two placements of the silencing filters
+FT-NRP hands out during initialization:
+
+* **random** — candidates drawn uniformly;
+* **boundary-nearest** — candidates whose values lie closest to the query
+  range's boundary, i.e. the streams most likely to cross it soon.
+  Silencing exactly those streams absorbs the most would-be updates,
+  which is why the paper finds it dominates random selection.
+
+A heuristic returns candidates in *preference order*; protocols take the
+first ``count`` for silencing and also use the order when ``Fix_Error``
+needs "a stream with a false-positive filter".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+def boundary_distance(value: float, lower: float, upper: float) -> float:
+    """Distance from *value* to the nearest endpoint of ``[lower, upper]``."""
+    if lower <= value <= upper:
+        return min(value - lower, upper - value)
+    if value < lower:
+        return lower - value
+    return value - upper
+
+
+class SelectionHeuristic(ABC):
+    """Orders silencing-filter candidates by preference."""
+
+    #: Short name for results tables.
+    name: str = "abstract"
+
+    @abstractmethod
+    def order(
+        self,
+        candidates: dict[int, float],
+        lower: float,
+        upper: float,
+    ) -> list[int]:
+        """Return candidate ids, most-preferred first.
+
+        Parameters
+        ----------
+        candidates:
+            Mapping of stream id to its current value.
+        lower, upper:
+            The query range (or the k-NN bound ``R``) the filters guard.
+        """
+
+    def select(
+        self,
+        candidates: dict[int, float],
+        count: int,
+        lower: float,
+        upper: float,
+    ) -> list[int]:
+        """The *count* most-preferred candidates."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return self.order(candidates, lower, upper)[:count]
+
+
+class RandomSelection(SelectionHeuristic):
+    """Uniformly random preference order (seeded, hence reproducible)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def order(
+        self,
+        candidates: dict[int, float],
+        lower: float,
+        upper: float,
+    ) -> list[int]:
+        ids = sorted(candidates)
+        self._rng.shuffle(ids)
+        return [int(i) for i in ids]
+
+
+class BoundaryNearestSelection(SelectionHeuristic):
+    """Prefer streams whose values sit closest to the range boundary."""
+
+    name = "boundary-nearest"
+
+    def order(
+        self,
+        candidates: dict[int, float],
+        lower: float,
+        upper: float,
+    ) -> list[int]:
+        return sorted(
+            candidates,
+            key=lambda i: (boundary_distance(candidates[i], lower, upper), i),
+        )

@@ -1,0 +1,51 @@
+"""ZT-NRP: the zero-tolerance protocol for range queries (Section 5.1).
+
+Every stream's filter *is* the query range ``[l, u]``, so each filter
+evaluates the range predicate locally and reports exactly the membership
+flips.  The answer is always exact, and — unlike the no-filter baseline —
+value changes that do not cross the range boundary cost nothing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.protocols.base import FilterProtocol
+from repro.queries.range_query import RangeQuery
+from repro.server.answers import AnswerSet
+
+if TYPE_CHECKING:
+    from repro.server.server import Server
+
+
+class ZeroToleranceRangeProtocol(FilterProtocol):
+    """Deploy ``[l, u]`` everywhere; track membership flips."""
+
+    name = "ZT-NRP"
+
+    def __init__(self, query: RangeQuery) -> None:
+        self.query = query
+        self._answer = AnswerSet()
+
+    def initialize(self, server: "Server") -> None:
+        values = server.probe_all()
+        self._answer.replace(
+            stream_id
+            for stream_id, value in values.items()
+            if self.query.matches(value)
+        )
+        for stream_id in server.stream_ids:
+            # Knowledge is fresh (we just probed), so no belief is attached.
+            server.deploy(stream_id, self.query.lower, self.query.upper)
+
+    def on_update(
+        self, server: "Server", stream_id: int, value: float, time: float
+    ) -> None:
+        if self.query.matches(value):
+            self._answer.add(stream_id)
+        else:
+            self._answer.discard(stream_id)
+
+    @property
+    def answer(self) -> frozenset[int]:
+        return self._answer.snapshot()

@@ -1,0 +1,77 @@
+"""ZT-RP: zero-tolerance k-NN via the range view (Section 5.2.1).
+
+A k-NN query is viewed as a range query over the bound ``R`` that encloses
+the k-th nearest neighbour: while no object crosses ``R``, the k objects
+inside it remain the exact answer.  The protocol's weakness — and the
+reason FT-RP exists — is that *any* crossing invalidates ``R``: the server
+must re-collect every value, recompute ``R``, and announce it to every
+stream ("it is very sensitive to the situation when an object's value
+crosses R").  Each crossing therefore costs about ``3n`` messages.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.protocols.base import FilterProtocol
+from repro.queries.base import RankBasedQuery
+from repro.server.answers import AnswerSet
+
+if TYPE_CHECKING:
+    from repro.server.server import Server
+
+
+class ZeroToleranceKnnProtocol(FilterProtocol):
+    """Exact k-NN answering with a single shared bound ``R``."""
+
+    name = "ZT-RP"
+
+    def __init__(self, query: RankBasedQuery) -> None:
+        self.query = query
+        self._answer = AnswerSet()
+        self._known: dict[int, float] = {}
+        self._region: tuple[float, float] | None = None
+        self.recomputations = 0
+
+    def initialize(self, server: "Server") -> None:
+        if server.n_streams <= self.query.k:
+            raise ValueError(
+                f"ZT-RP needs more than k = {self.query.k} streams"
+            )
+        self._known = server.probe_all()
+        self._resolve(server)
+
+    def _resolve(self, server: "Server") -> None:
+        """Recompute R from fresh values and deploy it everywhere."""
+        order = sorted(
+            self._known,
+            key=lambda i: (self.query.distance(self._known[i]), i),
+        )
+        k = self.query.k
+        self._answer.replace(order[:k])
+        d_in = self.query.distance(self._known[order[k - 1]])
+        d_out = self.query.distance(self._known[order[k]])
+        threshold = (d_in + d_out) / 2.0
+        self._region = self.query.region(threshold)
+        lower, upper = self._region
+        for stream_id in server.stream_ids:
+            server.deploy(stream_id, lower, upper)
+
+    def on_update(
+        self, server: "Server", stream_id: int, value: float, time: float
+    ) -> None:
+        # Any crossing invalidates R: re-collect everything and start over.
+        self._known[stream_id] = value
+        self.recomputations += 1
+        others = [i for i in server.stream_ids if i != stream_id]
+        fresh = server.probe_all(others)
+        self._known.update(fresh)
+        self._resolve(server)
+
+    @property
+    def answer(self) -> frozenset[int]:
+        return self._answer.snapshot()
+
+    @property
+    def region(self) -> tuple[float, float] | None:
+        return self._region

@@ -1,0 +1,31 @@
+"""Entity-based query model (Section 3.2).
+
+Entity-based queries return *identifiers* of streams rather than numeric
+aggregates.  Two classes are distinguished:
+
+* **non-rank-based** — membership of a stream in the answer depends only
+  on its own value: :class:`~repro.queries.range_query.RangeQuery`;
+* **rank-based** — membership depends on a partial order over all stream
+  values: :class:`~repro.queries.knn.KnnQuery` and its ``q = ±inf``
+  transforms :class:`~repro.queries.knn.TopKQuery` (k-maximum) and
+  :class:`~repro.queries.knn.KMinQuery` (k-minimum).
+"""
+
+from repro.queries.base import EntityQuery, NonRankBasedQuery, RankBasedQuery
+from repro.queries.knn import KMinQuery, KnnQuery, TopKQuery
+from repro.queries.range_query import RangeQuery
+from repro.queries.rank import rank_of, ranked_ids, top_ranked, true_knn_answer
+
+__all__ = [
+    "EntityQuery",
+    "KMinQuery",
+    "KnnQuery",
+    "NonRankBasedQuery",
+    "RangeQuery",
+    "RankBasedQuery",
+    "TopKQuery",
+    "rank_of",
+    "ranked_ids",
+    "top_ranked",
+    "true_knn_answer",
+]

@@ -1,0 +1,71 @@
+"""Rank functions over the current value vector.
+
+``rank(S_i, t)`` (Section 3.3) is the 1-based position of stream ``S_i``
+in the total order induced by the query's distance, with ties broken by
+stream id so that the order — and hence every protocol decision and
+correctness check — is deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.queries.base import RankBasedQuery
+
+
+def ranked_ids(query: RankBasedQuery, values: np.ndarray) -> np.ndarray:
+    """Stream ids sorted best-first under *query*'s distance.
+
+    Ties in distance are broken by ascending stream id (lexicographic sort
+    on ``(distance, id)``), matching the convention used throughout the
+    library.
+    """
+    distances = query.distance_array(np.asarray(values, dtype=np.float64))
+    # np.argsort with kind="stable" on distances breaks ties by index,
+    # which *is* ascending stream id.
+    return np.argsort(distances, kind="stable")
+
+
+def rank_of(query: RankBasedQuery, stream_id: int, values: np.ndarray) -> int:
+    """1-based rank of *stream_id* under *query* (1 = best).
+
+    A stream's rank is one plus the number of streams that beat it, where
+    "beats" means strictly smaller distance, or equal distance and smaller
+    id.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if not 0 <= stream_id < len(values):
+        raise IndexError(f"stream id {stream_id} out of range")
+    distances = query.distance_array(values)
+    mine = distances[stream_id]
+    closer = int(np.count_nonzero(distances < mine))
+    tied_before = int(np.count_nonzero(distances[:stream_id] == mine))
+    return closer + tied_before + 1
+
+
+def true_knn_answer(query: RankBasedQuery, values: np.ndarray) -> frozenset[int]:
+    """The exact k-best answer set under *query* (deterministic ties)."""
+    values = np.asarray(values, dtype=np.float64)
+    k = query.k
+    if k >= len(values):
+        return frozenset(range(len(values)))
+    distances = query.distance_array(values)
+    # argpartition gets the k smallest in O(n); resolve ties by id among
+    # candidates sharing the threshold distance.
+    candidate_idx = np.argpartition(distances, k - 1)[:k]
+    threshold = distances[candidate_idx].max()
+    strictly_better = np.nonzero(distances < threshold)[0]
+    tied = np.nonzero(distances == threshold)[0]
+    need = k - len(strictly_better)
+    chosen_ties = np.sort(tied)[:need]
+    return frozenset(int(i) for i in strictly_better) | frozenset(
+        int(i) for i in chosen_ties
+    )
+
+
+def top_ranked(
+    query: RankBasedQuery, values: np.ndarray, count: int
+) -> list[int]:
+    """The *count* best stream ids, best-first (deterministic ties)."""
+    order = ranked_ids(query, values)
+    return [int(i) for i in order[:count]]

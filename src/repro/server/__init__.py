@@ -1,0 +1,13 @@
+"""The central stream processor (Figure 3).
+
+The :class:`~repro.server.server.Server` couples the *query processing
+unit* and the *constraint assignment unit*: it receives source messages
+from the channel, hands updates to the installed protocol, and exposes the
+control-plane operations (probe, deploy, broadcast) protocols use to
+resolve constraints.
+"""
+
+from repro.server.answers import AnswerSet
+from repro.server.server import Server
+
+__all__ = ["AnswerSet", "Server"]

@@ -1,0 +1,49 @@
+"""Server-side answer-set bookkeeping.
+
+A thin mutable wrapper over the current answer ``A(t)`` with the
+access patterns protocols need: membership updates, snapshots for the
+user, and size tracking for FT-RP's answer-size bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class AnswerSet:
+    """The identifiers currently reported to the user as the answer."""
+
+    def __init__(self, initial: Iterable[int] = ()) -> None:
+        self._members: set[int] = set(int(i) for i in initial)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._members)
+
+    def __contains__(self, stream_id: int) -> bool:
+        return stream_id in self._members
+
+    def add(self, stream_id: int) -> None:
+        self._members.add(int(stream_id))
+
+    def discard(self, stream_id: int) -> None:
+        self._members.discard(stream_id)
+
+    def remove(self, stream_id: int) -> None:
+        self._members.remove(stream_id)
+
+    def replace(self, members: Iterable[int]) -> None:
+        """Atomically swap in a new answer set."""
+        self._members = set(int(i) for i in members)
+
+    def snapshot(self) -> frozenset[int]:
+        """Immutable copy for the user / the correctness checker."""
+        return frozenset(self._members)
+
+    def clear(self) -> None:
+        self._members.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"AnswerSet({sorted(self._members)})"

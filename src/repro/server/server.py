@@ -1,0 +1,175 @@
+"""The central server: message dispatch plus the control-plane API.
+
+Protocols never talk to the channel directly; they receive
+``on_update(server, ...)`` callbacks and use the server's control-plane
+methods (:meth:`Server.probe`, :meth:`Server.deploy`,
+:meth:`Server.broadcast`), which keeps message accounting in one place.
+
+Re-entrancy: deploying a constraint whose ``assumed_inside`` belief turns
+out stale makes the source report *immediately*, i.e. while the protocol
+is still inside a maintenance step.  Such updates are queued and drained
+after the protocol finishes the current step, so a protocol's handler is
+never re-entered.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.network.channel import Channel
+from repro.network.messages import (
+    ConstraintMessage,
+    Message,
+    MessageKind,
+    ProbeReplyMessage,
+    ProbeRequestMessage,
+    UpdateMessage,
+)
+from repro.protocols.base import FilterProtocol
+
+
+class Server:
+    """Query-processing + constraint-assignment units of Figure 3."""
+
+    def __init__(self, channel: Channel, protocol: FilterProtocol) -> None:
+        self.channel = channel
+        self.protocol = protocol
+        self._now = 0.0
+        self._probe_reply: ProbeReplyMessage | None = None
+        self._awaiting_probe = False
+        self._busy = False
+        self._pending_updates: deque[UpdateMessage] = deque()
+        channel.bind_server(self._handle_message)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Virtual time of the most recent activity."""
+        return self._now
+
+    @property
+    def stream_ids(self) -> list[int]:
+        """All source identifiers known to the channel."""
+        return self.channel.source_ids
+
+    @property
+    def n_streams(self) -> int:
+        return len(self.channel.source_ids)
+
+    def initialize(self, time: float = 0.0) -> None:
+        """Run the protocol's initialization phase at virtual *time*."""
+        self._now = time
+        self._busy = True
+        try:
+            self.protocol.initialize(self)
+        finally:
+            self._busy = False
+        self._drain_pending()
+
+    # ------------------------------------------------------------------
+    # Control-plane API used by protocols
+    # ------------------------------------------------------------------
+    def probe(self, stream_id: int) -> float:
+        """Request and return the current value of one source.
+
+        Costs one ``PROBE_REQUEST`` plus one ``PROBE_REPLY`` message; the
+        reply also refreshes the source's report-state, so the server's
+        knowledge of that stream is exact afterwards.
+        """
+        self._awaiting_probe = True
+        self._probe_reply = None
+        self.channel.send_to_source(
+            ProbeRequestMessage(stream_id=stream_id, time=self._now)
+        )
+        self._awaiting_probe = False
+        if self._probe_reply is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"source {stream_id} did not reply to probe")
+        return self._probe_reply.value
+
+    def probe_all(self, stream_ids: list[int] | None = None) -> dict[int, float]:
+        """Probe several (default: all) sources; returns id -> value."""
+        targets = self.channel.source_ids if stream_ids is None else stream_ids
+        return {stream_id: self.probe(stream_id) for stream_id in targets}
+
+    def deploy(
+        self,
+        stream_id: int,
+        lower: float,
+        upper: float,
+        assumed_inside: bool | None = None,
+    ) -> None:
+        """Install ``[lower, upper]`` at one source (one message).
+
+        ``assumed_inside=None`` asserts the server's knowledge of the
+        source's value is fresh; otherwise the source self-corrects with
+        an immediate update if the belief is stale.
+        """
+        self.channel.send_to_source(
+            ConstraintMessage(
+                stream_id=stream_id,
+                time=self._now,
+                lower=lower,
+                upper=upper,
+                assumed_inside=assumed_inside,
+            )
+        )
+
+    def broadcast(
+        self,
+        lower: float,
+        upper: float,
+        assumed_inside: dict[int, bool] | None = None,
+    ) -> None:
+        """Install ``[lower, upper]`` at every source (``n`` messages).
+
+        *assumed_inside* maps stream id to the server's belief; ids absent
+        from the map are deployed with fresh-knowledge semantics.
+        """
+        for stream_id in self.channel.source_ids:
+            belief = None
+            if assumed_inside is not None:
+                belief = assumed_inside.get(stream_id)
+            self.deploy(stream_id, lower, upper, assumed_inside=belief)
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def _handle_message(self, message: Message) -> None:
+        if message.kind is MessageKind.PROBE_REPLY:
+            if not self._awaiting_probe:  # pragma: no cover - defensive
+                raise RuntimeError("unsolicited probe reply")
+            assert isinstance(message, ProbeReplyMessage)
+            self._probe_reply = message
+            return
+        if message.kind is MessageKind.UPDATE:
+            assert isinstance(message, UpdateMessage)
+            self._now = max(self._now, message.time)
+            if self._busy:
+                # Self-correction triggered mid-resolution: defer.
+                self._pending_updates.append(message)
+                return
+            self._busy = True
+            try:
+                self.protocol.on_update(
+                    self, message.stream_id, message.value, message.time
+                )
+            finally:
+                self._busy = False
+            self._drain_pending()
+            return
+        raise RuntimeError(  # pragma: no cover - defensive
+            f"server received unexpected {message.kind}"
+        )
+
+    def _drain_pending(self) -> None:
+        while self._pending_updates:
+            message = self._pending_updates.popleft()
+            self._busy = True
+            try:
+                self.protocol.on_update(
+                    self, message.stream_id, message.value, message.time
+                )
+            finally:
+                self._busy = False

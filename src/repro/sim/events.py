@@ -1,0 +1,100 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` couples a firing time with a zero-argument callback.
+Events with equal firing times fire in the order they were scheduled
+(FIFO tie-breaking via a monotonically increasing sequence number), which
+keeps simulations fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class SimulationError(Exception):
+    """Raised when the simulation kernel is used incorrectly."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback in virtual time.
+
+    Attributes
+    ----------
+    time:
+        Virtual firing time.
+    seq:
+        Monotonic sequence number used for FIFO tie-breaking; assigned by
+        the :class:`EventQueue`.
+    action:
+        Zero-argument callable invoked when the event fires.
+    label:
+        Optional human-readable tag, useful in tests and debugging.
+    cancelled:
+        Lazily-deleted flag: cancelled events stay in the heap but are
+        skipped when popped.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so it is skipped when it reaches the heap top."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects.
+
+    Cancellation is lazy: :meth:`Event.cancel` flips a flag and the event is
+    discarded when popped, so cancellation is O(1) and pops remain
+    O(log n) amortized.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not event.cancelled for event in self._heap)
+
+    def push(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule *action* at virtual time *time* and return the event."""
+        event = Event(time=time, seq=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises
+        ------
+        SimulationError
+            If the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        raise SimulationError("pop from an empty event queue")
+
+    def peek_time(self) -> float | None:
+        """Return the firing time of the earliest live event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()

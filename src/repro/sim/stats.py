@@ -1,0 +1,140 @@
+"""Run-time statistics: counters, tallies, and time-weighted averages.
+
+These mirror the statistics facilities of CSIM (``counters``, ``tables`` and
+``qtables``) that the paper's harness would have used to report message
+counts and answer-set sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class Counter:
+    """A monotonically non-decreasing event counter."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def increment(self, by: int = 1) -> None:
+        if by < 0:
+            raise ValueError("Counter can only move forward")
+        self._count += by
+
+    def reset(self) -> None:
+        self._count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Counter({self.name!r}, count={self._count})"
+
+
+@dataclass
+class TallySummary:
+    """Frozen summary of a :class:`Tally`."""
+
+    count: int
+    mean: float
+    variance: float
+    minimum: float
+    maximum: float
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class Tally:
+    """Streaming moments of an observed quantity (Welford's algorithm)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def minimum(self) -> float:
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        return self._max
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator); zero for fewer than 2 samples."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    def record(self, value: float) -> None:
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def summary(self) -> TallySummary:
+        return TallySummary(
+            count=self._count,
+            mean=self._mean,
+            variance=self.variance,
+            minimum=self._min,
+            maximum=self._max,
+        )
+
+    def reset(self) -> None:
+        self.__init__(self.name)
+
+
+@dataclass
+class TimeWeightedStat:
+    """Time-weighted average of a piecewise-constant quantity.
+
+    Record a new level whenever the quantity changes; the mean weights each
+    level by how long it was held.  Used e.g. for the average answer-set
+    size |A(t)| over a run.
+    """
+
+    name: str = ""
+    _last_time: float = field(default=0.0, repr=False)
+    _last_value: float = field(default=0.0, repr=False)
+    _weighted_sum: float = field(default=0.0, repr=False)
+    _started: bool = field(default=False, repr=False)
+    _start_time: float = field(default=0.0, repr=False)
+
+    def record(self, time: float, value: float) -> None:
+        """Register that the quantity takes *value* from *time* onward."""
+        if not self._started:
+            self._started = True
+            self._start_time = time
+        else:
+            if time < self._last_time:
+                raise ValueError("time moved backwards")
+            self._weighted_sum += self._last_value * (time - self._last_time)
+        self._last_time = time
+        self._last_value = value
+
+    def mean(self, now: float) -> float:
+        """Time-weighted mean over [first record, *now*]."""
+        if not self._started or now <= self._start_time:
+            return 0.0
+        total = self._weighted_sum + self._last_value * (now - self._last_time)
+        return total / (now - self._start_time)

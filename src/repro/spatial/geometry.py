@@ -1,0 +1,156 @@
+"""Regions: the multi-dimensional generalization of filter intervals.
+
+A 1-D filter constraint ``[l, u]`` generalizes to a *region*; the
+violation semantics — report iff membership flips — carry over verbatim.
+Two degenerate regions generalize the shut-down filters: ``ALL_SPACE``
+(everything inside; the false-positive silencer) and ``EMPTY_REGION``
+(nothing inside; the false-negative silencer).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+def as_point(value) -> np.ndarray:
+    """Coerce to a 1-D float vector."""
+    point = np.asarray(value, dtype=np.float64)
+    if point.ndim != 1:
+        raise ValueError(f"a point must be a 1-D vector, got shape {point.shape}")
+    return point
+
+
+class Region(ABC):
+    """An arbitrary-dimension filter region."""
+
+    @abstractmethod
+    def contains(self, point: np.ndarray) -> bool:
+        """Closed-region membership of *point*."""
+
+    @abstractmethod
+    def boundary_distance(self, point: np.ndarray) -> float:
+        """Distance from *point* to the region's boundary (>= 0).
+
+        Small means "likely to cross soon" — the quantity the
+        boundary-nearest silencer heuristic orders by.
+        """
+
+    @property
+    def is_silencing(self) -> bool:
+        """Whether membership can never flip for finite data."""
+        return False
+
+    def violated_by(self, last_reported: np.ndarray, current: np.ndarray) -> bool:
+        """The Section 3.1 rule: membership of the two points differs."""
+        return self.contains(last_reported) != self.contains(current)
+
+
+class BoxRegion(Region):
+    """An axis-aligned closed box ``[lows_i, highs_i]`` per dimension."""
+
+    def __init__(self, lows, highs) -> None:
+        self.lows = as_point(lows)
+        self.highs = as_point(highs)
+        if self.lows.shape != self.highs.shape:
+            raise ValueError("lows and highs must share a dimension")
+        if np.any(self.lows > self.highs):
+            raise ValueError("every low must be <= its high")
+
+    @property
+    def dimension(self) -> int:
+        return len(self.lows)
+
+    def contains(self, point: np.ndarray) -> bool:
+        point = np.asarray(point, dtype=np.float64)
+        return bool(np.all(point >= self.lows) and np.all(point <= self.highs))
+
+    def contains_many(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized membership for an ``(n, d)`` array of points."""
+        points = np.asarray(points, dtype=np.float64)
+        return np.all(points >= self.lows, axis=1) & np.all(
+            points <= self.highs, axis=1
+        )
+
+    def boundary_distance(self, point: np.ndarray) -> float:
+        point = np.asarray(point, dtype=np.float64)
+        if self.contains(point):
+            # Nearest face: min slack over all dimensions.
+            return float(
+                np.min(np.minimum(point - self.lows, self.highs - point))
+            )
+        # Outside: Euclidean distance to the box.
+        clamped = np.clip(point, self.lows, self.highs)
+        return float(np.linalg.norm(point - clamped))
+
+    def __repr__(self) -> str:
+        return f"BoxRegion({self.lows.tolist()}, {self.highs.tolist()})"
+
+
+class BallRegion(Region):
+    """A closed Euclidean ball — the k-NN bound ``R`` in d dimensions."""
+
+    def __init__(self, center, radius: float) -> None:
+        self.center = as_point(center)
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        self.radius = float(radius)
+
+    @property
+    def dimension(self) -> int:
+        return len(self.center)
+
+    def contains(self, point: np.ndarray) -> bool:
+        point = np.asarray(point, dtype=np.float64)
+        return bool(np.linalg.norm(point - self.center) <= self.radius)
+
+    def contains_many(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=np.float64)
+        return np.linalg.norm(points - self.center, axis=1) <= self.radius
+
+    def boundary_distance(self, point: np.ndarray) -> float:
+        point = np.asarray(point, dtype=np.float64)
+        return abs(float(np.linalg.norm(point - self.center)) - self.radius)
+
+    def __repr__(self) -> str:
+        return f"BallRegion(center={self.center.tolist()}, radius={self.radius})"
+
+
+class _AllSpace(Region):
+    """Everything is inside: the false-positive silencer region."""
+
+    def contains(self, point: np.ndarray) -> bool:
+        return True
+
+    def boundary_distance(self, point: np.ndarray) -> float:
+        return math.inf
+
+    @property
+    def is_silencing(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "ALL_SPACE"
+
+
+class _EmptyRegion(Region):
+    """Nothing is inside: the false-negative silencer region."""
+
+    def contains(self, point: np.ndarray) -> bool:
+        return False
+
+    def boundary_distance(self, point: np.ndarray) -> float:
+        return math.inf
+
+    @property
+    def is_silencing(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "EMPTY_REGION"
+
+
+ALL_SPACE = _AllSpace()
+EMPTY_REGION = _EmptyRegion()

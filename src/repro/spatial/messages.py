@@ -1,0 +1,62 @@
+"""Vector-valued message types.
+
+Mirrors :mod:`repro.network.messages` with payloads generalized to
+points and regions; the same :class:`~repro.network.messages.MessageKind`
+taxonomy (and hence the same ledger accounting) applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.messages import Message, MessageKind
+from repro.spatial.geometry import Region
+
+
+@dataclass(frozen=True)
+class PointUpdateMessage(Message):
+    """Source-to-server report of a vector value."""
+
+    point: np.ndarray = field(default_factory=lambda: np.zeros(1))
+
+    @property
+    def kind(self) -> MessageKind:
+        return MessageKind.UPDATE
+
+
+@dataclass(frozen=True)
+class PointProbeRequestMessage(Message):
+    """Server-to-source request for the current point."""
+
+    @property
+    def kind(self) -> MessageKind:
+        return MessageKind.PROBE_REQUEST
+
+
+@dataclass(frozen=True)
+class PointProbeReplyMessage(Message):
+    """Source-to-server probe reply carrying the current point."""
+
+    point: np.ndarray = field(default_factory=lambda: np.zeros(1))
+
+    @property
+    def kind(self) -> MessageKind:
+        return MessageKind.PROBE_REPLY
+
+
+@dataclass(frozen=True)
+class RegionConstraintMessage(Message):
+    """Server-to-source deployment of a region filter.
+
+    ``assumed_inside`` carries the server's membership belief exactly as
+    in the 1-D :class:`~repro.network.messages.ConstraintMessage`.
+    """
+
+    region: Region = None  # type: ignore[assignment]
+    assumed_inside: bool | None = None
+
+    @property
+    def kind(self) -> MessageKind:
+        return MessageKind.CONSTRAINT

@@ -1,0 +1,568 @@
+"""Spatial (multi-dimensional) counterparts of the paper's protocols.
+
+Each class re-derives its 1-D sibling over regions:
+
+* interval ``[l, u]``            ->  :class:`~repro.spatial.geometry.BoxRegion`
+* k-NN bound ``R = [q-d, q+d]``  ->  :class:`~repro.spatial.geometry.BallRegion`
+* ``[-inf, +inf]`` silencer      ->  ``ALL_SPACE``
+* ``[+inf, +inf]`` silencer      ->  ``EMPTY_REGION``
+
+All correctness arguments carry over: they rest only on closed-region
+membership and the (distance, id) total order, neither of which is
+one-dimensional.  The FT-RP size-trigger tightening (see
+``repro.protocols.ft_rp``) is applied here too.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.spatial.geometry import ALL_SPACE, EMPTY_REGION, Region
+from repro.spatial.queries import SpatialKnnQuery, SpatialRangeQuery
+from repro.tolerance.fraction_tolerance import FractionTolerance
+from repro.tolerance.knn_fraction import RhoPolicy, answer_size_bounds, derive_rho
+from repro.tolerance.rank_tolerance import RankTolerance
+
+if TYPE_CHECKING:
+    from repro.spatial.server import SpatialServer
+
+
+class SpatialProtocol(ABC):
+    """Interface of all spatial protocols."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def initialize(self, server: "SpatialServer") -> None:
+        """Initialization phase."""
+
+    @abstractmethod
+    def on_update(
+        self, server: "SpatialServer", stream_id: int, point: np.ndarray, time: float
+    ) -> None:
+        """Maintenance phase."""
+
+    @property
+    @abstractmethod
+    def answer(self) -> frozenset[int]:
+        """The current answer set ``A(t)``."""
+
+
+class SpatialNoFilterProtocol(SpatialProtocol):
+    """Baseline: every movement is reported; answers are exact."""
+
+    name = "no-filter-2d"
+
+    def __init__(self, query: SpatialRangeQuery | SpatialKnnQuery) -> None:
+        self.query = query
+        self._points: np.ndarray | None = None
+
+    def initialize(self, server: "SpatialServer") -> None:
+        values = server.probe_all()
+        dimension = len(next(iter(values.values())))
+        self._points = np.zeros((len(values), dimension))
+        for stream_id, point in values.items():
+            self._points[stream_id] = point
+
+    def on_update(self, server, stream_id, point, time) -> None:
+        assert self._points is not None
+        self._points[stream_id] = point
+
+    @property
+    def answer(self) -> frozenset[int]:
+        if self._points is None:
+            return frozenset()
+        return self.query.true_answer(self._points)
+
+
+class SpatialZeroRangeProtocol(SpatialProtocol):
+    """ZT-NRP in d dimensions: deploy the query box everywhere."""
+
+    name = "ZT-NRP-2d"
+
+    def __init__(self, query: SpatialRangeQuery) -> None:
+        self.query = query
+        self._answer: set[int] = set()
+
+    def initialize(self, server: "SpatialServer") -> None:
+        values = server.probe_all()
+        self._answer = {
+            stream_id
+            for stream_id, point in values.items()
+            if self.query.matches(point)
+        }
+        for stream_id in server.stream_ids:
+            server.deploy(stream_id, self.query.box)
+
+    def on_update(self, server, stream_id, point, time) -> None:
+        if self.query.matches(point):
+            self._answer.add(stream_id)
+        else:
+            self._answer.discard(stream_id)
+
+    @property
+    def answer(self) -> frozenset[int]:
+        return frozenset(self._answer)
+
+
+class SpatialFractionRangeProtocol(SpatialProtocol):
+    """FT-NRP in d dimensions (Figure 7 over a box).
+
+    Silencer placement always uses the boundary-nearest ordering (its 1-D
+    superiority, Figure 14, only sharpens in higher dimensions where the
+    box boundary is larger).
+    """
+
+    name = "FT-NRP-2d"
+
+    def __init__(
+        self, query: SpatialRangeQuery, tolerance: FractionTolerance
+    ) -> None:
+        self.query = query
+        self.tolerance = tolerance
+        self._answer: set[int] = set()
+        self._count = 0
+        self._fp_pool: deque[int] = deque()
+        self._fn_pool: deque[int] = deque()
+
+    def initialize(self, server: "SpatialServer") -> None:
+        values = server.probe_all()
+        inside = {
+            stream_id: point
+            for stream_id, point in values.items()
+            if self.query.matches(point)
+        }
+        outside = {
+            stream_id: point
+            for stream_id, point in values.items()
+            if stream_id not in inside
+        }
+        self._answer = set(inside)
+        self._count = 0
+
+        n_plus = min(self.tolerance.emax_plus(len(inside)), len(inside))
+        n_minus = min(self.tolerance.emax_minus(len(inside)), len(outside))
+        fp_ids = self._nearest_boundary(inside, n_plus)
+        fn_ids = self._nearest_boundary(outside, n_minus)
+        self._fp_pool = deque(fp_ids)
+        self._fn_pool = deque(fn_ids)
+
+        fp_set, fn_set = set(fp_ids), set(fn_ids)
+        for stream_id in values:
+            if stream_id in fp_set:
+                server.deploy(stream_id, ALL_SPACE)
+            elif stream_id in fn_set:
+                server.deploy(stream_id, EMPTY_REGION)
+            else:
+                server.deploy(stream_id, self.query.box)
+        self._enforce_budgets(server)
+
+    def _nearest_boundary(self, candidates: dict, count: int) -> list[int]:
+        ordered = sorted(
+            candidates,
+            key=lambda i: (self.query.boundary_distance(candidates[i]), i),
+        )
+        return ordered[:count]
+
+    def on_update(self, server, stream_id, point, time) -> None:
+        if self.query.matches(point):
+            self._answer.add(stream_id)
+            self._count += 1
+        else:
+            self._answer.discard(stream_id)
+            if self._count > 0:
+                self._count -= 1
+            else:
+                self._fix_error(server)
+            # Shrinking answers re-tighten the silencer budgets; see
+            # repro.protocols.ft_nrp (second deviation).
+            self._enforce_budgets(server)
+
+    def _fix_error(self, server: "SpatialServer") -> None:
+        if self._fp_pool:
+            candidate = self._fp_pool.popleft()
+            point = server.probe(candidate)
+            if self.query.matches(point):
+                server.deploy(candidate, self.query.box)
+                return
+            self._answer.discard(candidate)
+            self._fn_pool.append(candidate)
+        if self._fn_pool:
+            candidate = self._fn_pool.popleft()
+            point = server.probe(candidate)
+            if self.query.matches(point):
+                self._answer.add(candidate)
+            server.deploy(candidate, self.query.box)
+
+    def _fp_budget_ok(self) -> bool:
+        return len(self._fp_pool) <= (
+            self.tolerance.eps_plus * len(self._answer) + 1e-9
+        )
+
+    def _fn_budget_ok(self) -> bool:
+        in_range_floor = len(self._answer) - len(self._fp_pool)
+        return len(self._fn_pool) * (1.0 - self.tolerance.eps_minus) <= (
+            self.tolerance.eps_minus * in_range_floor + 1e-9
+        )
+
+    def _enforce_budgets(self, server: "SpatialServer") -> None:
+        while self._fp_pool and not self._fp_budget_ok():
+            candidate = self._fp_pool.popleft()
+            point = server.probe(candidate)
+            if not self.query.matches(point):
+                self._answer.discard(candidate)
+            server.deploy(candidate, self.query.box)
+        while self._fn_pool and not self._fn_budget_ok():
+            candidate = self._fn_pool.popleft()
+            point = server.probe(candidate)
+            if self.query.matches(point):
+                self._answer.add(candidate)
+            server.deploy(candidate, self.query.box)
+
+    @property
+    def answer(self) -> frozenset[int]:
+        return frozenset(self._answer)
+
+    @property
+    def n_plus(self) -> int:
+        return len(self._fp_pool)
+
+    @property
+    def n_minus(self) -> int:
+        return len(self._fn_pool)
+
+
+class SpatialRankToleranceProtocol(SpatialProtocol):
+    """RTP in d dimensions: the bound ``R`` is a ball around ``q``."""
+
+    name = "RTP-2d"
+
+    def __init__(
+        self, query: SpatialKnnQuery, tolerance: RankTolerance
+    ) -> None:
+        if tolerance.k != query.k:
+            raise ValueError(
+                f"tolerance k={tolerance.k} does not match query k={query.k}"
+            )
+        self.query = query
+        self.tolerance = tolerance
+        self._answer: set[int] = set()
+        self._x: set[int] = set()
+        self._known: dict[int, np.ndarray] = {}
+        self._region: Region | None = None
+        self.reinitializations = 0
+        self.expansions = 0
+
+    @property
+    def eps(self) -> int:
+        return self.tolerance.eps
+
+    def _distance(self, point: np.ndarray) -> float:
+        return self.query.distance(point)
+
+    def _ranked_known(self) -> list[int]:
+        return sorted(
+            self._known, key=lambda i: (self._distance(self._known[i]), i)
+        )
+
+    def initialize(self, server: "SpatialServer") -> None:
+        if server.n_streams <= self.eps:
+            raise ValueError(
+                f"RTP needs more than eps = {self.eps} streams"
+            )
+        self._known = server.probe_all()
+        order = self._ranked_known()
+        self._answer = set(order[: self.query.k])
+        self._x = set(order[: self.eps])
+        self._deploy_bound(server, fresh_ids=set(self._known))
+
+    def _deploy_bound(self, server: "SpatialServer", fresh_ids: set[int]) -> None:
+        order = self._ranked_known()
+        inside = [i for i in order if i in self._x]
+        outside = [i for i in order if i not in self._x]
+        d_inside = self._distance(self._known[inside[-1]])
+        d_outside = self._distance(self._known[outside[0]])
+        threshold = (d_inside + max(d_outside, d_inside)) / 2.0
+        self._region = self.query.region(threshold)
+        for stream_id in server.stream_ids:
+            if stream_id in fresh_ids:
+                server.deploy(stream_id, self._region)
+            else:
+                server.deploy(
+                    stream_id,
+                    self._region,
+                    assumed_inside=stream_id in self._x,
+                )
+
+    def on_update(self, server, stream_id, point, time) -> None:
+        self._known[stream_id] = np.asarray(point, dtype=np.float64)
+        assert self._region is not None
+        if not self._region.contains(point):
+            if stream_id in self._answer:
+                self._case_leaves_answer(server, stream_id)
+            else:
+                self._x.discard(stream_id)
+        else:
+            if stream_id not in self._x:
+                self._case_enters(server, stream_id)
+
+    def _case_leaves_answer(self, server, stream_id) -> None:
+        self._answer.discard(stream_id)
+        self._x.discard(stream_id)
+        replacements = self._x - self._answer
+        if replacements:
+            best = min(
+                replacements,
+                key=lambda i: (self._distance(self._known[i]), i),
+            )
+            self._answer.add(best)
+            return
+        if self._expand_search(server):
+            return
+        self.reinitializations += 1
+        self.initialize(server)
+
+    def _expand_search(self, server) -> bool:
+        self.expansions += 1
+        candidates = [i for i in self._ranked_known() if i not in self._answer]
+        probed: dict[int, np.ndarray] = {}
+        for candidate in candidates:
+            probed[candidate] = server.probe(candidate)
+            self._known[candidate] = probed[candidate]
+            radius = self._distance(probed[candidate])
+            u_set = {
+                i for i, p in probed.items() if self._distance(p) <= radius
+            }
+            if len(u_set) >= 2:
+                ranked_u = sorted(
+                    u_set, key=lambda i: (self._distance(probed[i]), i)
+                )
+                self._answer.add(ranked_u[0])
+                keep = ranked_u[: self.tolerance.r + 1]
+                self._x = set(self._answer) | set(keep)
+                self._deploy_bound(server, fresh_ids=set(probed))
+                return True
+        return False
+
+    def _case_enters(self, server, stream_id) -> None:
+        if len(self._x) < self.eps:
+            self._x.add(stream_id)
+            return
+        fresh = {stream_id: self._known[stream_id]}
+        for member in sorted(self._x):
+            fresh[member] = server.probe(member)
+            self._known[member] = fresh[member]
+        self._x.add(stream_id)
+        ranked = sorted(
+            self._x, key=lambda i: (self._distance(self._known[i]), i)
+        )
+        self._answer = set(ranked[: self.query.k])
+        self._x = set(ranked[: self.eps])
+        self._deploy_bound(server, fresh_ids=set(fresh))
+
+    @property
+    def answer(self) -> frozenset[int]:
+        return frozenset(self._answer)
+
+    @property
+    def tracked(self) -> frozenset[int]:
+        return frozenset(self._x)
+
+    @property
+    def region(self) -> Region | None:
+        return self._region
+
+
+class SpatialZeroKnnProtocol(SpatialProtocol):
+    """ZT-RP in d dimensions: recompute the ball on every crossing."""
+
+    name = "ZT-RP-2d"
+
+    def __init__(self, query: SpatialKnnQuery) -> None:
+        self.query = query
+        self._answer: set[int] = set()
+        self._known: dict[int, np.ndarray] = {}
+        self._region: Region | None = None
+        self.recomputations = 0
+
+    def initialize(self, server: "SpatialServer") -> None:
+        if server.n_streams <= self.query.k:
+            raise ValueError(
+                f"ZT-RP needs more than k = {self.query.k} streams"
+            )
+        self._known = server.probe_all()
+        self._resolve(server)
+
+    def _resolve(self, server) -> None:
+        order = sorted(
+            self._known,
+            key=lambda i: (self.query.distance(self._known[i]), i),
+        )
+        k = self.query.k
+        self._answer = set(order[:k])
+        d_in = self.query.distance(self._known[order[k - 1]])
+        d_out = self.query.distance(self._known[order[k]])
+        self._region = self.query.region((d_in + d_out) / 2.0)
+        for stream_id in server.stream_ids:
+            server.deploy(stream_id, self._region)
+
+    def on_update(self, server, stream_id, point, time) -> None:
+        self._known[stream_id] = np.asarray(point, dtype=np.float64)
+        self.recomputations += 1
+        others = [i for i in server.stream_ids if i != stream_id]
+        self._known.update(server.probe_all(others))
+        self._resolve(server)
+
+    @property
+    def answer(self) -> frozenset[int]:
+        return frozenset(self._answer)
+
+    @property
+    def region(self) -> Region | None:
+        return self._region
+
+
+class SpatialFractionKnnProtocol(SpatialProtocol):
+    """FT-RP in d dimensions, with the tightened size triggers."""
+
+    name = "FT-RP-2d"
+
+    def __init__(
+        self,
+        query: SpatialKnnQuery,
+        tolerance: FractionTolerance,
+        policy: RhoPolicy = RhoPolicy.BALANCED,
+    ) -> None:
+        self.query = query
+        self.tolerance = tolerance
+        self.policy = policy
+        self.rho_plus, self.rho_minus = derive_rho(tolerance, policy)
+        self.size_min, self.size_max = answer_size_bounds(query.k, tolerance)
+        self._answer: set[int] = set()
+        self._count = 0
+        self._fp_pool: deque[int] = deque()
+        self._fn_pool: deque[int] = deque()
+        self._region: Region | None = None
+        self.recomputations = 0
+
+    def initialize(self, server: "SpatialServer") -> None:
+        if server.n_streams <= self.query.k:
+            raise ValueError(
+                f"FT-RP needs more than k = {self.query.k} streams"
+            )
+        self._resolve(server, server.probe_all())
+
+    def _resolve(self, server, values: dict[int, np.ndarray]) -> None:
+        k = self.query.k
+        order = sorted(
+            values, key=lambda i: (self.query.distance(values[i]), i)
+        )
+        self._answer = set(order[:k])
+        self._count = 0
+        d_in = self.query.distance(values[order[k - 1]])
+        d_out = self.query.distance(values[order[k]])
+        self._region = self.query.region((d_in + d_out) / 2.0)
+
+        inside = {i: values[i] for i in order[:k]}
+        outside = {i: values[i] for i in order[k:]}
+        n_fp = min(math.floor(k * self.rho_plus + 1e-9), len(inside))
+        n_fn = min(math.floor(k * self.rho_minus + 1e-9), len(outside))
+        fp_ids = self._nearest_boundary(inside, n_fp)
+        fn_ids = self._nearest_boundary(outside, n_fn)
+        self._fp_pool = deque(fp_ids)
+        self._fn_pool = deque(fn_ids)
+
+        fp_set, fn_set = set(fp_ids), set(fn_ids)
+        for stream_id in values:
+            if stream_id in fp_set:
+                server.deploy(stream_id, ALL_SPACE)
+            elif stream_id in fn_set:
+                server.deploy(stream_id, EMPTY_REGION)
+            else:
+                server.deploy(stream_id, self._region)
+
+    def _nearest_boundary(self, candidates: dict, count: int) -> list[int]:
+        assert self._region is not None
+        ordered = sorted(
+            candidates,
+            key=lambda i: (self._region.boundary_distance(candidates[i]), i),
+        )
+        return ordered[:count]
+
+    @property
+    def effective_size_max(self) -> int:
+        budget = self.query.k - len(self._fn_pool)
+        return math.floor(budget / (1.0 - self.tolerance.eps_plus) + 1e-9)
+
+    @property
+    def effective_size_min(self) -> int:
+        base = math.ceil(
+            self.query.k * (1.0 - self.tolerance.eps_minus) - 1e-9
+        )
+        return base + len(self._fp_pool) + len(self._fn_pool)
+
+    def _bounds_violated(self) -> bool:
+        size = len(self._answer)
+        return size > self.effective_size_max or size < self.effective_size_min
+
+    def on_update(self, server, stream_id, point, time) -> None:
+        assert self._region is not None
+        if self._region.contains(point):
+            self._answer.add(stream_id)
+            if self._bounds_violated():
+                self._recompute(server)
+                return
+            self._count += 1
+        else:
+            self._answer.discard(stream_id)
+            if self._bounds_violated():
+                self._recompute(server)
+                return
+            if self._count > 0:
+                self._count -= 1
+            else:
+                self._fix_error(server)
+                if self._bounds_violated():
+                    self._recompute(server)
+
+    def _recompute(self, server) -> None:
+        self.recomputations += 1
+        self._resolve(server, server.probe_all())
+
+    def _fix_error(self, server) -> None:
+        assert self._region is not None
+        if self._fp_pool:
+            candidate = self._fp_pool.popleft()
+            point = server.probe(candidate)
+            if self._region.contains(point):
+                server.deploy(candidate, self._region)
+                return
+            self._answer.discard(candidate)
+            self._fn_pool.append(candidate)
+        if self._fn_pool:
+            candidate = self._fn_pool.popleft()
+            point = server.probe(candidate)
+            if self._region.contains(point):
+                self._answer.add(candidate)
+            server.deploy(candidate, self._region)
+
+    @property
+    def answer(self) -> frozenset[int]:
+        return frozenset(self._answer)
+
+    @property
+    def region(self) -> Region | None:
+        return self._region
+
+    @property
+    def n_plus(self) -> int:
+        return len(self._fp_pool)
+
+    @property
+    def n_minus(self) -> int:
+        return len(self._fn_pool)

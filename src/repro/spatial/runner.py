@@ -1,0 +1,139 @@
+"""The spatial run loop: trace in, message counts and a check report out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.harness.config import RunConfig
+from repro.network.accounting import LedgerSnapshot, MessageLedger, Phase
+from repro.network.channel import Channel
+from repro.sim.engine import SimulationEngine
+from repro.spatial.oracle import SpatialOracle
+from repro.spatial.protocols import SpatialProtocol
+from repro.spatial.queries import SpatialKnnQuery, SpatialRangeQuery
+from repro.spatial.server import SpatialServer
+from repro.spatial.source import SpatialStreamSource
+from repro.spatial.trace import SpatialTrace
+from repro.tolerance.fraction_tolerance import FractionTolerance
+from repro.tolerance.rank_tolerance import RankTolerance
+
+
+class SpatialToleranceViolationError(AssertionError):
+    """Raised in strict mode when a spatial protocol breaks tolerance."""
+
+
+@dataclass
+class SpatialRunResult:
+    """Outcome of one spatial protocol over one trace."""
+
+    protocol: str
+    ledger: LedgerSnapshot
+    n_streams: int
+    n_records: int
+    final_answer: frozenset[int]
+    checks: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def maintenance_messages(self) -> int:
+        return self.ledger.maintenance_total
+
+    @property
+    def tolerance_ok(self) -> bool:
+        return not self.violations
+
+
+def run_spatial_protocol(
+    trace: SpatialTrace,
+    protocol: SpatialProtocol,
+    query: SpatialRangeQuery | SpatialKnnQuery | None = None,
+    tolerance: RankTolerance | FractionTolerance | None = None,
+    config: RunConfig | None = None,
+) -> SpatialRunResult:
+    """Replay *trace* against a spatial *protocol*; mirror of
+    :func:`repro.harness.runner.run_protocol`."""
+    config = config or RunConfig()
+    engine = SimulationEngine()
+    ledger = MessageLedger()
+    channel = Channel(ledger)
+    sources = [
+        SpatialStreamSource(stream_id, trace.initial_points[stream_id], channel)
+        for stream_id in range(trace.n_streams)
+    ]
+    server = SpatialServer(channel, protocol)
+
+    oracle: SpatialOracle | None = None
+    if config.check_every > 0:
+        if query is None:
+            query = getattr(protocol, "query", None)
+        if query is None:
+            raise ValueError("checking requires a query")
+        oracle = SpatialOracle(trace.initial_points)
+
+    ledger.phase = Phase.INITIALIZATION
+    server.initialize(time=0.0)
+    ledger.phase = Phase.MAINTENANCE
+
+    result = SpatialRunResult(
+        protocol=protocol.name,
+        ledger=ledger.snapshot(),  # replaced at the end
+        n_streams=trace.n_streams,
+        n_records=trace.n_records,
+        final_answer=frozenset(),
+    )
+
+    def check(time: float) -> None:
+        assert oracle is not None and query is not None
+        result.checks += 1
+        reason = _evaluate(protocol, oracle, query, tolerance)
+        if reason is not None:
+            if len(result.violations) < 100:
+                result.violations.append(f"t={time}: {reason}")
+            if config.strict:
+                raise SpatialToleranceViolationError(f"t={time}: {reason}")
+
+    if oracle is not None:
+        check(0.0)
+
+    tick = 0
+    for time, stream_id, point in trace:
+        engine.run(until=time)
+        if oracle is not None:
+            oracle.apply(stream_id, point)
+        sources[stream_id].apply_point(point, time)
+        if oracle is not None:
+            tick += 1
+            if tick % config.check_every == 0:
+                check(time)
+
+    result.ledger = ledger.snapshot()
+    result.final_answer = protocol.answer
+    return result
+
+
+def _evaluate(
+    protocol: SpatialProtocol,
+    oracle: SpatialOracle,
+    query: SpatialRangeQuery | SpatialKnnQuery,
+    tolerance: RankTolerance | FractionTolerance | None,
+) -> str | None:
+    answer = set(protocol.answer)
+    if isinstance(tolerance, RankTolerance):
+        assert isinstance(query, SpatialKnnQuery)
+        if len(answer) != tolerance.k:
+            return f"|A| = {len(answer)}, expected exactly k = {tolerance.k}"
+        order = query.ranked_ids(oracle.points)
+        admissible = set(int(i) for i in order[: tolerance.eps])
+        stragglers = answer - admissible
+        if stragglers:
+            return f"stream {min(stragglers)} ranks worse than {tolerance.eps}"
+        return None
+    true_set = oracle.true_answer(query)
+    if isinstance(tolerance, FractionTolerance):
+        return tolerance.violation(answer, true_set)
+    if answer != true_set:
+        return (
+            f"exact answer required: {len(answer - true_set)} spurious, "
+            f"{len(true_set - answer)} missing"
+        )
+    return None

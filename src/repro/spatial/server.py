@@ -1,0 +1,138 @@
+"""The spatial server: region deployments and point probes.
+
+Mirrors :class:`repro.server.server.Server` with vector payloads; the
+same deferred-update discipline guarantees protocol handlers are never
+re-entered by self-correction reports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.network.channel import Channel
+from repro.network.messages import Message, MessageKind
+from repro.spatial.geometry import Region
+from repro.spatial.messages import (
+    PointProbeReplyMessage,
+    PointProbeRequestMessage,
+    PointUpdateMessage,
+    RegionConstraintMessage,
+)
+
+if TYPE_CHECKING:
+    from repro.spatial.protocols import SpatialProtocol
+
+
+class SpatialServer:
+    """Central processor for vector-valued streams."""
+
+    def __init__(self, channel: Channel, protocol: "SpatialProtocol") -> None:
+        self.channel = channel
+        self.protocol = protocol
+        self._now = 0.0
+        self._probe_reply: PointProbeReplyMessage | None = None
+        self._awaiting_probe = False
+        self._busy = False
+        self._pending: deque[PointUpdateMessage] = deque()
+        channel.bind_server(self._handle_message)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def stream_ids(self) -> list[int]:
+        return self.channel.source_ids
+
+    @property
+    def n_streams(self) -> int:
+        return len(self.channel.source_ids)
+
+    def initialize(self, time: float = 0.0) -> None:
+        self._now = time
+        self._busy = True
+        try:
+            self.protocol.initialize(self)
+        finally:
+            self._busy = False
+        self._drain_pending()
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def probe(self, stream_id: int) -> np.ndarray:
+        """Fetch one source's current point (2 messages)."""
+        self._awaiting_probe = True
+        self._probe_reply = None
+        self.channel.send_to_source(
+            PointProbeRequestMessage(stream_id=stream_id, time=self._now)
+        )
+        self._awaiting_probe = False
+        if self._probe_reply is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"source {stream_id} did not reply")
+        return self._probe_reply.point
+
+    def probe_all(
+        self, stream_ids: list[int] | None = None
+    ) -> dict[int, np.ndarray]:
+        targets = self.channel.source_ids if stream_ids is None else stream_ids
+        return {stream_id: self.probe(stream_id) for stream_id in targets}
+
+    def deploy(
+        self,
+        stream_id: int,
+        region: Region,
+        assumed_inside: bool | None = None,
+    ) -> None:
+        """Install *region* at one source (one message)."""
+        self.channel.send_to_source(
+            RegionConstraintMessage(
+                stream_id=stream_id,
+                time=self._now,
+                region=region,
+                assumed_inside=assumed_inside,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _handle_message(self, message: Message) -> None:
+        if message.kind is MessageKind.PROBE_REPLY:
+            if not self._awaiting_probe:  # pragma: no cover - defensive
+                raise RuntimeError("unsolicited probe reply")
+            assert isinstance(message, PointProbeReplyMessage)
+            self._probe_reply = message
+            return
+        if message.kind is MessageKind.UPDATE:
+            assert isinstance(message, PointUpdateMessage)
+            self._now = max(self._now, message.time)
+            if self._busy:
+                self._pending.append(message)
+                return
+            self._busy = True
+            try:
+                self.protocol.on_update(
+                    self, message.stream_id, message.point, message.time
+                )
+            finally:
+                self._busy = False
+            self._drain_pending()
+            return
+        raise RuntimeError(  # pragma: no cover - defensive
+            f"server received unexpected {message.kind}"
+        )
+
+    def _drain_pending(self) -> None:
+        while self._pending:
+            message = self._pending.popleft()
+            self._busy = True
+            try:
+                self.protocol.on_update(
+                    self, message.stream_id, message.point, message.time
+                )
+            finally:
+                self._busy = False

@@ -1,0 +1,92 @@
+"""Vector-valued stream sources with region filters.
+
+Identical semantics to :class:`repro.streams.source.StreamSource` —
+report iff region membership flips, refresh on probe, self-correct on a
+stale deployment belief — over points and regions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.channel import Channel
+from repro.network.messages import Message, MessageKind
+from repro.spatial.geometry import Region, as_point
+from repro.spatial.messages import (
+    PointProbeReplyMessage,
+    PointProbeRequestMessage,
+    PointUpdateMessage,
+    RegionConstraintMessage,
+)
+
+
+class SpatialStreamSource:
+    """A distributed source holding a d-dimensional point."""
+
+    def __init__(self, stream_id: int, initial_point, channel: Channel) -> None:
+        self.stream_id = stream_id
+        self.point = as_point(initial_point)
+        self.channel = channel
+        self.region: Region | None = None
+        self._reported_inside = False
+        channel.bind_source(stream_id, self._handle_message)
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def apply_point(self, point, time: float) -> None:
+        """Move to *point*; report if the region filter demands it."""
+        self.point = as_point(point)
+        if self.region is None:
+            self._report(time)
+            return
+        inside = self.region.contains(self.point)
+        if inside != self._reported_inside:
+            self._reported_inside = inside
+            self._report(time)
+
+    def _report(self, time: float) -> None:
+        self.channel.send_to_server(
+            PointUpdateMessage(
+                stream_id=self.stream_id, time=time, point=self.point.copy()
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def _handle_message(self, message: Message) -> None:
+        if message.kind is MessageKind.PROBE_REQUEST:
+            assert isinstance(message, PointProbeRequestMessage)
+            if self.region is not None:
+                self._reported_inside = self.region.contains(self.point)
+            self.channel.send_to_server(
+                PointProbeReplyMessage(
+                    stream_id=self.stream_id,
+                    time=message.time,
+                    point=self.point.copy(),
+                )
+            )
+            return
+        if message.kind is MessageKind.CONSTRAINT:
+            assert isinstance(message, RegionConstraintMessage)
+            self.region = message.region
+            if self.region.is_silencing:
+                self._reported_inside = self.region.contains(self.point)
+                return
+            actual = self.region.contains(self.point)
+            if message.assumed_inside is None:
+                self._reported_inside = actual
+                return
+            self._reported_inside = bool(message.assumed_inside)
+            if actual != self._reported_inside:
+                self._reported_inside = actual
+                self._report(message.time)
+            return
+        raise RuntimeError(  # pragma: no cover - defensive
+            f"source received unexpected {message.kind}"
+        )
+
+    @property
+    def reported_inside(self) -> bool:
+        return self._reported_inside

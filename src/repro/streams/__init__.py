@@ -1,0 +1,49 @@
+"""Stream sources, adaptive filters, and workload generation.
+
+A *stream source* (Section 3.1) reports a real value that changes at
+discrete instants.  An *adaptive filter* — a closed interval ``[l, u]``
+installed by the server — suppresses a report unless the value's
+membership in the interval flips relative to the last value the server
+knows about.  Two degenerate filters "shut a source down" entirely:
+``[-inf, +inf]`` (a *false-positive filter*: every value is inside) and
+``[+inf, +inf]`` (a *false-negative filter*: every finite value is
+outside).
+
+Workloads are materialized ahead of a run as replayable
+:class:`~repro.streams.trace.StreamTrace` objects so every protocol is
+compared on byte-identical input:
+
+* :func:`~repro.streams.synthetic.generate_synthetic_trace` — Section 6.2's
+  model (uniform initial values, exponential inter-update times, Gaussian
+  steps);
+* :func:`~repro.streams.tcp.generate_tcp_trace` — a synthetic stand-in for
+  the LBL Internet Traffic Archive traces of Section 6.1 (800 subnets,
+  heavy-tailed bytes-sent values).
+"""
+
+from repro.streams.filters import (
+    FALSE_NEGATIVE_FILTER,
+    FALSE_POSITIVE_FILTER,
+    FilterConstraint,
+)
+from repro.streams.generators import BoundedRandomWalk, RandomWalk, ValueProcess
+from repro.streams.source import StreamSource
+from repro.streams.synthetic import SyntheticConfig, generate_synthetic_trace
+from repro.streams.tcp import TcpTraceConfig, generate_tcp_trace
+from repro.streams.trace import StreamTrace, TraceRecord
+
+__all__ = [
+    "BoundedRandomWalk",
+    "FALSE_NEGATIVE_FILTER",
+    "FALSE_POSITIVE_FILTER",
+    "FilterConstraint",
+    "RandomWalk",
+    "StreamSource",
+    "StreamTrace",
+    "SyntheticConfig",
+    "TcpTraceConfig",
+    "TraceRecord",
+    "ValueProcess",
+    "generate_synthetic_trace",
+    "generate_tcp_trace",
+]

@@ -1,0 +1,125 @@
+"""Value-evolution processes for stream data.
+
+The synthetic model of Section 6.2 evolves each stream as a Gaussian
+random walk; these classes factor that evolution out so examples can plug
+in alternatives (bounded walks for physical quantities like temperature,
+mean-reverting walks for load metrics) without touching the trace
+generator.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class ValueProcess(ABC):
+    """Generates successive values of a single stream."""
+
+    @abstractmethod
+    def step(self, current: float, rng: np.random.Generator) -> float:
+        """Return the next value given the *current* one."""
+
+    def steps(
+        self, initial: float, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Convenience: iterate :meth:`step` *count* times from *initial*."""
+        out = np.empty(count, dtype=np.float64)
+        value = initial
+        for i in range(count):
+            value = self.step(value, rng)
+            out[i] = value
+        return out
+
+
+class RandomWalk(ValueProcess):
+    """Unbounded Gaussian random walk: ``V_next = V + N(mu, sigma)``.
+
+    With ``mu = 0`` and ``sigma = 20`` this is exactly the paper's
+    Section 6.2 model.
+    """
+
+    def __init__(self, sigma: float = 20.0, mu: float = 0.0) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.sigma = float(sigma)
+        self.mu = float(mu)
+
+    def step(self, current: float, rng: np.random.Generator) -> float:
+        return current + rng.normal(self.mu, self.sigma)
+
+    def steps(
+        self, initial: float, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        # Vectorized: a walk is a cumulative sum of i.i.d. steps.
+        increments = rng.normal(self.mu, self.sigma, size=count)
+        return initial + np.cumsum(increments)
+
+
+class BoundedRandomWalk(ValueProcess):
+    """Gaussian random walk reflected into ``[low, high]``.
+
+    Keeps long simulations inside a fixed data domain so range-query
+    selectivity stays stationary — useful for examples and for stress
+    tests where the unbounded walk would drift every stream out of the
+    query range.
+    """
+
+    def __init__(
+        self, sigma: float = 20.0, low: float = 0.0, high: float = 1000.0
+    ) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if low >= high:
+            raise ValueError("low must be < high")
+        self.sigma = float(sigma)
+        self.low = float(low)
+        self.high = float(high)
+
+    def _reflect(self, value: float) -> float:
+        span = self.high - self.low
+        # Fold the value into [low, low + 2*span) then mirror the top half.
+        offset = (value - self.low) % (2 * span)
+        if offset < 0:
+            offset += 2 * span
+        if offset > span:
+            offset = 2 * span - offset
+        return self.low + offset
+
+    def step(self, current: float, rng: np.random.Generator) -> float:
+        return self._reflect(current + rng.normal(0.0, self.sigma))
+
+    def steps(
+        self, initial: float, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        increments = rng.normal(0.0, self.sigma, size=count)
+        raw = initial + np.cumsum(increments)
+        span = self.high - self.low
+        offset = np.mod(raw - self.low, 2 * span)
+        offset = np.where(offset > span, 2 * span - offset, offset)
+        return self.low + offset
+
+
+class MeanRevertingWalk(ValueProcess):
+    """Ornstein–Uhlenbeck-style walk pulled toward a set point.
+
+    ``V_next = V + theta * (target - V) + N(0, sigma)``.  Models metrics
+    like CPU load or queue depth that fluctuate around an operating point;
+    used by the load-balancing example.
+    """
+
+    def __init__(
+        self, target: float, theta: float = 0.1, sigma: float = 20.0
+    ) -> None:
+        if not 0 <= theta <= 1:
+            raise ValueError("theta must be within [0, 1]")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.target = float(target)
+        self.theta = float(theta)
+        self.sigma = float(sigma)
+
+    def step(self, current: float, rng: np.random.Generator) -> float:
+        pull = self.theta * (self.target - current)
+        return current + pull + rng.normal(0.0, self.sigma)

@@ -1,0 +1,33 @@
+"""Non-value-based tolerance semantics (Sections 3.3-3.4, 5.2.2).
+
+* :class:`~repro.tolerance.rank_tolerance.RankTolerance` — Definition 1:
+  an answer of exactly ``k`` streams, each truly ranking ``<= k + r``.
+* :class:`~repro.tolerance.fraction_tolerance.FractionTolerance` —
+  Definitions 2-3: bounds on the fractions of false positives and false
+  negatives, with the ``Emax+`` / ``Emax-`` budgets of Equations 3-4.
+* :mod:`~repro.tolerance.knn_fraction` — the k-NN specialization:
+  answer-size bounds (Equations 7-10) and the ``rho+/rho-`` derivation
+  (Equations 13-16) that lets FT-NRP answer a k-NN query.
+"""
+
+from repro.tolerance.fraction_tolerance import (
+    FractionReport,
+    FractionTolerance,
+)
+from repro.tolerance.knn_fraction import (
+    RhoPolicy,
+    answer_size_bounds,
+    derive_rho,
+    max_rho_minus,
+)
+from repro.tolerance.rank_tolerance import RankTolerance
+
+__all__ = [
+    "FractionReport",
+    "FractionTolerance",
+    "RankTolerance",
+    "RhoPolicy",
+    "answer_size_bounds",
+    "derive_rho",
+    "max_rho_minus",
+]

@@ -1,0 +1,106 @@
+"""Fraction-based tolerance specialized to k-NN queries (Sections 3.4.1, 5.2.2).
+
+Two results from the paper live here:
+
+* **Answer-size bounds** (Equations 7-10).  Because a k-NN query has
+  exactly ``k`` true answers, any answer set meeting the tolerance must
+  satisfy ``k(1 - eps-) <= |A(t)| <= k / (1 - eps+)``, and with both
+  tolerances below 0.5 this pins ``|A(t)|`` to ``[k/2, 2k]``.  FT-RP uses
+  these bounds to decide when its estimate bound ``R`` has become "too
+  loose" or "too tight".
+
+* **The rho derivation** (Equations 13-16).  Running FT-NRP on the range
+  view of a k-NN query with the user's ``eps+/eps-`` directly is unsound:
+  a stream silenced by a false-positive filter can *also* create a false
+  negative (its unnoticed retreat promotes someone else into the true
+  top-k), and vice versa.  The internal tolerances ``rho+/rho-`` fed to
+  FT-NRP must therefore satisfy
+
+      ``rho- <= rho+ / (eps+ - 1) + min((1 - eps-) * eps+, eps-)``  (Eq. 15)
+
+  and are maximized on the equality frontier (Eq. 16).  The frontier
+  leaves one degree of freedom; :class:`RhoPolicy` names the three natural
+  points on it, which the ablation bench compares.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from repro.tolerance.fraction_tolerance import FractionTolerance
+
+
+def answer_size_bounds(
+    k: int, tolerance: FractionTolerance
+) -> tuple[int, int]:
+    """Inclusive ``(min, max)`` admissible answer sizes (Equations 7, 9).
+
+    ``min = ceil(k (1 - eps-))`` and ``max = floor(k / (1 - eps+))``,
+    always within ``[k/2, 2k]`` for tolerances below 0.5 (Equations 8, 10).
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    lower = math.ceil(k * (1.0 - tolerance.eps_minus) - 1e-9)
+    upper = math.floor(k / (1.0 - tolerance.eps_plus) + 1e-9)
+    return lower, upper
+
+
+def max_rho_minus(rho_plus: float, tolerance: FractionTolerance) -> float:
+    """The Equation-16 frontier: largest sound ``rho-`` for a ``rho+``.
+
+    ``rho- = rho+ / (eps+ - 1) + min((1 - eps-) eps+, eps-)``.  Note
+    ``eps+ - 1 < 0``, so ``rho-`` decreases as ``rho+`` grows: silencing
+    more in-bound streams leaves less budget for silencing out-of-bound
+    ones.
+    """
+    if rho_plus < 0:
+        raise ValueError("rho_plus must be non-negative")
+    headroom = min(
+        (1.0 - tolerance.eps_minus) * tolerance.eps_plus,
+        tolerance.eps_minus,
+    )
+    value = rho_plus / (tolerance.eps_plus - 1.0) + headroom
+    return max(0.0, value)
+
+
+class RhoPolicy(enum.Enum):
+    """Named points on the Equation-16 frontier.
+
+    * ``BALANCED`` — solve ``rho+ = rho-`` on the frontier; the default,
+      splitting the silencing budget evenly between sides.
+    * ``FAVOR_FP`` — maximize ``rho+`` subject to ``rho- >= 0``: silence
+      as many in-bound streams as possible (battery saving inside ``R``).
+    * ``FAVOR_FN`` — ``rho+ = 0``: spend the whole budget silencing
+      out-of-bound streams (cheapest when churn is dominated by distant
+      streams brushing the bound).
+    """
+
+    BALANCED = "balanced"
+    FAVOR_FP = "favor-fp"
+    FAVOR_FN = "favor-fn"
+
+
+def derive_rho(
+    tolerance: FractionTolerance, policy: RhoPolicy = RhoPolicy.BALANCED
+) -> tuple[float, float]:
+    """Internal FT-NRP tolerances ``(rho+, rho-)`` for a k-NN query.
+
+    All returned pairs sit on the Equation-16 frontier, so they maximize
+    exploited tolerance for their policy while guaranteeing the user's
+    ``eps+/eps-`` (Section 5.2.2's soundness argument).
+    """
+    eps_plus = tolerance.eps_plus
+    headroom = min((1.0 - tolerance.eps_minus) * eps_plus, tolerance.eps_minus)
+    if headroom <= 0.0:
+        return 0.0, 0.0
+    if policy is RhoPolicy.BALANCED:
+        # rho = rho / (eps+ - 1) + m  =>  rho = m (eps+ - 1) / (eps+ - 2)
+        rho = headroom * (eps_plus - 1.0) / (eps_plus - 2.0)
+        return rho, rho
+    if policy is RhoPolicy.FAVOR_FP:
+        # rho- = 0  =>  rho+ = m (1 - eps+)
+        return headroom * (1.0 - eps_plus), 0.0
+    if policy is RhoPolicy.FAVOR_FN:
+        return 0.0, headroom
+    raise ValueError(f"unknown policy {policy!r}")  # pragma: no cover

@@ -1,0 +1,59 @@
+"""Shared fixtures: small deterministic workloads and wired systems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.accounting import MessageLedger
+from repro.network.channel import Channel
+from repro.streams.source import StreamSource
+from repro.streams.synthetic import SyntheticConfig, generate_synthetic_trace
+from repro.streams.trace import StreamTrace
+
+
+@pytest.fixture
+def small_trace() -> StreamTrace:
+    """100 streams, ~1000 records — fast enough for strict checking."""
+    return generate_synthetic_trace(
+        SyntheticConfig(n_streams=100, horizon=200.0, seed=7)
+    )
+
+
+@pytest.fixture
+def tiny_trace() -> StreamTrace:
+    """20 streams, a few hundred records — for the most exhaustive tests."""
+    return generate_synthetic_trace(
+        SyntheticConfig(n_streams=20, horizon=150.0, seed=3)
+    )
+
+
+@pytest.fixture
+def manual_trace() -> StreamTrace:
+    """A hand-written 4-stream trace with known crossings of [10, 20]."""
+    return StreamTrace(
+        initial_values=np.array([5.0, 15.0, 25.0, 12.0]),
+        times=np.array([1.0, 2.0, 3.0, 4.0, 5.0]),
+        stream_ids=np.array([0, 1, 2, 0, 3]),
+        values=np.array([12.0, 30.0, 18.0, 4.0, 13.0]),
+        horizon=10.0,
+        metadata={"workload": "manual"},
+    )
+
+
+@pytest.fixture
+def wired_channel():
+    """A channel with a ledger and three sources, plus a message sink.
+
+    Returns ``(channel, ledger, sources, received)`` where *received*
+    collects every message delivered to the "server" side.
+    """
+    ledger = MessageLedger()
+    channel = Channel(ledger)
+    received: list = []
+    channel.bind_server(received.append)
+    sources = [
+        StreamSource(stream_id, float(10 * stream_id), channel)
+        for stream_id in range(3)
+    ]
+    return channel, ledger, sources, received

@@ -1,0 +1,108 @@
+"""Unit tests for the tolerance checker."""
+
+import numpy as np
+import pytest
+
+from repro.correctness.checker import ToleranceChecker, ToleranceViolationError
+from repro.correctness.oracle import Oracle
+from repro.queries.knn import TopKQuery
+from repro.queries.range_query import RangeQuery
+from repro.tolerance.fraction_tolerance import FractionTolerance
+from repro.tolerance.rank_tolerance import RankTolerance
+
+
+def make_checker(answer, tolerance, query=None, **kwargs):
+    oracle = Oracle(np.array([10.0, 20.0, 30.0, 40.0]))
+    query = query or RangeQuery(15.0, 45.0)
+    return (
+        oracle,
+        ToleranceChecker(
+            oracle=oracle,
+            query=query,
+            tolerance=tolerance,
+            answer_of=lambda: answer,
+            **kwargs,
+        ),
+    )
+
+
+def test_exact_answer_passes_zero_tolerance():
+    _, checker = make_checker({1, 2, 3}, tolerance=None)
+    assert checker.check(1.0) is None
+    assert checker.report.ok
+    assert checker.report.checks == 1
+
+
+def test_zero_tolerance_flags_any_deviation():
+    _, checker = make_checker({1, 2}, tolerance=None)
+    violation = checker.check(1.0)
+    assert violation is not None
+    assert "missing" in violation.reason
+
+
+def test_fraction_tolerance_allows_bounded_errors():
+    # True set {1,2,3}; answer has 1 extra of 4 -> F+ = 0.25.
+    _, checker = make_checker({0, 1, 2, 3}, FractionTolerance(0.25, 0.0))
+    assert checker.check(0.0) is None
+
+
+def test_fraction_tolerance_rejects_excess():
+    _, checker = make_checker({0, 1}, FractionTolerance(0.25, 0.0))
+    assert checker.check(0.0) is not None
+
+
+def test_rank_tolerance_path():
+    _, checker = make_checker(
+        {2, 3}, RankTolerance(k=2, r=0), query=TopKQuery(k=2)
+    )
+    assert checker.check(0.0) is None
+    _, checker = make_checker(
+        {0, 3}, RankTolerance(k=2, r=0), query=TopKQuery(k=2)
+    )
+    assert checker.check(0.0) is not None
+
+
+def test_rank_tolerance_requires_rank_query():
+    with pytest.raises(TypeError):
+        make_checker({0}, RankTolerance(k=1, r=0), query=RangeQuery(0, 1))
+
+
+def test_strict_mode_raises():
+    _, checker = make_checker({0}, tolerance=None, strict=True)
+    with pytest.raises(ToleranceViolationError):
+        checker.check(5.0)
+
+
+def test_sampling_interval():
+    _, checker = make_checker({1, 2, 3}, tolerance=None, every=3)
+    for t in range(9):
+        checker.check(float(t))
+    assert checker.report.checks == 3
+
+
+def test_check_now_ignores_sampling():
+    _, checker = make_checker({1, 2, 3}, tolerance=None, every=100)
+    checker.check_now(0.0)
+    checker.check_now(1.0)
+    assert checker.report.checks == 2
+
+
+def test_violations_capped_but_counted():
+    _, checker = make_checker({0}, tolerance=None, max_violations=2)
+    for t in range(5):
+        checker.check(float(t))
+    assert len(checker.report.violations) == 2
+    assert checker.report.checks == 5
+    assert checker.report.violation_rate == 1.0
+
+
+def test_invalid_every_rejected():
+    with pytest.raises(ValueError):
+        make_checker({0}, tolerance=None, every=0)
+
+
+def test_checker_sees_oracle_updates():
+    oracle, checker = make_checker({1, 2, 3}, tolerance=None)
+    assert checker.check(0.0) is None
+    oracle.apply(0, 16.0)  # stream 0 enters the range; answer now stale
+    assert checker.check(1.0) is not None

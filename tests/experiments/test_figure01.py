@@ -1,0 +1,25 @@
+"""Smoke test of the Figure-1 motivation experiment."""
+
+from repro.experiments import figure01
+from repro.experiments.base import Profile
+
+
+def test_figure01_smoke_shape():
+    result = figure01.run(profile=Profile.SMOKE, seed=0)
+    messages = result.curve("value-eps messages")
+    worst_ranks = result.curve("value-eps worst rank")
+    # More value tolerance: fewer messages, worse (or equal) ranks.
+    assert messages[-1] <= messages[0]
+    assert worst_ranks[-1] >= worst_ranks[0]
+    # RTP reference lines are constant across the eps axis.
+    rtp_lines = [s for s in result.series if s.startswith("RTP")]
+    assert len(rtp_lines) == 2
+    for name in rtp_lines:
+        curve = result.curve(name)
+        assert len(set(curve)) == 1
+
+
+def test_figure01_registered():
+    from repro.experiments.registry import REGISTRY
+
+    assert "figure01" in REGISTRY

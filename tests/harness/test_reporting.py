@@ -1,0 +1,51 @@
+"""Unit tests for text-table reporting."""
+
+from repro.harness.reporting import format_series, format_table
+
+
+def test_format_table_aligns_columns():
+    rows = [{"a": 1, "b": "xy"}, {"a": 100, "b": "z"}]
+    text = format_table(rows)
+    lines = text.splitlines()
+    assert lines[0].startswith("a")
+    assert "100" in lines[3]
+    # All rows share the same width.
+    assert len(lines[2]) == len(lines[3])
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([])
+    assert format_table([], title="T").startswith("T")
+
+
+def test_format_table_column_selection():
+    rows = [{"a": 1, "b": 2, "c": 3}]
+    text = format_table(rows, columns=["c", "a"])
+    header = text.splitlines()[0]
+    assert "c" in header and "a" in header and "b" not in header
+
+
+def test_format_table_title():
+    text = format_table([{"a": 1}], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+def test_format_series_layout():
+    text = format_series(
+        "x", [1, 2], {"up": [10, 20], "down": [20, 10]}, title="S"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "S"
+    assert "up" in lines[1] and "down" in lines[1]
+    assert len(lines) == 5  # title, header, rule, two rows
+
+
+def test_format_series_handles_short_series():
+    text = format_series("x", [1, 2, 3], {"y": [5]})
+    assert text  # no crash; missing cells rendered empty
+
+
+def test_float_formatting():
+    text = format_table([{"v": 3.0}, {"v": 3.14159}, {"v": None}])
+    assert "3" in text
+    assert "3.142" in text

@@ -1,0 +1,27 @@
+"""Unit tests for sweep helpers."""
+
+from repro.harness.sweep import run_grid, sweep_values
+
+
+def test_sweep_values_passes_parameter():
+    results = sweep_values(lambda x: x * 2, "x", [1, 2, 3])
+    assert results == [2, 4, 6]
+
+
+def test_run_grid_cartesian_product():
+    rows = run_grid(lambda a, b: a + b, {"a": [1, 2], "b": [10, 20]})
+    assert len(rows) == 4
+    assert rows[0] == {"a": 1, "b": 10, "result": 11}
+    # Nested-loop order: a varies slowest.
+    assert [(r["a"], r["b"]) for r in rows] == [
+        (1, 10), (1, 20), (2, 10), (2, 20)
+    ]
+
+
+def test_run_grid_single_axis():
+    rows = run_grid(lambda k: k**2, {"k": [3]})
+    assert rows == [{"k": 3, "result": 9}]
+
+
+def test_run_grid_empty_axis():
+    assert run_grid(lambda k: k, {"k": []}) == []

@@ -1,0 +1,68 @@
+"""Unit tests for the message ledger."""
+
+import pytest
+
+from repro.network.accounting import MessageLedger, Phase
+from repro.network.messages import MessageKind, UpdateMessage
+
+
+def test_starts_in_initialization_phase():
+    assert MessageLedger().phase is Phase.INITIALIZATION
+
+
+def test_record_charges_current_phase():
+    ledger = MessageLedger()
+    ledger.record(UpdateMessage(0, 0.0, 1.0))
+    ledger.phase = Phase.MAINTENANCE
+    ledger.record(UpdateMessage(0, 1.0, 2.0))
+    ledger.record(UpdateMessage(1, 1.0, 2.0))
+    assert ledger.initialization_total == 1
+    assert ledger.maintenance_total == 2
+    assert ledger.total == 3
+
+
+def test_count_by_kind_and_phase():
+    ledger = MessageLedger()
+    ledger.record_kind(MessageKind.CONSTRAINT, 5)
+    ledger.phase = Phase.MAINTENANCE
+    ledger.record_kind(MessageKind.CONSTRAINT, 2)
+    assert ledger.count(MessageKind.CONSTRAINT) == 7
+    assert ledger.count(MessageKind.CONSTRAINT, Phase.INITIALIZATION) == 5
+    assert ledger.count(MessageKind.CONSTRAINT, Phase.MAINTENANCE) == 2
+
+
+def test_record_kind_rejects_negative():
+    with pytest.raises(ValueError):
+        MessageLedger().record_kind(MessageKind.UPDATE, -1)
+
+
+def test_snapshot_is_immutable_copy():
+    ledger = MessageLedger()
+    ledger.phase = Phase.MAINTENANCE
+    ledger.record_kind(MessageKind.UPDATE, 3)
+    snapshot = ledger.snapshot()
+    ledger.record_kind(MessageKind.UPDATE, 10)
+    assert snapshot.maintenance_total == 3
+    assert snapshot.maintenance_of(MessageKind.UPDATE) == 3
+    assert snapshot.maintenance_of(MessageKind.CONSTRAINT) == 0
+
+
+def test_snapshot_totals():
+    ledger = MessageLedger()
+    ledger.record_kind(MessageKind.PROBE_REQUEST, 4)
+    ledger.record_kind(MessageKind.PROBE_REPLY, 4)
+    ledger.phase = Phase.MAINTENANCE
+    ledger.record_kind(MessageKind.UPDATE, 1)
+    snapshot = ledger.snapshot()
+    assert snapshot.initialization_total == 8
+    assert snapshot.maintenance_total == 1
+    assert snapshot.total == 9
+
+
+def test_reset_clears_counts_and_phase():
+    ledger = MessageLedger()
+    ledger.phase = Phase.MAINTENANCE
+    ledger.record_kind(MessageKind.UPDATE, 3)
+    ledger.reset()
+    assert ledger.total == 0
+    assert ledger.phase is Phase.INITIALIZATION

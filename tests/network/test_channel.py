@@ -1,0 +1,47 @@
+"""Unit tests for the synchronous channel."""
+
+import pytest
+
+from repro.network.accounting import MessageLedger
+from repro.network.channel import Channel
+from repro.network.messages import (
+    MessageKind,
+    ProbeRequestMessage,
+    UpdateMessage,
+)
+
+
+def test_update_reaches_server_and_is_recorded(wired_channel):
+    channel, ledger, sources, received = wired_channel
+    channel.send_to_server(UpdateMessage(stream_id=0, time=1.0, value=5.0))
+    assert len(received) == 1
+    assert received[0].value == 5.0
+    assert ledger.count(MessageKind.UPDATE) == 1
+
+
+def test_probe_request_routes_to_right_source(wired_channel):
+    channel, ledger, sources, received = wired_channel
+    channel.send_to_source(ProbeRequestMessage(stream_id=2, time=0.0))
+    # Source 2 replies with its current value (20.0).
+    assert len(received) == 1
+    assert received[0].kind is MessageKind.PROBE_REPLY
+    assert received[0].value == 20.0
+    assert ledger.count(MessageKind.PROBE_REQUEST) == 1
+    assert ledger.count(MessageKind.PROBE_REPLY) == 1
+
+
+def test_send_without_server_raises():
+    channel = Channel(MessageLedger())
+    with pytest.raises(RuntimeError):
+        channel.send_to_server(UpdateMessage(0, 0.0, 1.0))
+
+
+def test_send_to_unknown_source_raises(wired_channel):
+    channel, *_ = wired_channel
+    with pytest.raises(RuntimeError):
+        channel.send_to_source(ProbeRequestMessage(stream_id=99, time=0.0))
+
+
+def test_source_ids_sorted(wired_channel):
+    channel, *_ = wired_channel
+    assert channel.source_ids == [0, 1, 2]

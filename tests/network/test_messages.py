@@ -1,0 +1,56 @@
+"""Unit tests for the message vocabulary."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.network.messages import (
+    ConstraintMessage,
+    MessageKind,
+    ProbeReplyMessage,
+    ProbeRequestMessage,
+    UpdateMessage,
+)
+
+
+def test_kinds_are_distinct():
+    kinds = {
+        UpdateMessage(0, 0.0, 1.0).kind,
+        ProbeRequestMessage(0, 0.0).kind,
+        ProbeReplyMessage(0, 0.0, 1.0).kind,
+        ConstraintMessage(0, 0.0).kind,
+    }
+    assert kinds == set(MessageKind)
+
+
+def test_uplink_classification():
+    assert MessageKind.UPDATE.is_uplink
+    assert MessageKind.PROBE_REPLY.is_uplink
+    assert not MessageKind.PROBE_REQUEST.is_uplink
+    assert not MessageKind.CONSTRAINT.is_uplink
+
+
+def test_messages_are_frozen():
+    message = UpdateMessage(stream_id=1, time=2.0, value=3.0)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        message.value = 4.0
+
+
+def test_constraint_defaults_are_false_positive_filter():
+    message = ConstraintMessage(stream_id=0, time=0.0)
+    assert message.lower == -math.inf
+    assert message.upper == math.inf
+    assert message.assumed_inside is None
+
+
+def test_constraint_carries_belief():
+    message = ConstraintMessage(
+        stream_id=0, time=0.0, lower=1.0, upper=2.0, assumed_inside=True
+    )
+    assert message.assumed_inside is True
+
+
+def test_update_carries_value_and_metadata():
+    message = UpdateMessage(stream_id=7, time=1.5, value=9.0)
+    assert (message.stream_id, message.time, message.value) == (7, 1.5, 9.0)

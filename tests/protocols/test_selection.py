@@ -1,0 +1,72 @@
+"""Unit tests for the silencer-selection heuristics."""
+
+import pytest
+
+from repro.protocols.selection import (
+    BoundaryNearestSelection,
+    RandomSelection,
+    boundary_distance,
+)
+
+
+class TestBoundaryDistance:
+    def test_inside_measures_nearest_endpoint(self):
+        assert boundary_distance(12.0, 10.0, 20.0) == 2.0
+        assert boundary_distance(18.0, 10.0, 20.0) == 2.0
+        assert boundary_distance(15.0, 10.0, 20.0) == 5.0
+
+    def test_outside_measures_gap(self):
+        assert boundary_distance(5.0, 10.0, 20.0) == 5.0
+        assert boundary_distance(30.0, 10.0, 20.0) == 10.0
+
+    def test_endpoints_are_zero(self):
+        assert boundary_distance(10.0, 10.0, 20.0) == 0.0
+        assert boundary_distance(20.0, 10.0, 20.0) == 0.0
+
+
+class TestBoundaryNearest:
+    def test_orders_by_proximity(self):
+        heuristic = BoundaryNearestSelection()
+        candidates = {0: 15.0, 1: 11.0, 2: 19.5, 3: 14.0}
+        assert heuristic.order(candidates, 10.0, 20.0) == [2, 1, 3, 0]
+
+    def test_select_takes_prefix(self):
+        heuristic = BoundaryNearestSelection()
+        candidates = {0: 15.0, 1: 11.0, 2: 19.5}
+        assert heuristic.select(candidates, 2, 10.0, 20.0) == [2, 1]
+
+    def test_select_count_exceeding_pool(self):
+        heuristic = BoundaryNearestSelection()
+        assert heuristic.select({0: 1.0}, 10, 0.0, 2.0) == [0]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            BoundaryNearestSelection().select({}, -1, 0.0, 1.0)
+
+    def test_ties_break_by_id(self):
+        heuristic = BoundaryNearestSelection()
+        candidates = {3: 12.0, 1: 18.0}  # both distance 2
+        assert heuristic.order(candidates, 10.0, 20.0) == [1, 3]
+
+
+class TestRandomSelection:
+    def test_returns_all_candidates(self):
+        heuristic = RandomSelection(seed=0)
+        candidates = {i: float(i) for i in range(10)}
+        assert sorted(heuristic.order(candidates, 0.0, 5.0)) == list(range(10))
+
+    def test_seeded_reproducibility(self):
+        candidates = {i: float(i) for i in range(20)}
+        a = RandomSelection(seed=5).order(candidates, 0.0, 5.0)
+        b = RandomSelection(seed=5).order(candidates, 0.0, 5.0)
+        assert a == b
+
+    def test_different_seeds_usually_differ(self):
+        candidates = {i: float(i) for i in range(20)}
+        a = RandomSelection(seed=1).order(candidates, 0.0, 5.0)
+        b = RandomSelection(seed=2).order(candidates, 0.0, 5.0)
+        assert a != b
+
+    def test_names(self):
+        assert RandomSelection().name == "random"
+        assert BoundaryNearestSelection().name == "boundary-nearest"

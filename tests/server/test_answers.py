@@ -1,0 +1,49 @@
+"""Unit tests for the answer-set container."""
+
+import pytest
+
+from repro.server.answers import AnswerSet
+
+
+def test_starts_with_initial_members():
+    answers = AnswerSet([1, 2])
+    assert len(answers) == 2
+    assert 1 in answers and 2 in answers
+
+
+def test_add_discard_remove():
+    answers = AnswerSet()
+    answers.add(5)
+    assert 5 in answers
+    answers.discard(5)
+    answers.discard(5)  # idempotent
+    assert 5 not in answers
+    answers.add(7)
+    answers.remove(7)
+    with pytest.raises(KeyError):
+        answers.remove(7)
+
+
+def test_replace_swaps_atomically():
+    answers = AnswerSet([1, 2, 3])
+    answers.replace([4, 5])
+    assert set(answers) == {4, 5}
+
+
+def test_snapshot_is_frozen_and_detached():
+    answers = AnswerSet([1])
+    snapshot = answers.snapshot()
+    answers.add(2)
+    assert snapshot == frozenset({1})
+    with pytest.raises(AttributeError):
+        snapshot.add(3)  # type: ignore[attr-defined]
+
+
+def test_clear():
+    answers = AnswerSet([1, 2])
+    answers.clear()
+    assert len(answers) == 0
+
+
+def test_iteration():
+    assert sorted(AnswerSet([3, 1, 2])) == [1, 2, 3]

@@ -1,0 +1,127 @@
+"""Unit tests for the simulation engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import SimulationError
+
+
+def test_run_fires_in_time_order():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule_at(2.0, lambda: fired.append("b"))
+    engine.schedule_at(1.0, lambda: fired.append("a"))
+    engine.run()
+    assert fired == ["a", "b"]
+    assert engine.now == 2.0
+
+
+def test_schedule_after_uses_current_time():
+    engine = SimulationEngine()
+    times = []
+
+    def first():
+        engine.schedule_after(5.0, lambda: times.append(engine.now))
+
+    engine.schedule_at(10.0, first)
+    engine.run()
+    assert times == [15.0]
+
+
+def test_run_until_stops_and_advances_clock():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule_at(1.0, lambda: fired.append(1))
+    engine.schedule_at(5.0, lambda: fired.append(5))
+    engine.run(until=3.0)
+    assert fired == [1]
+    assert engine.now == 3.0
+    engine.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_with_no_events_advances_clock():
+    engine = SimulationEngine()
+    engine.run(until=42.0)
+    assert engine.now == 42.0
+
+
+def test_scheduling_in_the_past_raises():
+    engine = SimulationEngine()
+    engine.schedule_at(5.0, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(1.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    engine = SimulationEngine()
+    with pytest.raises(SimulationError):
+        engine.schedule_after(-1.0, lambda: None)
+
+
+def test_events_scheduled_during_run_fire():
+    engine = SimulationEngine()
+    fired = []
+
+    def chain(depth: int):
+        fired.append(depth)
+        if depth < 3:
+            engine.schedule_after(1.0, lambda: chain(depth + 1))
+
+    engine.schedule_at(0.0, lambda: chain(0))
+    engine.run()
+    assert fired == [0, 1, 2, 3]
+    assert engine.now == 3.0
+
+
+def test_step_fires_one_event():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule_at(1.0, lambda: fired.append(1))
+    engine.schedule_at(2.0, lambda: fired.append(2))
+    assert engine.step()
+    assert fired == [1]
+    assert engine.step()
+    assert not engine.step()
+
+
+def test_reset_rewinds_clock_and_queue():
+    engine = SimulationEngine()
+    engine.schedule_at(1.0, lambda: None)
+    engine.run()
+    engine.reset()
+    assert engine.now == 0.0
+    assert engine.pending == 0
+    assert engine.events_processed == 0
+    engine.schedule_at(0.5, lambda: None)  # past-of-old-clock is fine now
+    engine.run()
+    assert engine.now == 0.5
+
+
+def test_reentrant_run_rejected():
+    engine = SimulationEngine()
+
+    def recurse():
+        engine.run()
+
+    engine.schedule_at(1.0, recurse)
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_events_processed_counter():
+    engine = SimulationEngine()
+    for t in (1.0, 2.0, 3.0):
+        engine.schedule_at(t, lambda: None)
+    engine.run()
+    assert engine.events_processed == 3
+
+
+def test_simultaneous_events_fifo():
+    engine = SimulationEngine()
+    fired = []
+    for i in range(5):
+        engine.schedule_at(7.0, (lambda j: lambda: fired.append(j))(i))
+    engine.run()
+    assert fired == [0, 1, 2, 3, 4]

@@ -1,0 +1,49 @@
+"""Unit tests for named random streams."""
+
+import numpy as np
+
+from repro.sim.rng import RandomStreams
+
+
+def test_same_name_returns_same_generator():
+    streams = RandomStreams(seed=1)
+    assert streams.get("a") is streams.get("a")
+
+
+def test_same_seed_reproduces_sequences():
+    first = RandomStreams(seed=42).get("steps").normal(size=100)
+    second = RandomStreams(seed=42).get("steps").normal(size=100)
+    np.testing.assert_array_equal(first, second)
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(seed=42)
+    a = streams.get("a").normal(size=100)
+    b = streams.get("b").normal(size=100)
+    assert not np.allclose(a, b)
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(seed=1).get("x").normal(size=50)
+    b = RandomStreams(seed=2).get("x").normal(size=50)
+    assert not np.allclose(a, b)
+
+
+def test_consuming_one_stream_does_not_shift_another():
+    streams = RandomStreams(seed=9)
+    expected = RandomStreams(seed=9).get("b").normal(size=10)
+    streams.get("a").normal(size=1000)  # burn variates on another stream
+    np.testing.assert_array_equal(streams.get("b").normal(size=10), expected)
+
+
+def test_fork_is_deterministic_and_distinct():
+    base = RandomStreams(seed=5)
+    fork1 = base.fork(1)
+    fork1_again = RandomStreams(seed=5).fork(1)
+    assert fork1.seed == fork1_again.seed
+    assert fork1.seed != base.seed
+    assert base.fork(2).seed != fork1.seed
+
+
+def test_seed_property():
+    assert RandomStreams(seed=17).seed == 17

@@ -1,0 +1,106 @@
+"""Unit tests for the statistics collectors."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.stats import Counter, Tally, TimeWeightedStat
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter().count == 0
+
+    def test_increment(self):
+        counter = Counter("updates")
+        counter.increment()
+        counter.increment(4)
+        assert counter.count == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().increment(-1)
+
+    def test_reset(self):
+        counter = Counter()
+        counter.increment(3)
+        counter.reset()
+        assert counter.count == 0
+
+
+class TestTally:
+    def test_single_value(self):
+        tally = Tally()
+        tally.record(4.0)
+        assert tally.mean == 4.0
+        assert tally.variance == 0.0
+        assert tally.minimum == 4.0
+        assert tally.maximum == 4.0
+
+    def test_matches_numpy_moments(self):
+        values = [3.0, 1.5, -2.0, 8.25, 0.0, 4.5]
+        tally = Tally()
+        for value in values:
+            tally.record(value)
+        assert tally.mean == pytest.approx(np.mean(values))
+        assert tally.variance == pytest.approx(np.var(values, ddof=1))
+        assert tally.minimum == min(values)
+        assert tally.maximum == max(values)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    def test_welford_agrees_with_numpy(self, values):
+        tally = Tally()
+        for value in values:
+            tally.record(value)
+        assert tally.count == len(values)
+        assert tally.mean == pytest.approx(np.mean(values), abs=1e-6)
+        assert tally.variance == pytest.approx(
+            np.var(values, ddof=1), rel=1e-6, abs=1e-6
+        )
+
+    def test_summary_snapshot(self):
+        tally = Tally("sizes")
+        tally.record(1.0)
+        tally.record(3.0)
+        summary = tally.summary()
+        assert summary.count == 2
+        assert summary.mean == 2.0
+        assert summary.std == pytest.approx(math.sqrt(2.0))
+
+    def test_reset(self):
+        tally = Tally("x")
+        tally.record(1.0)
+        tally.reset()
+        assert tally.count == 0
+        assert tally.name == "x"
+
+
+class TestTimeWeightedStat:
+    def test_constant_level(self):
+        stat = TimeWeightedStat()
+        stat.record(0.0, 5.0)
+        assert stat.mean(10.0) == 5.0
+
+    def test_two_levels_weighted_by_duration(self):
+        stat = TimeWeightedStat()
+        stat.record(0.0, 0.0)
+        stat.record(6.0, 10.0)
+        # 0 for 6 units, 10 for 4 units over [0, 10].
+        assert stat.mean(10.0) == pytest.approx(4.0)
+
+    def test_before_first_record_is_zero(self):
+        assert TimeWeightedStat().mean(5.0) == 0.0
+
+    def test_time_going_backwards_rejected(self):
+        stat = TimeWeightedStat()
+        stat.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            stat.record(4.0, 2.0)
+
+    def test_mean_at_start_time_is_zero(self):
+        stat = TimeWeightedStat()
+        stat.record(3.0, 7.0)
+        assert stat.mean(3.0) == 0.0

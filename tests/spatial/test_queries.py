@@ -1,0 +1,60 @@
+"""Unit tests for spatial queries."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.geometry import BallRegion, BoxRegion
+from repro.spatial.queries import SpatialKnnQuery, SpatialRangeQuery
+
+
+class TestSpatialRangeQuery:
+    def test_true_answer(self):
+        query = SpatialRangeQuery(BoxRegion([0.0, 0.0], [10.0, 10.0]))
+        points = np.array([[5.0, 5.0], [11.0, 5.0], [10.0, 10.0]])
+        assert query.true_answer(points) == frozenset({0, 2})
+
+    def test_not_rank_based(self):
+        query = SpatialRangeQuery(BoxRegion([0.0], [1.0]))
+        assert not query.is_rank_based
+        assert query.dimension == 1
+
+
+class TestSpatialKnnQuery:
+    def test_distances_euclidean(self):
+        query = SpatialKnnQuery([0.0, 0.0], k=1)
+        assert query.distance([3.0, 4.0]) == pytest.approx(5.0)
+        np.testing.assert_allclose(
+            query.distance_array(np.array([[3.0, 4.0], [0.0, 2.0]])),
+            [5.0, 2.0],
+        )
+
+    def test_true_answer_closest_k(self):
+        query = SpatialKnnQuery([0.0, 0.0], k=2)
+        points = np.array([[1.0, 0.0], [5.0, 5.0], [0.0, 2.0], [10.0, 0.0]])
+        assert query.true_answer(points) == frozenset({0, 2})
+
+    def test_region_is_ball(self):
+        query = SpatialKnnQuery([1.0, 1.0], k=1)
+        region = query.region(2.5)
+        assert isinstance(region, BallRegion)
+        assert region.radius == 2.5
+        np.testing.assert_array_equal(region.center, [1.0, 1.0])
+
+    def test_rank_of_ties_break_by_id(self):
+        query = SpatialKnnQuery([0.0, 0.0], k=1)
+        points = np.array([[1.0, 0.0], [0.0, 1.0], [-1.0, 0.0]])
+        assert query.rank_of(0, points) == 1
+        assert query.rank_of(1, points) == 2
+        assert query.rank_of(2, points) == 3
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialKnnQuery([0.0, 0.0], k=0)
+
+    def test_is_rank_based(self):
+        assert SpatialKnnQuery([0.0], k=1).is_rank_based
+
+    def test_ranked_ids_order(self):
+        query = SpatialKnnQuery([0.0, 0.0], k=1)
+        points = np.array([[5.0, 0.0], [1.0, 0.0], [3.0, 0.0]])
+        assert list(query.ranked_ids(points)) == [1, 2, 0]

@@ -1,0 +1,103 @@
+"""Tests for the Section 6.2 synthetic workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.streams.synthetic import SyntheticConfig, generate_synthetic_trace
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = SyntheticConfig()
+        assert config.n_streams == 5000
+        assert config.mean_interarrival == 20.0
+        assert config.sigma == 20.0
+        assert (config.value_low, config.value_high) == (0.0, 1000.0)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_streams", 0),
+            ("horizon", -1.0),
+            ("mean_interarrival", 0.0),
+            ("sigma", -5.0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            SyntheticConfig(**{field: value})
+
+    def test_inverted_value_range_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(value_low=10.0, value_high=5.0)
+
+
+class TestGeneration:
+    def test_deterministic_for_same_seed(self):
+        config = SyntheticConfig(n_streams=50, horizon=100.0, seed=5)
+        a = generate_synthetic_trace(config)
+        b = generate_synthetic_trace(config)
+        np.testing.assert_array_equal(a.times, b.times)
+        np.testing.assert_array_equal(a.values, b.values)
+        np.testing.assert_array_equal(a.initial_values, b.initial_values)
+
+    def test_different_seeds_differ(self):
+        a = generate_synthetic_trace(SyntheticConfig(n_streams=50, horizon=100.0, seed=1))
+        b = generate_synthetic_trace(SyntheticConfig(n_streams=50, horizon=100.0, seed=2))
+        assert not np.array_equal(a.values, b.values)
+
+    def test_initial_values_in_range(self):
+        trace = generate_synthetic_trace(
+            SyntheticConfig(n_streams=500, horizon=10.0, seed=0)
+        )
+        assert np.all(trace.initial_values >= 0.0)
+        assert np.all(trace.initial_values <= 1000.0)
+        # Uniform: mean near 500.
+        assert abs(trace.initial_values.mean() - 500.0) < 50.0
+
+    def test_record_count_matches_poisson_rate(self):
+        config = SyntheticConfig(
+            n_streams=200, horizon=400.0, mean_interarrival=20.0, seed=3
+        )
+        trace = generate_synthetic_trace(config)
+        expected = 200 * 400.0 / 20.0
+        assert expected * 0.9 < trace.n_records < expected * 1.1
+
+    def test_interarrival_mean(self):
+        config = SyntheticConfig(n_streams=1, horizon=50_000.0, seed=2)
+        trace = generate_synthetic_trace(config)
+        gaps = np.diff(np.concatenate([[0.0], trace.times]))
+        assert gaps.mean() == pytest.approx(20.0, rel=0.1)
+
+    def test_step_sigma(self):
+        config = SyntheticConfig(n_streams=1, horizon=50_000.0, sigma=20.0, seed=4)
+        trace = generate_synthetic_trace(config)
+        steps = np.diff(
+            np.concatenate([[trace.initial_values[0]], trace.values])
+        )
+        assert abs(steps.mean()) < 2.0
+        assert steps.std() == pytest.approx(20.0, rel=0.1)
+
+    def test_sigma_override_kwarg(self):
+        trace = generate_synthetic_trace(
+            SyntheticConfig(n_streams=1, horizon=20_000.0, seed=4), sigma=60.0
+        )
+        steps = np.diff(
+            np.concatenate([[trace.initial_values[0]], trace.values])
+        )
+        assert steps.std() == pytest.approx(60.0, rel=0.15)
+
+    def test_times_sorted_and_within_horizon(self):
+        trace = generate_synthetic_trace(
+            SyntheticConfig(n_streams=30, horizon=200.0, seed=6)
+        )
+        assert np.all(np.diff(trace.times) >= 0)
+        assert trace.times[-1] <= trace.horizon
+
+    def test_metadata_carries_parameters(self):
+        trace = generate_synthetic_trace(
+            SyntheticConfig(n_streams=10, horizon=50.0, sigma=40.0, seed=9)
+        )
+        assert trace.metadata["workload"] == "synthetic"
+        assert trace.metadata["sigma"] == 40.0
+        assert trace.metadata["seed"] == 9

@@ -1,0 +1,97 @@
+"""Tests for the synthetic TCP workload (Section 6.1 substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.streams.tcp import TIME_UNITS_PER_DAY, TcpTraceConfig, generate_tcp_trace
+
+
+@pytest.fixture(scope="module")
+def tcp_trace():
+    return generate_tcp_trace(
+        TcpTraceConfig(n_subnets=200, n_connections=8000, days=10.0, seed=0)
+    )
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_subnets", 0),
+            ("n_connections", -1),
+            ("days", 0.0),
+            ("zipf_exponent", 0.0),
+            ("base_median", 0.0),
+            ("burst_fraction", 1.0),
+            ("autocorrelation", 1.0),
+            ("diurnal_amplitude", 1.0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            TcpTraceConfig(**{field: value})
+
+    def test_horizon_in_days(self):
+        assert TcpTraceConfig(days=30.0).horizon == 30.0 * TIME_UNITS_PER_DAY
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        config = TcpTraceConfig(n_subnets=50, n_connections=500, seed=3)
+        a = generate_tcp_trace(config)
+        b = generate_tcp_trace(config)
+        np.testing.assert_array_equal(a.values, b.values)
+        np.testing.assert_array_equal(a.times, b.times)
+
+    def test_shape_and_ranges(self, tcp_trace):
+        assert tcp_trace.n_streams == 200
+        assert tcp_trace.n_records == 8000
+        assert np.all(tcp_trace.stream_ids >= 0)
+        assert np.all(tcp_trace.stream_ids < 200)
+        assert np.all(tcp_trace.values > 0)
+        assert np.all(np.diff(tcp_trace.times) >= 0)
+        assert tcp_trace.times[-1] <= tcp_trace.horizon
+
+    def test_zipf_popularity_is_skewed(self, tcp_trace):
+        counts = np.bincount(tcp_trace.stream_ids, minlength=200)
+        counts = np.sort(counts)[::-1]
+        # Top 10% of subnets should carry well over 10% of connections.
+        assert counts[:20].sum() > 0.3 * counts.sum()
+
+    def test_values_are_heavy_tailed(self, tcp_trace):
+        values = tcp_trace.values
+        # Mean above median is the signature of right skew; the exact gap
+        # depends on which (Zipf-weighted) subnets dominate the records.
+        assert values.mean() > 1.1 * np.median(values)
+        # And the extreme tail reaches far beyond the bulk.
+        assert values.max() > 5.0 * np.percentile(values, 95)
+
+    def test_persistent_subnet_levels(self, tcp_trace):
+        """Within-subnet value spread is far below across-subnet spread."""
+        log_values = np.log(tcp_trace.values)
+        ids = tcp_trace.stream_ids
+        per_subnet_std = []
+        for subnet in range(200):
+            mask = ids == subnet
+            if mask.sum() >= 20:
+                per_subnet_std.append(log_values[mask].std())
+        across = log_values.std()
+        assert np.mean(per_subnet_std) < 0.7 * across
+
+    def test_range_query_selectivity_reasonable(self, tcp_trace):
+        """The paper's [400, 600] query should catch a usable slice."""
+        initial_in = (
+            (tcp_trace.initial_values >= 400) & (tcp_trace.initial_values <= 600)
+        ).mean()
+        assert 0.05 < initial_in < 0.5
+
+    def test_override_kwargs(self):
+        trace = generate_tcp_trace(
+            TcpTraceConfig(n_subnets=50, n_connections=300, seed=1),
+            n_connections=600,
+        )
+        assert trace.n_records == 600
+
+    def test_metadata(self, tcp_trace):
+        assert tcp_trace.metadata["workload"] == "tcp"
+        assert tcp_trace.metadata["n_subnets"] == 200

@@ -1,0 +1,37 @@
+"""The public API surface: everything in __all__ imports and works."""
+
+import repro
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_quickstart_docstring_flow():
+    """The module docstring's quickstart must actually work."""
+    trace = repro.generate_synthetic_trace(
+        n_streams=100, horizon=200.0, seed=7
+    )
+    query = repro.RangeQuery(400.0, 600.0)
+    tolerance = repro.FractionTolerance(eps_plus=0.2, eps_minus=0.2)
+    protocol = repro.FractionToleranceRangeProtocol(query, tolerance)
+    result = repro.run_protocol(
+        trace,
+        protocol,
+        tolerance=tolerance,
+        config=repro.RunConfig(check_every=1),
+    )
+    assert result.tolerance_ok
+
+
+def test_protocol_names_are_paper_names():
+    assert repro.RankToleranceProtocol.name == "RTP"
+    assert repro.ZeroToleranceRangeProtocol.name == "ZT-NRP"
+    assert repro.FractionToleranceRangeProtocol.name == "FT-NRP"
+    assert repro.ZeroToleranceKnnProtocol.name == "ZT-RP"
+    assert repro.FractionToleranceKnnProtocol.name == "FT-RP"

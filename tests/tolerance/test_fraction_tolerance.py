@@ -1,0 +1,119 @@
+"""Unit + property tests for Definitions 2-3 (fraction-based tolerance)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tolerance.fraction_tolerance import FractionReport, FractionTolerance
+
+eps_strategy = st.floats(0.0, 0.49, allow_nan=False)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("eps", [-0.1, 0.5, 0.7, 1.0])
+    def test_out_of_range_eps_plus_rejected(self, eps):
+        with pytest.raises(ValueError):
+            FractionTolerance(eps, 0.1)
+
+    @pytest.mark.parametrize("eps", [-0.01, 0.5])
+    def test_out_of_range_eps_minus_rejected(self, eps):
+        with pytest.raises(ValueError):
+            FractionTolerance(0.1, eps)
+
+    def test_is_zero(self):
+        assert FractionTolerance(0.0, 0.0).is_zero
+        assert not FractionTolerance(0.1, 0.0).is_zero
+
+
+class TestBudgets:
+    def test_emax_plus_floor(self):
+        tolerance = FractionTolerance(0.25, 0.1)
+        assert tolerance.emax_plus(10) == 2
+        assert tolerance.emax_plus(4) == 1
+        assert tolerance.emax_plus(3) == 0
+
+    def test_emax_plus_exact_boundary(self):
+        # 0.2 * 10 = 2 exactly: the floor must not lose it to round-off.
+        assert FractionTolerance(0.2, 0.0).emax_plus(10) == 2
+
+    def test_emax_minus_paper_formula(self):
+        # Emax- = |A| eps- (1 - eps+) / (1 - eps-)
+        tolerance = FractionTolerance(0.2, 0.25)
+        assert tolerance.emax_minus(30) == int(30 * 0.25 * 0.8 / 0.75)
+
+    def test_zero_tolerance_budgets(self):
+        tolerance = FractionTolerance(0.0, 0.0)
+        assert tolerance.emax_plus(100) == 0
+        assert tolerance.emax_minus(100) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            FractionTolerance(0.1, 0.1).emax_plus(-1)
+
+    @given(eps_strategy, eps_strategy, st.integers(0, 10_000))
+    def test_budgets_respect_fractions(self, eps_plus, eps_minus, size):
+        """An answer with exactly Emax+/Emax- errors must satisfy Def. 3."""
+        tolerance = FractionTolerance(eps_plus, eps_minus)
+        e_plus = tolerance.emax_plus(size)
+        e_minus = tolerance.emax_minus(size)
+        if size > 0:
+            assert e_plus / size <= eps_plus + 1e-9
+        true_size = size - e_plus + e_minus
+        if true_size > 0:
+            assert e_minus / true_size <= eps_minus + 1e-9
+
+
+class TestReport:
+    def test_report_counts(self):
+        tolerance = FractionTolerance(0.4, 0.4)
+        report = tolerance.report({1, 2, 3}, frozenset({2, 3, 4, 5}))
+        assert report.e_plus == 1   # stream 1
+        assert report.e_minus == 2  # streams 4, 5
+        assert report.answer_size == 3
+        assert report.true_size == 4
+        assert report.f_plus == pytest.approx(1 / 3)
+        assert report.f_minus == pytest.approx(2 / 4)
+
+    def test_f_minus_denominator_is_true_size(self):
+        """F- = E- / (|A| - E+ + E-), which equals E- / |T| (Eq. 2)."""
+        report = FractionReport(answer_size=5, true_size=6, e_plus=2, e_minus=3)
+        assert report.answer_size - report.e_plus + report.e_minus == 6
+        assert report.f_minus == pytest.approx(3 / 6)
+
+    def test_empty_answer_has_zero_f_plus(self):
+        report = FractionReport(answer_size=0, true_size=3, e_plus=0, e_minus=3)
+        assert report.f_plus == 0.0
+        assert report.f_minus == 1.0
+
+    def test_empty_truth_has_zero_f_minus(self):
+        report = FractionReport(answer_size=2, true_size=0, e_plus=2, e_minus=0)
+        assert report.f_minus == 0.0
+        assert report.f_plus == 1.0
+
+
+class TestSatisfaction:
+    def test_exact_answer_always_satisfies(self):
+        tolerance = FractionTolerance(0.0, 0.0)
+        assert tolerance.is_satisfied({1, 2}, frozenset({1, 2}))
+
+    def test_violations_detected_both_ways(self):
+        tolerance = FractionTolerance(0.1, 0.1)
+        assert "F+" in tolerance.violation({1, 2}, frozenset({1}))
+        assert "F-" in tolerance.violation({1}, frozenset({1, 2}))
+
+    def test_boundary_exactly_at_eps_passes(self):
+        tolerance = FractionTolerance(0.25, 0.0)
+        # 1 of 4 wrong: F+ = 0.25 == eps+.
+        assert tolerance.is_satisfied({1, 2, 3, 9}, frozenset({1, 2, 3}))
+
+    @given(
+        st.sets(st.integers(0, 30), max_size=20),
+        st.sets(st.integers(0, 30), max_size=20),
+        eps_strategy,
+        eps_strategy,
+    )
+    def test_violation_consistent_with_report(self, answer, truth, ep, em):
+        tolerance = FractionTolerance(ep, em)
+        report = tolerance.report(answer, truth)
+        ok = report.f_plus <= ep + 1e-12 and report.f_minus <= em + 1e-12
+        assert (tolerance.violation(answer, truth) is None) == ok

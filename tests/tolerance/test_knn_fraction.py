@@ -1,0 +1,125 @@
+"""Unit + property tests for the k-NN fraction-tolerance results.
+
+Covers the answer-size bounds (Equations 7-10) and the rho+/rho-
+derivation (Equations 13-16).
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tolerance.fraction_tolerance import FractionTolerance
+from repro.tolerance.knn_fraction import (
+    RhoPolicy,
+    answer_size_bounds,
+    derive_rho,
+    max_rho_minus,
+)
+
+eps_strategy = st.floats(0.0, 0.49, allow_nan=False)
+k_strategy = st.integers(1, 500)
+
+
+class TestAnswerSizeBounds:
+    def test_paper_example(self):
+        """10-NN with eps+ = 0.1 may return 11 streams (Section 3.4.1)."""
+        lower, upper = answer_size_bounds(10, FractionTolerance(0.1, 0.0))
+        assert upper == 11
+        assert lower == 10
+
+    def test_zero_tolerance_pins_size_to_k(self):
+        assert answer_size_bounds(7, FractionTolerance(0.0, 0.0)) == (7, 7)
+
+    @given(k_strategy, eps_strategy, eps_strategy)
+    def test_equations_8_and_10(self, k, eps_plus, eps_minus):
+        """With both tolerances < 0.5, k/2 <= |A| <= 2k."""
+        lower, upper = answer_size_bounds(
+            k, FractionTolerance(eps_plus, eps_minus)
+        )
+        assert lower >= k / 2
+        assert upper <= 2 * k
+        assert lower <= k <= upper  # |A| = k is always admissible
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            answer_size_bounds(0, FractionTolerance(0.1, 0.1))
+
+
+class TestRhoFrontier:
+    def test_frontier_decreases_in_rho_plus(self):
+        tolerance = FractionTolerance(0.3, 0.3)
+        assert max_rho_minus(0.0, tolerance) > max_rho_minus(0.1, tolerance)
+
+    def test_frontier_clamped_at_zero(self):
+        tolerance = FractionTolerance(0.1, 0.1)
+        assert max_rho_minus(10.0, tolerance) == 0.0
+
+    def test_negative_rho_plus_rejected(self):
+        with pytest.raises(ValueError):
+            max_rho_minus(-0.1, FractionTolerance(0.1, 0.1))
+
+    def test_headroom_is_min_of_both_requirements(self):
+        # eps+ = 0.4, eps- = 0.1: false-negative budget binds.
+        tolerance = FractionTolerance(0.4, 0.1)
+        assert max_rho_minus(0.0, tolerance) == pytest.approx(0.1)
+        # eps+ = 0.1, eps- = 0.4: false-positive budget binds.
+        tolerance = FractionTolerance(0.1, 0.4)
+        assert max_rho_minus(0.0, tolerance) == pytest.approx(0.6 * 0.1)
+
+
+class TestDeriveRho:
+    @given(eps_strategy, eps_strategy)
+    def test_all_policies_lie_on_or_under_frontier(self, ep, em):
+        tolerance = FractionTolerance(ep, em)
+        for policy in RhoPolicy:
+            rho_plus, rho_minus = derive_rho(tolerance, policy)
+            assert rho_plus >= 0.0
+            assert rho_minus >= 0.0
+            assert rho_minus <= max_rho_minus(rho_plus, tolerance) + 1e-12
+
+    @given(eps_strategy, eps_strategy)
+    def test_balanced_policy_equalizes(self, ep, em):
+        rho_plus, rho_minus = derive_rho(
+            FractionTolerance(ep, em), RhoPolicy.BALANCED
+        )
+        assert rho_plus == pytest.approx(rho_minus)
+
+    def test_favor_fp_zeroes_rho_minus(self):
+        rho_plus, rho_minus = derive_rho(
+            FractionTolerance(0.3, 0.3), RhoPolicy.FAVOR_FP
+        )
+        assert rho_minus == 0.0
+        assert rho_plus > 0.0
+
+    def test_favor_fn_zeroes_rho_plus(self):
+        rho_plus, rho_minus = derive_rho(
+            FractionTolerance(0.3, 0.3), RhoPolicy.FAVOR_FN
+        )
+        assert rho_plus == 0.0
+        assert rho_minus > 0.0
+
+    def test_zero_tolerance_gives_zero_rho(self):
+        for policy in RhoPolicy:
+            assert derive_rho(FractionTolerance(0.0, 0.0), policy) == (0.0, 0.0)
+
+    def test_zero_eps_plus_gives_zero_rho(self):
+        """No false positives allowed => no silencers of either kind."""
+        for policy in RhoPolicy:
+            assert derive_rho(FractionTolerance(0.0, 0.3), policy) == (0.0, 0.0)
+
+    @given(eps_strategy, eps_strategy)
+    def test_rho_sum_within_fn_budget(self, ep, em):
+        """rho+ + rho- <= eps-, needed for the initial |A| = k to satisfy
+        the tightened FT-RP size triggers."""
+        tolerance = FractionTolerance(ep, em)
+        for policy in RhoPolicy:
+            rho_plus, rho_minus = derive_rho(tolerance, policy)
+            assert rho_plus + rho_minus <= em + 1e-12
+
+    @given(eps_strategy, eps_strategy)
+    def test_rho_minus_within_fp_budget(self, ep, em):
+        """rho- <= eps+, needed for the initial upper trigger >= k."""
+        tolerance = FractionTolerance(ep, em)
+        for policy in RhoPolicy:
+            _, rho_minus = derive_rho(tolerance, policy)
+            assert rho_minus <= ep + 1e-12

@@ -1,0 +1,65 @@
+"""Unit tests for Definition 1 (rank-based tolerance)."""
+
+import numpy as np
+import pytest
+
+from repro.queries.knn import KnnQuery, TopKQuery
+from repro.tolerance.rank_tolerance import RankTolerance
+
+
+def test_eps_is_k_plus_r():
+    assert RankTolerance(k=3, r=2).eps == 5
+
+
+@pytest.mark.parametrize("k,r", [(0, 1), (-1, 0), (2, -1)])
+def test_invalid_parameters_rejected(k, r):
+    with pytest.raises(ValueError):
+        RankTolerance(k=k, r=r)
+
+
+def test_exact_answer_is_correct():
+    values = np.array([10.0, 20.0, 30.0, 40.0])
+    query = TopKQuery(k=2)
+    tolerance = RankTolerance(k=2, r=0)
+    assert tolerance.is_correct({2, 3}, query, values)
+
+
+def test_wrong_size_is_incorrect():
+    values = np.array([10.0, 20.0, 30.0, 40.0])
+    query = TopKQuery(k=2)
+    tolerance = RankTolerance(k=2, r=2)
+    assert not tolerance.is_correct({3}, query, values)
+    assert not tolerance.is_correct({1, 2, 3}, query, values)
+    assert "expected exactly k" in tolerance.violation({3}, query, values)
+
+
+def test_slack_admits_near_misses():
+    values = np.array([10.0, 20.0, 30.0, 40.0])
+    query = TopKQuery(k=2)
+    # {1, 3}: ranks 3 and 1 — rank 3 needs r >= 1.
+    assert not RankTolerance(k=2, r=0).is_correct({1, 3}, query, values)
+    assert RankTolerance(k=2, r=1).is_correct({1, 3}, query, values)
+
+
+def test_paper_example_knn_k3_r2():
+    """Definition 1's example: eps = 5 admits any 3 streams ranking <= 5."""
+    values = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+    query = KnnQuery(q=0.0, k=3)
+    tolerance = RankTolerance(k=3, r=2)
+    assert tolerance.eps == 5
+    assert tolerance.is_correct({0, 3, 4}, query, values)   # ranks 1, 4, 5
+    assert not tolerance.is_correct({0, 1, 5}, query, values)  # rank 6
+
+
+def test_mismatched_k_raises():
+    values = np.array([1.0, 2.0, 3.0])
+    with pytest.raises(ValueError):
+        RankTolerance(k=2, r=0).is_correct({0}, TopKQuery(k=1), values)
+
+
+def test_violation_message_names_offender():
+    values = np.array([10.0, 20.0, 30.0, 40.0])
+    query = TopKQuery(k=1)
+    tolerance = RankTolerance(k=1, r=0)
+    message = tolerance.violation({0}, query, values)
+    assert "stream 0" in message
