@@ -4,6 +4,18 @@ A from-scratch reproduction of Cheng, Kao, Prabhakar, Kwan and Tu,
 "Adaptive Stream Filters for Entity-based Queries with Non-Value
 Tolerance", VLDB 2005.
 
+All four execution stacks — the paper's scalar filters
+(``repro.streams``), the spatial generalization (``repro.spatial``), the
+Olston-style value windows (``repro.valuebased``) and the shared
+multi-query engine (``repro.multiquery``) — run on one runtime kernel,
+``repro.runtime``: a generic membership-flip source
+(:class:`~repro.runtime.source.FilteredSource` parameterized by a
+:class:`~repro.runtime.membership.MembershipStrategy`) and a single
+assembly/replay core (:class:`~repro.runtime.session.ExecutionSession`)
+with a vectorized batched fast path for runs without correctness
+checking.  Parameter sweeps (:func:`run_grid`, :func:`sweep_values`)
+optionally fan out over a process pool.
+
 Quickstart
 ----------
 >>> from repro import (
@@ -53,6 +65,11 @@ from repro.queries import (
     RangeQuery,
     TopKQuery,
 )
+from repro.runtime import (
+    ExecutionSession,
+    FilteredSource,
+    MembershipStrategy,
+)
 from repro.sim import SimulationEngine
 from repro.streams import (
     FilterConstraint,
@@ -76,13 +93,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BoundaryNearestSelection",
+    "ExecutionSession",
     "FilterConstraint",
     "FilterProtocol",
+    "FilteredSource",
     "FractionTolerance",
     "FractionToleranceKnnProtocol",
     "FractionToleranceRangeProtocol",
     "KMinQuery",
     "KnnQuery",
+    "MembershipStrategy",
     "MessageKind",
     "MessageLedger",
     "NoFilterProtocol",

@@ -5,8 +5,6 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.queries.base import RankBasedQuery
 from repro.queries.range_query import RangeQuery
 from repro.streams.trace import StreamTrace

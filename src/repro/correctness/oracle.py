@@ -27,6 +27,10 @@ class Oracle:
         # range query (identified by object id).
         self._range_queries: dict[int, RangeQuery] = {}
         self._range_members: dict[int, set[int]] = {}
+        # Other registered queries (rank-based and non-rank-based): their
+        # truth is computed on demand, but registering them up front
+        # validates support before the first check instead of at it.
+        self._on_demand_queries: dict[int, EntityQuery] = {}
 
     @property
     def n_streams(self) -> int:
@@ -42,6 +46,22 @@ class Oracle:
     def value_of(self, stream_id: int) -> float:
         return float(self._values[stream_id])
 
+    def register_query(self, query: EntityQuery) -> None:
+        """Register any supported query for truth maintenance.
+
+        Range queries get O(1)-per-update incremental membership; rank
+        and other non-rank queries are validated and tracked, with truth
+        computed on demand at check time.  Unsupported types raise
+        immediately instead of failing at the first check.
+        """
+        if isinstance(query, RangeQuery):
+            self.register_range_query(query)
+            return
+        if isinstance(query, (RankBasedQuery, NonRankBasedQuery)):
+            self._on_demand_queries.setdefault(id(query), query)
+            return
+        raise TypeError(f"unsupported query type {type(query)!r}")
+
     def register_range_query(self, query: RangeQuery) -> None:
         """Enable O(1)-per-update truth maintenance for *query*."""
         key = id(query)
@@ -50,6 +70,14 @@ class Oracle:
         self._range_queries[key] = query
         members = np.nonzero(query.matches_array(self._values))[0]
         self._range_members[key] = set(int(i) for i in members)
+
+    @property
+    def registered_queries(self) -> list[EntityQuery]:
+        """Every query registered with this oracle, range or not."""
+        return [
+            *self._range_queries.values(),
+            *self._on_demand_queries.values(),
+        ]
 
     def apply(self, stream_id: int, value: float) -> None:
         """Record that *stream_id* now holds *value*."""

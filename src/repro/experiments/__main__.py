@@ -29,11 +29,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--seed", type=int, default=0, help="master random seed"
     )
+    parser.add_argument(
+        "--replay",
+        default="auto",
+        choices=["auto", "event", "batch"],
+        dest="replay_mode",
+        help="replay path: batched fast path, per-event, or auto",
+    )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="with 'all': run the figures concurrently on all cores",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "all":
         started = time.perf_counter()
-        for name, result in run_all(profile=args.profile, seed=args.seed).items():
+        results = run_all(
+            profile=args.profile,
+            seed=args.seed,
+            replay_mode=args.replay_mode,
+            parallel=args.parallel,
+        )
+        for name, result in results.items():
             print(result.format())
             print()
         print(f"(total {time.perf_counter() - started:.1f}s)")
@@ -41,7 +59,9 @@ def main(argv: list[str] | None = None) -> int:
 
     runner, _ = REGISTRY[args.experiment]
     started = time.perf_counter()
-    result = runner(profile=args.profile, seed=args.seed)
+    result = runner(
+        profile=args.profile, seed=args.seed, replay_mode=args.replay_mode
+    )
     print(result.format())
     print(f"(ran in {time.perf_counter() - started:.1f}s)")
     return 0

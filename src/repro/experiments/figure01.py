@@ -57,7 +57,11 @@ _PROFILES = {
 }
 
 
-def run(profile: Profile | str = Profile.DEFAULT, seed: int = 0) -> FigureResult:
+def run(
+    profile: Profile | str = Profile.DEFAULT,
+    seed: int = 0,
+    replay_mode: str = "auto",
+) -> FigureResult:
     """Quantify Figure 1: cost and rank quality across eps, vs. RTP."""
     profile = Profile.coerce(profile)
     params = _PROFILES[profile]
@@ -79,6 +83,7 @@ def run(profile: Profile | str = Profile.DEFAULT, seed: int = 0) -> FigureResult
             query_factory(),
             eps,
             check_every=params["check_every"],
+            replay_mode=replay_mode,
         )
         messages.append(result.maintenance_messages)
         worst_ranks.append(result.worst_rank)
@@ -88,7 +93,7 @@ def run(profile: Profile | str = Profile.DEFAULT, seed: int = 0) -> FigureResult
         trace,
         RankToleranceProtocol(query_factory(), tolerance),
         tolerance=tolerance,
-        config=RunConfig(),
+        config=RunConfig(replay_mode=replay_mode),
     )
 
     return FigureResult(

@@ -45,7 +45,11 @@ _PROFILES = {
 }
 
 
-def run(profile: Profile | str = Profile.DEFAULT, seed: int = 0) -> FigureResult:
+def run(
+    profile: Profile | str = Profile.DEFAULT,
+    seed: int = 0,
+    replay_mode: str = "auto",
+) -> FigureResult:
     """Reproduce Figure 9; returns one curve per k plus the baseline."""
     profile = Profile.coerce(profile)
     params = _PROFILES[profile]
@@ -62,7 +66,9 @@ def run(profile: Profile | str = Profile.DEFAULT, seed: int = 0) -> FigureResult
     series: dict[str, list[int]] = {}
 
     baseline = run_protocol(
-        trace, NoFilterProtocol(TopKQuery(k=params["k_values"][0]))
+        trace,
+        NoFilterProtocol(TopKQuery(k=params["k_values"][0])),
+        config=RunConfig(replay_mode=replay_mode),
     )
     series["no filter"] = [baseline.maintenance_messages] * len(r_values)
 
@@ -75,7 +81,7 @@ def run(profile: Profile | str = Profile.DEFAULT, seed: int = 0) -> FigureResult
                 trace,
                 RankToleranceProtocol(query, tolerance),
                 tolerance=tolerance,
-                config=RunConfig(label=f"k={k},r={r}"),
+                config=RunConfig(label=f"k={k},r={r}", replay_mode=replay_mode),
             )
             curve.append(result.maintenance_messages)
         series[f"k={k}"] = curve

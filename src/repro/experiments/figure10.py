@@ -43,7 +43,11 @@ _PROFILES = {
 }
 
 
-def run(profile: Profile | str = Profile.DEFAULT, seed: int = 0) -> FigureResult:
+def run(
+    profile: Profile | str = Profile.DEFAULT,
+    seed: int = 0,
+    replay_mode: str = "auto",
+) -> FigureResult:
     """Reproduce Figure 10: the eps+/eps- grid on TCP data."""
     profile = Profile.coerce(profile)
     params = _PROFILES[profile]
@@ -67,7 +71,7 @@ def run(profile: Profile | str = Profile.DEFAULT, seed: int = 0) -> FigureResult
                 trace,
                 FractionToleranceRangeProtocol(query, tolerance),
                 tolerance=tolerance,
-                config=RunConfig(label=f"e+={eps_plus},e-={eps_minus}"),
+                config=RunConfig(label=f"e+={eps_plus},e-={eps_minus}", replay_mode=replay_mode),
             )
             curve.append(result.maintenance_messages)
         series[f"eps-={eps_minus}"] = curve

@@ -44,7 +44,11 @@ _PROFILES = {
 }
 
 
-def run(profile: Profile | str = Profile.DEFAULT, seed: int = 0) -> FigureResult:
+def run(
+    profile: Profile | str = Profile.DEFAULT,
+    seed: int = 0,
+    replay_mode: str = "auto",
+) -> FigureResult:
     """Reproduce Figure 11: message cost versus number of streams."""
     profile = Profile.coerce(profile)
     params = _PROFILES[profile]
@@ -75,7 +79,7 @@ def run(profile: Profile | str = Profile.DEFAULT, seed: int = 0) -> FigureResult
                 trace,
                 protocol,
                 tolerance=tolerance,
-                config=RunConfig(label=f"n={n},eps={eps}"),
+                config=RunConfig(label=f"n={n},eps={eps}", replay_mode=replay_mode),
             )
             curve.append(result.maintenance_messages)
         series[f"eps+=eps-={eps}"] = curve

@@ -36,7 +36,11 @@ _PROFILES = {
 }
 
 
-def run(profile: Profile | str = Profile.DEFAULT, seed: int = 0) -> FigureResult:
+def run(
+    profile: Profile | str = Profile.DEFAULT,
+    seed: int = 0,
+    replay_mode: str = "auto",
+) -> FigureResult:
     """Reproduce Figure 12: the eps+/eps- grid on synthetic data."""
     profile = Profile.coerce(profile)
     params = _PROFILES[profile]
@@ -59,7 +63,7 @@ def run(profile: Profile | str = Profile.DEFAULT, seed: int = 0) -> FigureResult
                 trace,
                 FractionToleranceRangeProtocol(query, tolerance),
                 tolerance=tolerance,
-                config=RunConfig(label=f"e+={eps_plus},e-={eps_minus}"),
+                config=RunConfig(label=f"e+={eps_plus},e-={eps_minus}", replay_mode=replay_mode),
             )
             curve.append(result.maintenance_messages)
         series[f"eps-={eps_minus}"] = curve

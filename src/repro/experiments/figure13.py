@@ -42,7 +42,11 @@ _PROFILES = {
 }
 
 
-def run(profile: Profile | str = Profile.DEFAULT, seed: int = 0) -> FigureResult:
+def run(
+    profile: Profile | str = Profile.DEFAULT,
+    seed: int = 0,
+    replay_mode: str = "auto",
+) -> FigureResult:
     """Reproduce Figure 13: message cost versus data fluctuation."""
     profile = Profile.coerce(profile)
     params = _PROFILES[profile]
@@ -71,7 +75,7 @@ def run(profile: Profile | str = Profile.DEFAULT, seed: int = 0) -> FigureResult
                 trace,
                 protocol,
                 tolerance=tolerance,
-                config=RunConfig(label=f"sigma={sigma},eps={eps}"),
+                config=RunConfig(label=f"sigma={sigma},eps={eps}", replay_mode=replay_mode),
             )
             curve.append(result.maintenance_messages)
         series[f"sigma={sigma:g}"] = curve

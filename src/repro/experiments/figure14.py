@@ -40,7 +40,11 @@ _PROFILES = {
 }
 
 
-def run(profile: Profile | str = Profile.DEFAULT, seed: int = 0) -> FigureResult:
+def run(
+    profile: Profile | str = Profile.DEFAULT,
+    seed: int = 0,
+    replay_mode: str = "auto",
+) -> FigureResult:
     """Reproduce Figure 14: random vs boundary-nearest selection."""
     profile = Profile.coerce(profile)
     params = _PROFILES[profile]
@@ -70,7 +74,7 @@ def run(profile: Profile | str = Profile.DEFAULT, seed: int = 0) -> FigureResult
                 trace,
                 protocol,
                 tolerance=tolerance,
-                config=RunConfig(label=f"{name},eps={eps}"),
+                config=RunConfig(label=f"{name},eps={eps}", replay_mode=replay_mode),
             )
             curve.append(result.maintenance_messages)
         series[name] = curve

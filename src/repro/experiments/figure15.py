@@ -47,7 +47,11 @@ _PROFILES = {
 }
 
 
-def run(profile: Profile | str = Profile.DEFAULT, seed: int = 0) -> FigureResult:
+def run(
+    profile: Profile | str = Profile.DEFAULT,
+    seed: int = 0,
+    replay_mode: str = "auto",
+) -> FigureResult:
     """Reproduce Figure 15: ZT-RP (eps=0) and FT-RP over the eps sweep."""
     profile = Profile.coerce(profile)
     params = _PROFILES[profile]
@@ -75,7 +79,7 @@ def run(profile: Profile | str = Profile.DEFAULT, seed: int = 0) -> FigureResult
                 trace,
                 protocol,
                 tolerance=tolerance,
-                config=RunConfig(label=f"k={k},eps={eps}"),
+                config=RunConfig(label=f"k={k},eps={eps}", replay_mode=replay_mode),
             )
             curve.append(result.maintenance_messages)
         series[f"k={k}"] = curve

@@ -46,10 +46,30 @@ def get_experiment(name: str) -> Callable[..., FigureResult]:
 
 
 def run_all(
-    profile: Profile | str = Profile.DEFAULT, seed: int = 0
+    profile: Profile | str = Profile.DEFAULT,
+    seed: int = 0,
+    replay_mode: str = "auto",
+    parallel: bool = False,
+    max_workers: int | None = None,
 ) -> dict[str, FigureResult]:
-    """Run every experiment; returns id -> result."""
-    return {
-        name: runner(profile=profile, seed=seed)
-        for name, (runner, _) in REGISTRY.items()
-    }
+    """Run every experiment; returns id -> result.
+
+    With ``parallel=True`` the figures run concurrently on a process
+    pool (each experiment is already a deterministic, self-contained
+    function), in registry order.
+    """
+    if not parallel:
+        return {
+            name: runner(profile=profile, seed=seed, replay_mode=replay_mode)
+            for name, (runner, _) in REGISTRY.items()
+        }
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = {
+            name: pool.submit(
+                runner, profile=profile, seed=seed, replay_mode=replay_mode
+            )
+            for name, (runner, _) in REGISTRY.items()
+        }
+        return {name: future.result() for name, future in futures.items()}

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.runtime.session import DEFAULT_BATCH_SIZE, REPLAY_MODES
+
 
 @dataclass(frozen=True)
 class RunConfig:
@@ -19,12 +21,33 @@ class RunConfig:
         Raise on the first tolerance violation instead of recording it.
     label:
         Free-form tag copied into the result, e.g. the sweep coordinates.
+    replay_mode:
+        ``"auto"`` uses the vectorized batched fast path whenever no
+        correctness checking is active and falls back to faithful
+        per-event replay otherwise; ``"event"`` forces the per-event
+        path.  ``"batch"`` requests the fast path unconditionally but
+        still downgrades (silently) to per-event replay where batching
+        is unsound — checking callbacks active or non-scalar payloads —
+        so forcing it can never change results, only speed.  Both paths
+        produce identical message ledgers: batching only skips records
+        that provably cannot flip any filter.
+    batch_size:
+        Chunk size of the batched quiescence pre-scan.
     """
 
     check_every: int = 0
     strict: bool = False
     label: str = ""
+    replay_mode: str = "auto"
+    batch_size: int = DEFAULT_BATCH_SIZE
 
     def __post_init__(self) -> None:
         if self.check_every < 0:
             raise ValueError("check_every must be >= 0")
+        if self.replay_mode not in REPLAY_MODES:
+            raise ValueError(
+                f"replay_mode must be one of {REPLAY_MODES}, "
+                f"got {self.replay_mode!r}"
+            )
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")

@@ -1,28 +1,23 @@
 """The run loop: trace in, message counts out.
 
-``run_protocol`` assembles the Figure-3 system — sources with adaptive
-filters, the channel with its ledger, the server hosting one protocol —
-replays a trace through the discrete-event engine, and (optionally)
+``run_protocol`` assembles the Figure-3 system through the runtime
+kernel — an :class:`~repro.runtime.session.ExecutionSession` owning the
+sources with adaptive filters, the channel with its ledger, and the
+server hosting one protocol — replays a trace, and (optionally)
 validates the tolerance constraint against the ground-truth oracle after
-every applied record.
+every applied record.  With checking disabled the session's batched
+replay fast path is used automatically; it produces identical ledgers.
 """
 
 from __future__ import annotations
-
-from typing import Callable
 
 from repro.correctness.checker import ToleranceChecker
 from repro.correctness.oracle import Oracle
 from repro.harness.config import RunConfig
 from repro.harness.results import RunResult
-from repro.network.accounting import MessageLedger, Phase
-from repro.network.channel import Channel
 from repro.protocols.base import FilterProtocol
 from repro.queries.base import EntityQuery
-from repro.queries.range_query import RangeQuery
-from repro.server.server import Server
-from repro.sim.engine import SimulationEngine
-from repro.streams.source import StreamSource
+from repro.runtime.session import ExecutionSession
 from repro.streams.trace import StreamTrace
 from repro.tolerance.fraction_tolerance import FractionTolerance
 from repro.tolerance.rank_tolerance import RankTolerance
@@ -54,14 +49,7 @@ def run_protocol(
         Execution knobs; see :class:`RunConfig`.
     """
     config = config or RunConfig()
-    engine = SimulationEngine()
-    ledger = MessageLedger()
-    channel = Channel(ledger)
-    sources = [
-        StreamSource(stream_id, value, channel)
-        for stream_id, value in enumerate(trace.initial_values)
-    ]
-    server = Server(channel, protocol)
+    session = ExecutionSession.for_streams(trace, protocol)
 
     checker: ToleranceChecker | None = None
     oracle: Oracle | None = None
@@ -71,8 +59,7 @@ def run_protocol(
         if query is None:
             raise ValueError("checking requires a query")
         oracle = Oracle(trace.initial_values)
-        if isinstance(query, RangeQuery):
-            oracle.register_range_query(query)
+        oracle.register_query(query)
         checker = ToleranceChecker(
             oracle=oracle,
             query=query,
@@ -82,18 +69,22 @@ def run_protocol(
             strict=config.strict,
         )
 
-    ledger.phase = Phase.INITIALIZATION
-    server.initialize(time=0.0)
-    ledger.phase = Phase.MAINTENANCE
+    session.initialize(time=0.0)
     if checker is not None:
         checker.check_now(0.0)
 
-    _replay(engine, trace, sources, oracle, checker)
+    session.replay_trace(
+        trace,
+        oracle_apply=oracle.apply if oracle is not None else None,
+        after_apply=checker.check if checker is not None else None,
+        mode=config.replay_mode,
+        batch_size=config.batch_size,
+    )
 
     extras = _collect_extras(protocol)
     return RunResult(
         protocol=protocol.name,
-        ledger=ledger.snapshot(),
+        ledger=session.snapshot(),
         checker=checker.report if checker is not None else None,
         n_streams=trace.n_streams,
         n_records=trace.n_records,
@@ -101,46 +92,6 @@ def run_protocol(
         label=config.label,
         extras=extras,
     )
-
-
-def _replay(
-    engine: SimulationEngine,
-    trace: StreamTrace,
-    sources: list[StreamSource],
-    oracle: Oracle | None,
-    checker: ToleranceChecker | None,
-) -> None:
-    """Feed trace records through the engine one event at a time.
-
-    Records are pre-sorted, so each fired event schedules its successor —
-    O(1) heap work per record instead of heaping the whole trace up front.
-    """
-    n = trace.n_records
-    if n == 0:
-        engine.run(until=trace.horizon)
-        return
-    times = trace.times
-    ids = trace.stream_ids
-    values = trace.values
-
-    def fire(index: int) -> Callable[[], None]:
-        def action() -> None:
-            stream_id = int(ids[index])
-            value = float(values[index])
-            time = float(times[index])
-            if oracle is not None:
-                oracle.apply(stream_id, value)
-            sources[stream_id].apply_value(value, time)
-            if checker is not None:
-                checker.check(time)
-            nxt = index + 1
-            if nxt < n:
-                engine.schedule_at(float(times[nxt]), fire(nxt))
-
-        return action
-
-    engine.schedule_at(float(times[0]), fire(0))
-    engine.run(until=trace.horizon)
 
 
 def _collect_extras(protocol: FilterProtocol) -> dict:

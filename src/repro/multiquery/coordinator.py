@@ -17,12 +17,12 @@ the single-query protocols run against it *unmodified*.  The
 
 from __future__ import annotations
 
-from collections import deque
 from typing import TYPE_CHECKING
 
 from repro.network.accounting import MessageLedger
 from repro.network.messages import MessageKind
 from repro.protocols.base import FilterProtocol
+from repro.runtime.dispatch import DeferredDeliveryMixin
 
 if TYPE_CHECKING:
     from repro.multiquery.source import MultiQuerySource
@@ -78,7 +78,7 @@ class QueryContext:
             self.deploy(stream_id, lower, upper, assumed_inside=belief)
 
 
-class MultiQueryCoordinator:
+class MultiQueryCoordinator(DeferredDeliveryMixin):
     """Hosts several protocols over one shared source population."""
 
     def __init__(self, ledger: MessageLedger | None = None) -> None:
@@ -87,8 +87,7 @@ class MultiQueryCoordinator:
         self._protocols: dict[str, FilterProtocol] = {}
         self._contexts: dict[str, QueryContext] = {}
         self.now = 0.0
-        self._busy = False
-        self._pending: deque[tuple[int, float, float, list[str] | None]] = deque()
+        self._init_delivery()
         #: Physical uplink updates (each possibly serving several queries).
         self.shared_updates = 0
         #: Query deliveries those updates fanned out to.
@@ -117,13 +116,11 @@ class MultiQueryCoordinator:
     def initialize_all(self, time: float = 0.0) -> None:
         """Run every protocol's initialization phase."""
         self.now = time
-        self._busy = True
-        try:
-            for query_id, protocol in self._protocols.items():
-                protocol.initialize(self._contexts[query_id])
-        finally:
-            self._busy = False
-        self._drain()
+        self._guarded_call(self._initialize_protocols)
+
+    def _initialize_protocols(self) -> None:
+        for query_id, protocol in self._protocols.items():
+            protocol.initialize(self._contexts[query_id])
 
     # ------------------------------------------------------------------
     # Control plane (invoked via QueryContext)
@@ -170,11 +167,12 @@ class MultiQueryCoordinator:
         self.ledger.record_kind(MessageKind.UPDATE)
         self.shared_updates += 1
         self.now = max(self.now, time)
-        if self._busy:
-            self._pending.append((stream_id, value, time, flipped))
-            return
-        self._dispatch(stream_id, value, time, flipped)
-        self._drain()
+        self._deliver((stream_id, value, time, flipped))
+
+    def _handle_delivery(
+        self, item: tuple[int, float, float, list[str] | None]
+    ) -> None:
+        self._dispatch(*item)
 
     def _dispatch(
         self,
@@ -184,23 +182,14 @@ class MultiQueryCoordinator:
         flipped: list[str] | None,
     ) -> None:
         targets = list(self._protocols) if flipped is None else flipped
-        self._busy = True
-        try:
-            for query_id in targets:
-                protocol = self._protocols.get(query_id)
-                if protocol is None:  # pragma: no cover - defensive
-                    continue
-                self.logical_deliveries += 1
-                protocol.on_update(
-                    self._contexts[query_id], stream_id, value, time
-                )
-        finally:
-            self._busy = False
-
-    def _drain(self) -> None:
-        while self._pending:
-            stream_id, value, time, flipped = self._pending.popleft()
-            self._dispatch(stream_id, value, time, flipped)
+        for query_id in targets:
+            protocol = self._protocols.get(query_id)
+            if protocol is None:  # pragma: no cover - defensive
+                continue
+            self.logical_deliveries += 1
+            protocol.on_update(
+                self._contexts[query_id], stream_id, value, time
+            )
 
     # ------------------------------------------------------------------
     # Introspection

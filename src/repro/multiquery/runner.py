@@ -1,4 +1,10 @@
-"""Replay a trace against several standing queries at once."""
+"""Replay a trace against several standing queries at once.
+
+Assembly and replay are the runtime kernel's
+:class:`~repro.runtime.session.ExecutionSession` (the multi-query
+coordinator is the session host); with checking disabled the batched
+fast path pre-scans records against every query's slot bounds at once.
+"""
 
 from __future__ import annotations
 
@@ -6,11 +12,10 @@ from dataclasses import dataclass, field
 
 from repro.correctness.oracle import Oracle
 from repro.harness.config import RunConfig
-from repro.multiquery.coordinator import MultiQueryCoordinator
-from repro.network.accounting import LedgerSnapshot, Phase
+from repro.network.accounting import LedgerSnapshot
 from repro.protocols.base import FilterProtocol
 from repro.queries.base import EntityQuery, RankBasedQuery
-from repro.queries.range_query import RangeQuery
+from repro.runtime.session import ExecutionSession
 from repro.streams.trace import StreamTrace
 from repro.tolerance.fraction_tolerance import FractionTolerance
 from repro.tolerance.rank_tolerance import RankTolerance
@@ -64,8 +69,8 @@ def run_multi_query(
         ``check_every`` / ``strict`` as in the single-query runner.
     """
     config = config or RunConfig()
-    coordinator = MultiQueryCoordinator()
-    coordinator.attach_sources(trace.initial_values)
+    session = ExecutionSession.for_multiquery(trace.initial_values)
+    coordinator = session.host
     for query_id, (protocol, _, _) in queries.items():
         coordinator.register(query_id, protocol)
 
@@ -73,15 +78,12 @@ def run_multi_query(
     if config.check_every > 0:
         oracle = Oracle(trace.initial_values)
         for _, (_, query, _) in queries.items():
-            if isinstance(query, RangeQuery):
-                oracle.register_range_query(query)
+            oracle.register_query(query)
 
-    coordinator.ledger.phase = Phase.INITIALIZATION
-    coordinator.initialize_all(time=0.0)
-    coordinator.ledger.phase = Phase.MAINTENANCE
+    session.initialize(time=0.0)
 
     result = MultiQueryResult(
-        ledger=coordinator.ledger.snapshot(),
+        ledger=session.snapshot(),
         shared_updates=0,
         logical_deliveries=0,
         answers={},
@@ -99,22 +101,28 @@ def run_multi_query(
                 if config.strict:
                     raise AssertionError(note)
 
+    oracle_apply = None
+    after_apply = None
     if oracle is not None:
         check(0.0)
+        oracle_apply = oracle.apply
+        tick = 0
 
-    tick = 0
-    for record in trace:
-        if oracle is not None:
-            oracle.apply(record.stream_id, record.value)
-        coordinator.sources[record.stream_id].apply_value(
-            record.value, record.time
-        )
-        if oracle is not None:
+        def after_apply(time: float) -> None:
+            nonlocal tick
             tick += 1
             if tick % config.check_every == 0:
-                check(record.time)
+                check(time)
 
-    result.ledger = coordinator.ledger.snapshot()
+    session.replay_trace(
+        trace,
+        oracle_apply=oracle_apply,
+        after_apply=after_apply,
+        mode=config.replay_mode,
+        batch_size=config.batch_size,
+    )
+
+    result.ledger = session.snapshot()
     result.shared_updates = coordinator.shared_updates
     result.logical_deliveries = coordinator.logical_deliveries
     result.answers = {

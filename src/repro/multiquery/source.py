@@ -1,23 +1,31 @@
-"""Sources carrying one filter slot per standing query."""
+"""Sources carrying one filter slot per standing query.
+
+On the runtime kernel this stack is :class:`repro.runtime.membership.
+SlottedMembership` with the coordinator as transport: a value change
+produces at most one physical update — sent iff at least one
+non-silenced slot's membership flips — tagged with the set of flipped
+query ids so the coordinator can forward it precisely.
+"""
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.runtime.membership import REPORT, SlottedMembership
+from repro.runtime.source import FilteredSource
 from repro.streams.filters import FilterConstraint
 
 if TYPE_CHECKING:
     from repro.multiquery.coordinator import MultiQueryCoordinator
 
 
-class MultiQuerySource:
+class MultiQuerySource(FilteredSource):
     """A stream source shared by several standing queries.
 
     Each query owns a *slot*: the constraint it deployed plus the
-    membership the query's server-side protocol believes.  A value change
-    produces at most one physical update — sent iff at least one
-    non-silenced slot's membership flips — tagged with the set of flipped
-    query ids so the coordinator can forward it precisely.
+    membership the query's server-side protocol believes.  With no slots
+    installed at all the source behaves like a bare stream and every
+    query is notified.
     """
 
     def __init__(
@@ -26,36 +34,25 @@ class MultiQuerySource:
         initial_value: float,
         coordinator: "MultiQueryCoordinator",
     ) -> None:
-        self.stream_id = stream_id
-        self.value = float(initial_value)
+        super().__init__(stream_id, initial_value, SlottedMembership())
         self.coordinator = coordinator
-        self._constraints: dict[str, FilterConstraint] = {}
-        self._reported_inside: dict[str, bool] = {}
+
+    def _coerce(self, payload) -> float:
+        return float(payload)
 
     # ------------------------------------------------------------------
     # Data plane
     # ------------------------------------------------------------------
     def apply_value(self, value: float, time: float) -> None:
         """Install a new value; send one shared update if any slot flips."""
-        self.value = float(value)
-        if not self._constraints:
-            # No filters installed at all: behave like a bare stream.
-            self.coordinator.receive_update(
-                self.stream_id, self.value, time, flipped=None
-            )
-            return
-        flipped = []
-        for query_id, constraint in self._constraints.items():
-            if constraint.is_silencing:
-                continue
-            inside = constraint.contains(self.value)
-            if inside != self._reported_inside[query_id]:
-                self._reported_inside[query_id] = inside
-                flipped.append(query_id)
-        if flipped:
-            self.coordinator.receive_update(
-                self.stream_id, self.value, time, flipped=flipped
-            )
+        self.apply(value, time)
+
+    def _emit(self, time: float, tags) -> None:
+        # REPORT means "no filters at all": notify every query (None).
+        flipped = None if tags is REPORT else tags
+        self.coordinator.receive_update(
+            self.stream_id, self.value, time, flipped=flipped
+        )
 
     # ------------------------------------------------------------------
     # Control plane (invoked by the coordinator)
@@ -72,28 +69,27 @@ class MultiQuerySource:
         Mirrors the single-query self-correction rule: a stale belief
         triggers one update (physically shared like any other).
         """
-        self._constraints[query_id] = constraint
-        if constraint.is_silencing:
-            self._reported_inside[query_id] = constraint.contains(self.value)
-            return
-        actual = constraint.contains(self.value)
-        if assumed_inside is None:
-            self._reported_inside[query_id] = actual
-            return
-        self._reported_inside[query_id] = bool(assumed_inside)
-        if actual != self._reported_inside[query_id]:
-            self._reported_inside[query_id] = actual
-            self.coordinator.receive_update(
-                self.stream_id, self.value, time, flipped=[query_id]
-            )
+        if self.membership.install_slot(
+            query_id, constraint, assumed_inside, self.value
+        ):
+            self._emit(time, [query_id])
 
     def probe(self, query_id: str) -> float:
         """Answer a probe for *query_id*; resync that query's slot."""
-        constraint = self._constraints.get(query_id)
-        if constraint is not None:
-            self._reported_inside[query_id] = constraint.contains(self.value)
+        self.membership.resync_slot(query_id, self.value)
         return self.value
 
     def slot(self, query_id: str) -> FilterConstraint | None:
         """The constraint currently installed for *query_id*."""
-        return self._constraints.get(query_id)
+        return self.membership.slot(query_id)
+
+    # ------------------------------------------------------------------
+    # Legacy aliases (pre-kernel attribute names)
+    # ------------------------------------------------------------------
+    @property
+    def _constraints(self) -> dict[str, FilterConstraint]:
+        return self.membership.constraints
+
+    @property
+    def _reported_inside(self) -> dict[str, bool]:
+        return self.membership.reported_inside

@@ -29,6 +29,7 @@ class Channel:
         self.ledger = ledger
         self._server_handler: Callable[[Message], None] | None = None
         self._source_handlers: dict[int, Callable[[Message], None]] = {}
+        self._taps: list[Callable[[Message], None]] = []
 
     def bind_server(self, handler: Callable[[Message], None]) -> None:
         """Register the server's message handler."""
@@ -38,11 +39,27 @@ class Channel:
         """Register the handler of source *stream_id*."""
         self._source_handlers[stream_id] = handler
 
+    def add_tap(self, tap: Callable[[Message], None]) -> None:
+        """Observe every message without affecting delivery or accounting.
+
+        The batched-replay quiescence table uses a tap to learn which
+        sources' filter state may have changed: every membership mutation
+        is caused by some message crossing the channel.
+        """
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: Callable[[Message], None]) -> None:
+        """Detach a previously added tap."""
+        self._taps.remove(tap)
+
     def send_to_server(self, message: Message) -> None:
         """Deliver a source-to-server message (update or probe reply)."""
         if self._server_handler is None:
             raise RuntimeError("no server bound to channel")
         self.ledger.record(message)
+        if self._taps:
+            for tap in self._taps:
+                tap(message)
         self._server_handler(message)
 
     def send_to_source(self, message: Message) -> None:
@@ -51,6 +68,9 @@ class Channel:
         if handler is None:
             raise RuntimeError(f"no source {message.stream_id} bound to channel")
         self.ledger.record(message)
+        if self._taps:
+            for tap in self._taps:
+                tap(message)
         handler(message)
 
     @property

@@ -1,0 +1,41 @@
+"""The shared runtime kernel behind all four stacks.
+
+One source core (:class:`FilteredSource` + a :class:`MembershipStrategy`),
+one assembly/replay core (:class:`ExecutionSession`), and one deferred
+delivery discipline (:class:`DeferredDeliveryMixin`) — the scalar,
+spatial, value-window and multi-query stacks are thin specializations of
+these three pieces.
+"""
+
+from repro.runtime.dispatch import DeferredDeliveryMixin
+from repro.runtime.membership import (
+    REPORT,
+    ContainmentMembership,
+    IntervalMembership,
+    MembershipStrategy,
+    RecenteringWindowMembership,
+    RegionMembership,
+    SlottedMembership,
+)
+from repro.runtime.session import (
+    DEFAULT_BATCH_SIZE,
+    REPLAY_MODES,
+    ExecutionSession,
+)
+from repro.runtime.source import ChannelFilteredSource, FilteredSource
+
+__all__ = [
+    "REPORT",
+    "DEFAULT_BATCH_SIZE",
+    "REPLAY_MODES",
+    "ChannelFilteredSource",
+    "ContainmentMembership",
+    "DeferredDeliveryMixin",
+    "ExecutionSession",
+    "FilteredSource",
+    "IntervalMembership",
+    "MembershipStrategy",
+    "RecenteringWindowMembership",
+    "RegionMembership",
+    "SlottedMembership",
+]

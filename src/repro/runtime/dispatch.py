@@ -1,0 +1,63 @@
+"""Deferred delivery: the re-entrancy discipline shared by every host.
+
+Deploying a constraint whose ``assumed_inside`` belief turns out stale
+makes the source report *immediately* — while the protocol is still
+inside the current maintenance (or initialization) step.  Every host in
+this repo (scalar server, spatial server, multi-query coordinator) must
+therefore queue deliveries that arrive mid-step and drain them after the
+step completes, so a protocol handler is never re-entered.  This mixin
+implements that discipline once.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+
+class DeferredDeliveryMixin:
+    """Queue deliveries that arrive while a handler is running.
+
+    Subclasses call :meth:`_init_delivery` in their constructor, route
+    every inbound delivery through :meth:`_deliver`, and implement
+    :meth:`_handle_delivery` with the actual protocol callback.  Items
+    arriving during a handler — including while :meth:`_drain_pending`
+    is mid-drain — are appended to the queue and picked up by the same
+    drain loop, never nested.
+    """
+
+    def _init_delivery(self) -> None:
+        self._busy = False
+        self._pending: deque = deque()
+
+    def _deliver(self, item) -> None:
+        """Dispatch *item* now, or queue it if a handler is running."""
+        if self._busy:
+            self._pending.append(item)
+            return
+        self._dispatch_one(item)
+        self._drain_pending()
+
+    def _guarded_call(self, fn: Callable, *args) -> None:
+        """Run *fn* with deliveries deferred, then drain the queue."""
+        self._busy = True
+        try:
+            fn(*args)
+        finally:
+            self._busy = False
+        self._drain_pending()
+
+    def _dispatch_one(self, item) -> None:
+        self._busy = True
+        try:
+            self._handle_delivery(item)
+        finally:
+            self._busy = False
+
+    def _drain_pending(self) -> None:
+        while self._pending:
+            self._dispatch_one(self._pending.popleft())
+
+    def _handle_delivery(self, item) -> None:
+        """Invoke the protocol for one delivered item."""
+        raise NotImplementedError

@@ -1,0 +1,251 @@
+"""Membership strategies: the policy half of the runtime kernel.
+
+Every stack in this repo implements the same Section-3.1 contract — a
+source reports iff its *membership* (as the server believes it) flips —
+but each stack flips membership against a different shape of state:
+
+* :class:`IntervalMembership` — one scalar :class:`FilterConstraint`
+  (the paper's adaptive filters, ``repro.streams``);
+* :class:`RegionMembership` — one d-dimensional :class:`Region`
+  (``repro.spatial``);
+* :class:`RecenteringWindowMembership` — an Olston-style value window
+  that recenters on every report (``repro.valuebased``);
+* :class:`SlottedMembership` — one constraint slot per standing query
+  (``repro.multiquery``).
+
+A strategy owns the belief state and answers three questions: does this
+new payload demand a report (:meth:`~MembershipStrategy.evaluate`), how
+to resynchronize after a probe (:meth:`~MembershipStrategy.resync`), and
+— for the batched replay fast path — which scalar interval bounds make a
+record provably quiescent (:meth:`~MembershipStrategy.quiescence_rows`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class _Report:
+    """Sentinel: report with no slot tags (single-filter stacks)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return "<REPORT>"
+
+
+#: Returned by :meth:`MembershipStrategy.evaluate` to demand an untagged
+#: report.  Distinct from a (possibly empty) slot-tag list so that
+#: multi-query sources can tell "no filters at all: notify everyone"
+#: apart from "these specific slots flipped".
+REPORT = _Report()
+
+#: A quiescence row: ``(lower, upper, believed_inside)``.  A scalar value
+#: ``v`` is quiescent for the row iff ``(lower <= v <= upper)`` equals
+#: ``believed_inside``.
+QuiescenceRow = tuple[float, float, bool]
+
+
+def deployment_outcome(
+    container, assumed_inside: bool | None, payload
+) -> tuple[bool, bool]:
+    """The deployment rule every stack shares, in one place.
+
+    Returns ``(believed_inside, must_report)``.  The post-deployment
+    belief always converges to the actual containment: a silencing
+    filter's belief is irrelevant, fresh knowledge (``assumed_inside is
+    None``) is exact, a matching belief already agrees, and a stale one
+    is self-corrected.  A report is due exactly in that last case — a
+    non-silencing deployment carrying a belief the payload contradicts.
+    """
+    actual = container.contains(payload)
+    must_report = (
+        not container.is_silencing
+        and assumed_inside is not None
+        and bool(assumed_inside) != actual
+    )
+    return actual, must_report
+
+
+class MembershipStrategy(ABC):
+    """The report-iff-membership-flips policy of one source."""
+
+    @abstractmethod
+    def evaluate(self, payload):
+        """Judge a freshly-installed *payload*.
+
+        Returns ``None`` for "stay silent", :data:`REPORT` for a plain
+        report, or a non-empty list of slot tags for a tagged report.
+        Implementations mutate their belief state as a side effect, so
+        the caller must emit the report whenever the return is not
+        ``None``.
+        """
+
+    @abstractmethod
+    def resync(self, payload) -> None:
+        """Probe semantics: align every belief with the actual payload."""
+
+    def install(self, container, assumed_inside: bool | None, payload) -> bool:
+        """Deploy *container* as the new filter; return ``True`` iff the
+        server's *assumed_inside* belief was stale and one self-correcting
+        report must be sent (the deployment rule shared by all stacks)."""
+        raise TypeError(f"{type(self).__name__} does not accept deployments")
+
+    def quiescence_rows(self) -> list[QuiescenceRow] | None:
+        """Scalar bounds for the batched-replay quiescence pre-scan.
+
+        ``None`` means this source is not batchable right now (no filter
+        installed, or non-scalar membership): every record targeting it
+        must take the per-event path.  Otherwise, a record is quiescent —
+        provably unable to flip any filter — iff *every* returned row
+        agrees that containment equals the believed membership.
+        """
+        return None
+
+
+class ContainmentMembership(MembershipStrategy):
+    """Membership against a single installed container.
+
+    The container only needs ``contains(payload) -> bool`` and an
+    ``is_silencing`` property; :class:`repro.streams.filters.FilterConstraint`
+    and :class:`repro.spatial.geometry.Region` both qualify.  With no
+    container installed the source reports every change (the bare-stream
+    baseline).
+    """
+
+    def __init__(self) -> None:
+        self.container = None
+        self.reported_inside = False
+
+    def evaluate(self, payload):
+        if self.container is None:
+            return REPORT
+        inside = self.container.contains(payload)
+        if inside != self.reported_inside:
+            self.reported_inside = inside
+            return REPORT
+        return None
+
+    def resync(self, payload) -> None:
+        if self.container is not None:
+            self.reported_inside = self.container.contains(payload)
+
+    def install(self, container, assumed_inside: bool | None, payload) -> bool:
+        self.container = container
+        self.reported_inside, must_report = deployment_outcome(
+            container, assumed_inside, payload
+        )
+        return must_report
+
+
+class IntervalMembership(ContainmentMembership):
+    """Scalar closed-interval membership (the paper's filters)."""
+
+    def quiescence_rows(self) -> list[QuiescenceRow] | None:
+        if self.container is None:
+            return None
+        return [
+            (self.container.lower, self.container.upper, self.reported_inside)
+        ]
+
+
+class RegionMembership(ContainmentMembership):
+    """d-dimensional region membership; not scalar, so never batched."""
+
+
+class RecenteringWindowMembership(MembershipStrategy):
+    """An Olston-style ``±width/2`` window that travels with the data.
+
+    A payload inside the window is, by definition, what the server
+    believes; escaping it triggers a report *and* recenters the window on
+    the reported value, so the believed membership is always "inside".
+    No constraints are deployed during maintenance.
+    """
+
+    def __init__(self, width: float, center: float) -> None:
+        if width < 0:
+            raise ValueError("window width must be non-negative")
+        self.width = float(width)
+        self.center = float(center)
+
+    def evaluate(self, payload):
+        # Written as the same closed-interval comparison the batched
+        # pre-scan uses (quiescence_rows), not abs(payload - center):
+        # the two are equivalent in real arithmetic but can disagree by
+        # one ulp in floating point, which would let batch mode stage a
+        # record the per-event path reports and break byte-identity.
+        half = self.width / 2.0
+        if not (self.center - half <= payload <= self.center + half):
+            self.center = payload
+            return REPORT
+        return None
+
+    def resync(self, payload) -> None:
+        self.center = payload
+
+    def quiescence_rows(self) -> list[QuiescenceRow] | None:
+        half = self.width / 2.0
+        return [(self.center - half, self.center + half, True)]
+
+
+class SlottedMembership(MembershipStrategy):
+    """One constraint slot per standing query (multi-query sharing).
+
+    Each slot holds the constraint a query deployed plus the membership
+    that query's protocol believes.  Evaluation returns the list of
+    flipped slot tags so one physical update can be forwarded precisely;
+    with no slots installed at all the source behaves like a bare stream
+    (:data:`REPORT`: notify every query).
+    """
+
+    def __init__(self) -> None:
+        self.constraints: dict[str, object] = {}
+        self.reported_inside: dict[str, bool] = {}
+
+    def evaluate(self, payload):
+        if not self.constraints:
+            return REPORT
+        flipped: list[str] | None = None
+        for tag, constraint in self.constraints.items():
+            if constraint.is_silencing:
+                continue
+            inside = constraint.contains(payload)
+            if inside != self.reported_inside[tag]:
+                self.reported_inside[tag] = inside
+                if flipped is None:
+                    flipped = []
+                flipped.append(tag)
+        return flipped
+
+    def resync(self, payload) -> None:
+        for tag, constraint in self.constraints.items():
+            self.reported_inside[tag] = constraint.contains(payload)
+
+    def resync_slot(self, tag: str, payload) -> None:
+        """Probe semantics for one slot only."""
+        constraint = self.constraints.get(tag)
+        if constraint is not None:
+            self.reported_inside[tag] = constraint.contains(payload)
+
+    def install_slot(
+        self, tag: str, constraint, assumed_inside: bool | None, payload
+    ) -> bool:
+        """Deploy into one slot; returns ``True`` iff the slot must
+        self-correct with a report tagged *tag*."""
+        self.constraints[tag] = constraint
+        self.reported_inside[tag], must_report = deployment_outcome(
+            constraint, assumed_inside, payload
+        )
+        return must_report
+
+    def slot(self, tag: str):
+        """The constraint currently installed for *tag* (or ``None``)."""
+        return self.constraints.get(tag)
+
+    def quiescence_rows(self) -> list[QuiescenceRow] | None:
+        if not self.constraints:
+            return None
+        return [
+            (c.lower, c.upper, self.reported_inside[tag])
+            for tag, c in self.constraints.items()
+        ]

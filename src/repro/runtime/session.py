@@ -1,0 +1,547 @@
+"""The execution session: one assembly + one replay loop for all stacks.
+
+An :class:`ExecutionSession` owns the Figure-3 system of one run — the
+discrete-event engine, the message ledger, the channel, the sources and
+the host (server or coordinator) — and provides the single
+:meth:`~ExecutionSession.replay` loop every runner uses.
+
+``replay`` has two modes:
+
+* **event** — the faithful per-record path: each trace record fires as a
+  simulation event, the source evaluates its filter, messages flow.
+  Required whenever per-record callbacks (oracle maintenance, tolerance
+  checking) are active.
+* **batch** — the performance fast path: trace chunks are pre-scanned
+  with numpy against the currently-deployed constraint bounds; records
+  that provably cannot flip any filter (*quiescent* records) are applied
+  in bulk, and only potential violations go through the per-event
+  machinery.  Because quiescent records produce no messages by
+  definition, the resulting :class:`MessageLedger` snapshot is
+  byte-identical to the per-event path's.
+
+``mode="auto"`` picks batch exactly when it is both safe (no callbacks)
+and useful (at least one source exposes scalar quiescence bounds).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.network.accounting import MessageLedger, Phase
+from repro.network.channel import Channel
+from repro.runtime.source import FilteredSource
+from repro.sim.engine import SimulationEngine
+
+#: Chunk size of the batched quiescence pre-scan.
+DEFAULT_BATCH_SIZE = 4096
+
+REPLAY_MODES = ("auto", "event", "batch")
+
+
+class ExecutionSession:
+    """Engine + ledger + channel + sources + host, assembled once.
+
+    Parameters
+    ----------
+    sources:
+        The source population, indexed by stream id.
+    host:
+        The server-side owner (``Server``, ``SpatialServer``,
+        ``MultiQueryCoordinator`` or ``None`` for bare assemblies).
+    initialize:
+        Callable running the initialization phase at a given time;
+        defaults to ``host.initialize`` when the host has one.
+    """
+
+    def __init__(
+        self,
+        *,
+        sources: Sequence[FilteredSource],
+        ledger: MessageLedger | None = None,
+        engine: SimulationEngine | None = None,
+        channel: Channel | None = None,
+        host=None,
+        initialize: Callable[[float], None] | None = None,
+    ) -> None:
+        self.engine = engine or SimulationEngine()
+        self.ledger = ledger or MessageLedger()
+        self.channel = channel
+        self.sources = sources
+        self.host = host
+        if initialize is None and host is not None:
+            initialize = getattr(host, "initialize", None)
+        self._initialize = initialize
+
+    # ------------------------------------------------------------------
+    # Builders: one per stack
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_streams(cls, trace, protocol) -> "ExecutionSession":
+        """Scalar stack: ``StreamSource`` population + ``Server``."""
+        from repro.server.server import Server
+        from repro.streams.source import StreamSource
+
+        ledger = MessageLedger()
+        channel = Channel(ledger)
+        sources = [
+            StreamSource(stream_id, value, channel)
+            for stream_id, value in enumerate(trace.initial_values)
+        ]
+        server = Server(channel, protocol)
+        return cls(
+            sources=sources, ledger=ledger, channel=channel, host=server
+        )
+
+    @classmethod
+    def for_spatial(cls, trace, protocol) -> "ExecutionSession":
+        """Spatial stack: ``SpatialStreamSource`` + ``SpatialServer``."""
+        from repro.spatial.server import SpatialServer
+        from repro.spatial.source import SpatialStreamSource
+
+        ledger = MessageLedger()
+        channel = Channel(ledger)
+        sources = [
+            SpatialStreamSource(
+                stream_id, trace.initial_points[stream_id], channel
+            )
+            for stream_id in range(trace.n_streams)
+        ]
+        server = SpatialServer(channel, protocol)
+        return cls(
+            sources=sources, ledger=ledger, channel=channel, host=server
+        )
+
+    @classmethod
+    def for_windows(cls, trace, width: float) -> "ExecutionSession":
+        """Value-window stack: ``WindowFilterSource`` population.
+
+        The caller binds its own server-side handler on ``.channel`` and
+        runs initialization via ``initialize(run=...)``.
+        """
+        from repro.valuebased.source import WindowFilterSource
+
+        ledger = MessageLedger()
+        channel = Channel(ledger)
+        sources = [
+            WindowFilterSource(stream_id, value, channel, width=width)
+            for stream_id, value in enumerate(trace.initial_values)
+        ]
+        return cls(sources=sources, ledger=ledger, channel=channel)
+
+    @classmethod
+    def for_multiquery(cls, initial_values) -> "ExecutionSession":
+        """Shared stack: ``MultiQuerySource`` + ``MultiQueryCoordinator``.
+
+        The coordinator is the session's ``host``; register standing
+        queries on it before :meth:`initialize`.
+        """
+        from repro.multiquery.coordinator import MultiQueryCoordinator
+
+        ledger = MessageLedger()
+        coordinator = MultiQueryCoordinator(ledger)
+        coordinator.attach_sources(initial_values)
+        return cls(
+            sources=coordinator.sources,
+            ledger=ledger,
+            channel=None,
+            host=coordinator,
+            initialize=coordinator.initialize_all,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def initialize(
+        self, time: float = 0.0, run: Callable[[float], None] | None = None
+    ) -> None:
+        """Run the initialization phase; messages are charged to it."""
+        run = run or self._initialize
+        self.ledger.phase = Phase.INITIALIZATION
+        if run is not None:
+            run(time)
+        self.ledger.phase = Phase.MAINTENANCE
+
+    def snapshot(self):
+        """Freeze the ledger for results reporting."""
+        return self.ledger.snapshot()
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay(
+        self,
+        times: np.ndarray,
+        stream_ids: np.ndarray,
+        payloads: np.ndarray,
+        *,
+        horizon: float | None = None,
+        oracle_apply: Callable[[int, float], None] | None = None,
+        after_apply: Callable[[float], None] | None = None,
+        mode: str = "auto",
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        """Feed the record arrays through the assembled system.
+
+        Parameters
+        ----------
+        times, stream_ids, payloads:
+            Parallel, time-sorted record arrays (``payloads`` is 1-D for
+            scalar stacks, ``(m, d)`` for spatial).
+        horizon:
+            Virtual end time; the engine clock is advanced to it.
+        oracle_apply:
+            Ground-truth maintenance hook, called *before* each record is
+            applied.  Forces per-event replay.
+        after_apply:
+            Correctness hook, called with the record time *after* each
+            record is applied.  Forces per-event replay.
+        mode:
+            ``"auto"`` | ``"event"`` | ``"batch"``.
+        batch_size:
+            Chunk size of the batched quiescence pre-scan.
+        """
+        mode = self._resolve_mode(mode, payloads, oracle_apply, after_apply)
+        if mode == "batch":
+            self._replay_batched(
+                times, stream_ids, payloads, horizon, batch_size
+            )
+        else:
+            self._replay_events(
+                times, stream_ids, payloads, horizon, oracle_apply, after_apply
+            )
+
+    def replay_trace(self, trace, **kwargs) -> None:
+        """Replay a ``StreamTrace`` or ``SpatialTrace`` object."""
+        payloads = getattr(trace, "values", None)
+        if payloads is None:
+            payloads = trace.points
+        self.replay(
+            trace.times,
+            trace.stream_ids,
+            payloads,
+            horizon=trace.horizon,
+            **kwargs,
+        )
+
+    def _resolve_mode(self, mode, payloads, oracle_apply, after_apply) -> str:
+        if mode not in REPLAY_MODES:
+            raise ValueError(
+                f"replay mode must be one of {REPLAY_MODES}, got {mode!r}"
+            )
+        if mode == "event":
+            return "event"
+        # Batching is *sound* only without per-record callbacks (they
+        # must observe every record) and with scalar payloads.
+        if oracle_apply is not None or after_apply is not None:
+            return "event"
+        if np.ndim(payloads) != 1:
+            return "event"
+        if mode == "auto" and not any(
+            s.membership.quiescence_rows() is not None for s in self.sources
+        ):
+            # Nothing exposes bounds: pre-scanning cannot pay off.
+            return "event"
+        return "batch"
+
+    # ------------------------------------------------------------------
+    # Per-event path
+    # ------------------------------------------------------------------
+    def _replay_events(
+        self, times, stream_ids, payloads, horizon, oracle_apply, after_apply
+    ) -> None:
+        """Fire each record as a simulation event.
+
+        Records are pre-sorted, so each fired event schedules its
+        successor — O(1) heap work per record instead of heaping the
+        whole trace up front.
+        """
+        n = len(times)
+        engine = self.engine
+        sources = self.sources
+        if n:
+
+            def fire(index: int) -> Callable[[], None]:
+                def action() -> None:
+                    stream_id = int(stream_ids[index])
+                    payload = payloads[index]
+                    time = float(times[index])
+                    if oracle_apply is not None:
+                        oracle_apply(stream_id, payload)
+                    sources[stream_id].apply(payload, time)
+                    if after_apply is not None:
+                        after_apply(time)
+                    nxt = index + 1
+                    if nxt < n:
+                        engine.schedule_at(float(times[nxt]), fire(nxt))
+
+                return action
+
+            engine.schedule_at(float(times[0]), fire(0))
+        engine.run(until=horizon)
+
+    # ------------------------------------------------------------------
+    # Batched fast path
+    # ------------------------------------------------------------------
+    # Minimum pre-scan chunk: below this, numpy call overhead beats the
+    # per-event loop anyway.
+    _MIN_CHUNK = 32
+    # Bail out to per-event replay when, after a fair sample, more than
+    # this fraction of records dispatched: the workload is too lively for
+    # pre-scanning to pay off.
+    _BAILOUT_RATE = 0.25
+    _BAILOUT_MIN_DISPATCHES = 64
+
+    def _replay_batched(
+        self, times, stream_ids, payloads, horizon, batch_size
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        n = len(times)
+        table = _QuiescenceTable(self.sources, self.channel)
+        deferred = _DeferredAssignments(self.sources, self.channel)
+        dispatches = 0
+        # Adaptive chunk: track the typical quiescent run length so a
+        # lively stretch rescans small windows, a calm one big ones.
+        avg_run = float(batch_size)
+        try:
+            i = 0
+            while i < n:
+                chunk = int(min(batch_size, max(self._MIN_CHUNK, 4 * avg_run)))
+                end = min(i + chunk, n)
+                ids_chunk = stream_ids[i:end]
+                vals_chunk = payloads[i:end]
+                hit = table.first_potential(ids_chunk, vals_chunk)
+                if hit is None:
+                    deferred.stage(ids_chunk, vals_chunk)
+                    avg_run = min(float(batch_size), 2.0 * max(avg_run, 1.0))
+                    i = end
+                    continue
+                if hit > 0:
+                    deferred.stage(ids_chunk[:hit], vals_chunk[:hit])
+                avg_run = 0.75 * avg_run + 0.25 * hit
+                j = i + hit
+                stream_id = int(stream_ids[j])
+                time = float(times[j])
+                if time > self.engine.now:
+                    self.engine.run(until=time)
+                deferred.flush_for_dispatch(stream_id)
+                self.sources[stream_id].apply(payloads[j], time)
+                table.note_dispatch()
+                i = j + 1
+                dispatches += 1
+                # Broadcast-heavy protocols dirty every column per step;
+                # when re-reading bounds costs more than the records
+                # saved, pre-scanning cannot pay off.  Detectable after
+                # only a few dispatches, so bail before it adds up.
+                if dispatches >= 8 and table.refresh_fills > 2 * i:
+                    break
+                if (
+                    dispatches >= self._BAILOUT_MIN_DISPATCHES
+                    and dispatches > self._BAILOUT_RATE * i
+                ):
+                    break
+        finally:
+            deferred.close()
+            table.close()
+        if i < n:
+            # Too lively: finish faithfully on the per-event path.
+            self._replay_events(
+                times[i:], stream_ids[i:], payloads[i:], horizon, None, None
+            )
+            return
+        if horizon is None or horizon > self.engine.now:
+            self.engine.run(until=horizon)
+
+
+class _DeferredAssignments:
+    """Lazily materialized quiescent writes.
+
+    A quiescent record only changes its source's stored value — nothing
+    observable happens until somebody *reads* that value.  So the batched
+    replay stages quiescent writes in one numpy vector (two vectorized
+    scatters per chunk, last write per stream winning) and flushes a
+    source's value only at its next read point:
+
+    * a server-to-source message (probe request or constraint) is about
+      to be handled — caught by a channel tap, which runs before the
+      source's handler;
+    * the source itself is about to dispatch a record per-event;
+    * the replay ends (or bails out to the per-event path).
+
+    Without a channel (the multi-query coordinator talks to its sources
+    directly) every staged write is flushed before each dispatch.
+    """
+
+    def __init__(self, sources, channel: Channel | None) -> None:
+        self._sources = sources
+        self._channel = channel
+        self._values = np.empty(len(sources), dtype=np.float64)
+        self._touched = np.zeros(len(sources), dtype=bool)
+        if channel is not None:
+            channel.add_tap(self._tap)
+
+    def close(self) -> None:
+        self.flush_all()
+        if self._channel is not None:
+            self._channel.remove_tap(self._tap)
+
+    def _tap(self, message) -> None:
+        if not message.kind.is_uplink:
+            self.flush_one(message.stream_id)
+
+    def stage(self, ids_chunk, vals_chunk) -> None:
+        """Record a run of quiescent writes (later records win)."""
+        self._values[ids_chunk] = vals_chunk
+        self._touched[ids_chunk] = True
+
+    def flush_one(self, stream_id: int) -> None:
+        if self._touched[stream_id]:
+            self._touched[stream_id] = False
+            self._sources[stream_id].assign(self._values[stream_id])
+
+    def flush_for_dispatch(self, stream_id: int) -> None:
+        """Make values readable before a record dispatches per-event."""
+        if self._channel is not None:
+            # Other sources' reads are flushed by the channel tap.
+            self.flush_one(stream_id)
+        else:
+            self.flush_all()
+
+    def flush_all(self) -> None:
+        for stream_id in np.nonzero(self._touched)[0].tolist():
+            self._touched[stream_id] = False
+            self._sources[stream_id].assign(self._values[stream_id])
+
+
+class _QuiescenceTable:
+    """Vectorized "can this record flip any filter?" test.
+
+    Maintains, per source, the scalar bounds and believed membership of
+    every installed filter as ``(rows, n_streams)`` arrays (sources with
+    several filters — multi-query slots — contribute several rows;
+    unused rows are padded so they never flip).  Sources whose membership
+    exposes no scalar bounds always dispatch.
+
+    When the session has a channel, a tap keeps the table incrementally
+    fresh: every membership mutation is caused by a message (an update
+    report, a probe request, a constraint deployment), so the touched
+    stream ids are exactly the dirty columns.  Without a channel (the
+    multi-query coordinator) the table rebuilds after every dispatch.
+    """
+
+    def __init__(self, sources, channel: Channel | None) -> None:
+        self._sources = sources
+        self._channel = channel
+        self._n = len(sources)
+        self._dirty: set[int] = set()
+        self._tracking = channel is not None
+        self._stale = False
+        #: Columns re-read since construction — the table's bookkeeping
+        #: cost, used by the replay loop's overhead bailout.
+        self.refresh_fills = 0
+        if channel is not None:
+            channel.add_tap(self._tap)
+        self._build()
+
+    def close(self) -> None:
+        if self._channel is not None:
+            self._channel.remove_tap(self._tap)
+
+    def _tap(self, message) -> None:
+        self._dirty.add(message.stream_id)
+
+    def note_dispatch(self) -> None:
+        """Membership may have changed; without a channel tap the next
+        refresh must rebuild (between dispatch-free scans it need not —
+        no protocol code ran, so no filter can have moved)."""
+        if not self._tracking:
+            self._stale = True
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        rows_per_source = [
+            s.membership.quiescence_rows() for s in self._sources
+        ]
+        depth = max(
+            (len(r) for r in rows_per_source if r is not None), default=0
+        )
+        depth = max(depth, 1)
+        self._depth = depth
+        self._lower = np.full((depth, self._n), -math.inf)
+        self._upper = np.full((depth, self._n), math.inf)
+        self._inside = np.ones((depth, self._n), dtype=bool)
+        self._always = np.zeros(self._n, dtype=bool)
+        for stream_id, rows in enumerate(rows_per_source):
+            self._fill_column(stream_id, rows)
+        self._dirty.clear()
+
+    def _fill_column(self, stream_id: int, rows) -> bool:
+        """Write one source's rows; False when a rebuild is required."""
+        if rows is None:
+            self._always[stream_id] = True
+            return True
+        if len(rows) > self._depth:
+            return False
+        self._always[stream_id] = False
+        if self._depth == 1:
+            # Hot path: one filter per source, three scalar writes.
+            lower, upper, inside = rows[0]
+            self._lower[0, stream_id] = lower
+            self._upper[0, stream_id] = upper
+            self._inside[0, stream_id] = inside
+            return True
+        self._lower[:, stream_id] = -math.inf
+        self._upper[:, stream_id] = math.inf
+        self._inside[:, stream_id] = True
+        for row, (lower, upper, inside) in enumerate(rows):
+            self._lower[row, stream_id] = lower
+            self._upper[row, stream_id] = upper
+            self._inside[row, stream_id] = inside
+        return True
+
+    def _refresh(self) -> None:
+        if not self._tracking:
+            if self._stale:
+                self.refresh_fills += self._n
+                self._build()
+                self._stale = False
+            return
+        if not self._dirty:
+            return
+        self.refresh_fills += len(self._dirty)
+        for stream_id in self._dirty:
+            rows = self._sources[stream_id].membership.quiescence_rows()
+            if not self._fill_column(stream_id, rows):
+                self._build()
+                return
+        self._dirty.clear()
+
+    # ------------------------------------------------------------------
+    def first_potential(self, ids_chunk, vals_chunk) -> int | None:
+        """Index of the first record that might flip a filter, if any."""
+        self._refresh()
+        if self._depth == 1:
+            # Single filter per source: cheap 1-D gathers.
+            lower = self._lower[0]
+            upper = self._upper[0]
+            inside = self._inside[0]
+            new_inside = (lower[ids_chunk] <= vals_chunk) & (
+                vals_chunk <= upper[ids_chunk]
+            )
+            potential = (new_inside != inside[ids_chunk]) | self._always[
+                ids_chunk
+            ]
+        else:
+            new_inside = (self._lower[:, ids_chunk] <= vals_chunk) & (
+                vals_chunk <= self._upper[:, ids_chunk]
+            )
+            potential = np.any(
+                new_inside != self._inside[:, ids_chunk], axis=0
+            ) | self._always[ids_chunk]
+        hits = np.nonzero(potential)[0]
+        if hits.size == 0:
+            return None
+        return int(hits[0])

@@ -9,12 +9,12 @@ Re-entrancy: deploying a constraint whose ``assumed_inside`` belief turns
 out stale makes the source report *immediately*, i.e. while the protocol
 is still inside a maintenance step.  Such updates are queued and drained
 after the protocol finishes the current step, so a protocol's handler is
-never re-entered.
+never re-entered.  The queueing discipline is the runtime kernel's
+:class:`repro.runtime.dispatch.DeferredDeliveryMixin`, shared with the
+spatial server and the multi-query coordinator.
 """
 
 from __future__ import annotations
-
-from collections import deque
 
 from repro.network.channel import Channel
 from repro.network.messages import (
@@ -26,9 +26,10 @@ from repro.network.messages import (
     UpdateMessage,
 )
 from repro.protocols.base import FilterProtocol
+from repro.runtime.dispatch import DeferredDeliveryMixin
 
 
-class Server:
+class Server(DeferredDeliveryMixin):
     """Query-processing + constraint-assignment units of Figure 3."""
 
     def __init__(self, channel: Channel, protocol: FilterProtocol) -> None:
@@ -37,8 +38,7 @@ class Server:
         self._now = 0.0
         self._probe_reply: ProbeReplyMessage | None = None
         self._awaiting_probe = False
-        self._busy = False
-        self._pending_updates: deque[UpdateMessage] = deque()
+        self._init_delivery()
         channel.bind_server(self._handle_message)
 
     # ------------------------------------------------------------------
@@ -61,12 +61,7 @@ class Server:
     def initialize(self, time: float = 0.0) -> None:
         """Run the protocol's initialization phase at virtual *time*."""
         self._now = time
-        self._busy = True
-        try:
-            self.protocol.initialize(self)
-        finally:
-            self._busy = False
-        self._drain_pending()
+        self._guarded_call(self.protocol.initialize, self)
 
     # ------------------------------------------------------------------
     # Control-plane API used by protocols
@@ -146,30 +141,13 @@ class Server:
         if message.kind is MessageKind.UPDATE:
             assert isinstance(message, UpdateMessage)
             self._now = max(self._now, message.time)
-            if self._busy:
-                # Self-correction triggered mid-resolution: defer.
-                self._pending_updates.append(message)
-                return
-            self._busy = True
-            try:
-                self.protocol.on_update(
-                    self, message.stream_id, message.value, message.time
-                )
-            finally:
-                self._busy = False
-            self._drain_pending()
+            self._deliver(message)
             return
         raise RuntimeError(  # pragma: no cover - defensive
             f"server received unexpected {message.kind}"
         )
 
-    def _drain_pending(self) -> None:
-        while self._pending_updates:
-            message = self._pending_updates.popleft()
-            self._busy = True
-            try:
-                self.protocol.on_update(
-                    self, message.stream_id, message.value, message.time
-                )
-            finally:
-                self._busy = False
+    def _handle_delivery(self, message: UpdateMessage) -> None:
+        self.protocol.on_update(
+            self, message.stream_id, message.value, message.time
+        )

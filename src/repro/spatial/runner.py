@@ -1,18 +1,20 @@
-"""The spatial run loop: trace in, message counts and a check report out."""
+"""The spatial run loop: trace in, message counts and a check report out.
+
+Assembly and replay are the runtime kernel's
+:class:`~repro.runtime.session.ExecutionSession`; this module only keeps
+the spatial-specific correctness evaluation.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
 from repro.harness.config import RunConfig
-from repro.network.accounting import LedgerSnapshot, MessageLedger, Phase
-from repro.network.channel import Channel
-from repro.sim.engine import SimulationEngine
+from repro.network.accounting import LedgerSnapshot
+from repro.runtime.session import ExecutionSession
 from repro.spatial.oracle import SpatialOracle
 from repro.spatial.protocols import SpatialProtocol
 from repro.spatial.queries import SpatialKnnQuery, SpatialRangeQuery
-from repro.spatial.server import SpatialServer
-from repro.spatial.source import SpatialStreamSource
 from repro.spatial.trace import SpatialTrace
 from repro.tolerance.fraction_tolerance import FractionTolerance
 from repro.tolerance.rank_tolerance import RankTolerance
@@ -53,14 +55,7 @@ def run_spatial_protocol(
     """Replay *trace* against a spatial *protocol*; mirror of
     :func:`repro.harness.runner.run_protocol`."""
     config = config or RunConfig()
-    engine = SimulationEngine()
-    ledger = MessageLedger()
-    channel = Channel(ledger)
-    sources = [
-        SpatialStreamSource(stream_id, trace.initial_points[stream_id], channel)
-        for stream_id in range(trace.n_streams)
-    ]
-    server = SpatialServer(channel, protocol)
+    session = ExecutionSession.for_spatial(trace, protocol)
 
     oracle: SpatialOracle | None = None
     if config.check_every > 0:
@@ -70,13 +65,11 @@ def run_spatial_protocol(
             raise ValueError("checking requires a query")
         oracle = SpatialOracle(trace.initial_points)
 
-    ledger.phase = Phase.INITIALIZATION
-    server.initialize(time=0.0)
-    ledger.phase = Phase.MAINTENANCE
+    session.initialize(time=0.0)
 
     result = SpatialRunResult(
         protocol=protocol.name,
-        ledger=ledger.snapshot(),  # replaced at the end
+        ledger=session.snapshot(),  # replaced at the end
         n_streams=trace.n_streams,
         n_records=trace.n_records,
         final_answer=frozenset(),
@@ -92,21 +85,28 @@ def run_spatial_protocol(
             if config.strict:
                 raise SpatialToleranceViolationError(f"t={time}: {reason}")
 
+    oracle_apply = None
+    after_apply = None
     if oracle is not None:
         check(0.0)
+        oracle_apply = oracle.apply
+        tick = 0
 
-    tick = 0
-    for time, stream_id, point in trace:
-        engine.run(until=time)
-        if oracle is not None:
-            oracle.apply(stream_id, point)
-        sources[stream_id].apply_point(point, time)
-        if oracle is not None:
+        def after_apply(time: float) -> None:
+            nonlocal tick
             tick += 1
             if tick % config.check_every == 0:
                 check(time)
 
-    result.ledger = ledger.snapshot()
+    session.replay_trace(
+        trace,
+        oracle_apply=oracle_apply,
+        after_apply=after_apply,
+        mode=config.replay_mode,
+        batch_size=config.batch_size,
+    )
+
+    result.ledger = session.snapshot()
     result.final_answer = protocol.answer
     return result
 

@@ -1,19 +1,20 @@
 """The spatial server: region deployments and point probes.
 
 Mirrors :class:`repro.server.server.Server` with vector payloads; the
-same deferred-update discipline guarantees protocol handlers are never
-re-entered by self-correction reports.
+same deferred-update discipline — inherited from the runtime kernel's
+:class:`repro.runtime.dispatch.DeferredDeliveryMixin` — guarantees
+protocol handlers are never re-entered by self-correction reports.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.network.channel import Channel
 from repro.network.messages import Message, MessageKind
+from repro.runtime.dispatch import DeferredDeliveryMixin
 from repro.spatial.geometry import Region
 from repro.spatial.messages import (
     PointProbeReplyMessage,
@@ -26,7 +27,7 @@ if TYPE_CHECKING:
     from repro.spatial.protocols import SpatialProtocol
 
 
-class SpatialServer:
+class SpatialServer(DeferredDeliveryMixin):
     """Central processor for vector-valued streams."""
 
     def __init__(self, channel: Channel, protocol: "SpatialProtocol") -> None:
@@ -35,8 +36,7 @@ class SpatialServer:
         self._now = 0.0
         self._probe_reply: PointProbeReplyMessage | None = None
         self._awaiting_probe = False
-        self._busy = False
-        self._pending: deque[PointUpdateMessage] = deque()
+        self._init_delivery()
         channel.bind_server(self._handle_message)
 
     @property
@@ -53,12 +53,7 @@ class SpatialServer:
 
     def initialize(self, time: float = 0.0) -> None:
         self._now = time
-        self._busy = True
-        try:
-            self.protocol.initialize(self)
-        finally:
-            self._busy = False
-        self._drain_pending()
+        self._guarded_call(self.protocol.initialize, self)
 
     # ------------------------------------------------------------------
     # Control plane
@@ -110,29 +105,13 @@ class SpatialServer:
         if message.kind is MessageKind.UPDATE:
             assert isinstance(message, PointUpdateMessage)
             self._now = max(self._now, message.time)
-            if self._busy:
-                self._pending.append(message)
-                return
-            self._busy = True
-            try:
-                self.protocol.on_update(
-                    self, message.stream_id, message.point, message.time
-                )
-            finally:
-                self._busy = False
-            self._drain_pending()
+            self._deliver(message)
             return
         raise RuntimeError(  # pragma: no cover - defensive
             f"server received unexpected {message.kind}"
         )
 
-    def _drain_pending(self) -> None:
-        while self._pending:
-            message = self._pending.popleft()
-            self._busy = True
-            try:
-                self.protocol.on_update(
-                    self, message.stream_id, message.point, message.time
-                )
-            finally:
-                self._busy = False
+    def _handle_delivery(self, message: PointUpdateMessage) -> None:
+        self.protocol.on_update(
+            self, message.stream_id, message.point, message.time
+        )

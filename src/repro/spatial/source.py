@@ -2,7 +2,9 @@
 
 Identical semantics to :class:`repro.streams.source.StreamSource` —
 report iff region membership flips, refresh on probe, self-correct on a
-stale deployment belief — over points and regions.
+stale deployment belief — over points and regions.  Both are the same
+runtime-kernel source; only the payload codec (points), the membership
+container (regions) and the message vocabulary differ.
 """
 
 from __future__ import annotations
@@ -10,83 +12,67 @@ from __future__ import annotations
 import numpy as np
 
 from repro.network.channel import Channel
-from repro.network.messages import Message, MessageKind
+from repro.network.messages import Message
+from repro.runtime.membership import RegionMembership
+from repro.runtime.source import ChannelFilteredSource
 from repro.spatial.geometry import Region, as_point
 from repro.spatial.messages import (
     PointProbeReplyMessage,
-    PointProbeRequestMessage,
     PointUpdateMessage,
     RegionConstraintMessage,
 )
 
 
-class SpatialStreamSource:
+class SpatialStreamSource(ChannelFilteredSource):
     """A distributed source holding a d-dimensional point."""
 
     def __init__(self, stream_id: int, initial_point, channel: Channel) -> None:
-        self.stream_id = stream_id
-        self.point = as_point(initial_point)
-        self.channel = channel
-        self.region: Region | None = None
-        self._reported_inside = False
-        channel.bind_source(stream_id, self._handle_message)
+        super().__init__(stream_id, initial_point, RegionMembership(), channel)
+
+    def _coerce(self, payload) -> np.ndarray:
+        return as_point(payload)
 
     # ------------------------------------------------------------------
     # Data plane
     # ------------------------------------------------------------------
     def apply_point(self, point, time: float) -> None:
         """Move to *point*; report if the region filter demands it."""
-        self.point = as_point(point)
-        if self.region is None:
-            self._report(time)
-            return
-        inside = self.region.contains(self.point)
-        if inside != self._reported_inside:
-            self._reported_inside = inside
-            self._report(time)
-
-    def _report(self, time: float) -> None:
-        self.channel.send_to_server(
-            PointUpdateMessage(
-                stream_id=self.stream_id, time=time, point=self.point.copy()
-            )
-        )
+        self.apply(point, time)
 
     # ------------------------------------------------------------------
-    # Control plane
+    # Message vocabulary
     # ------------------------------------------------------------------
-    def _handle_message(self, message: Message) -> None:
-        if message.kind is MessageKind.PROBE_REQUEST:
-            assert isinstance(message, PointProbeRequestMessage)
-            if self.region is not None:
-                self._reported_inside = self.region.contains(self.point)
-            self.channel.send_to_server(
-                PointProbeReplyMessage(
-                    stream_id=self.stream_id,
-                    time=message.time,
-                    point=self.point.copy(),
-                )
-            )
-            return
-        if message.kind is MessageKind.CONSTRAINT:
-            assert isinstance(message, RegionConstraintMessage)
-            self.region = message.region
-            if self.region.is_silencing:
-                self._reported_inside = self.region.contains(self.point)
-                return
-            actual = self.region.contains(self.point)
-            if message.assumed_inside is None:
-                self._reported_inside = actual
-                return
-            self._reported_inside = bool(message.assumed_inside)
-            if actual != self._reported_inside:
-                self._reported_inside = actual
-                self._report(message.time)
-            return
-        raise RuntimeError(  # pragma: no cover - defensive
-            f"source received unexpected {message.kind}"
+    def _update_message(self, time: float) -> Message:
+        return PointUpdateMessage(
+            stream_id=self.stream_id, time=time, point=self.value.copy()
         )
+
+    def _reply_message(self, time: float) -> Message:
+        return PointProbeReplyMessage(
+            stream_id=self.stream_id, time=time, point=self.value.copy()
+        )
+
+    def _constraint_of(self, message: Message) -> Region:
+        assert isinstance(message, RegionConstraintMessage)
+        return message.region
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def point(self) -> np.ndarray:
+        """The source's current point (alias of the kernel payload)."""
+        return self.value
+
+    @point.setter
+    def point(self, value) -> None:
+        self.value = as_point(value)
+
+    @property
+    def region(self) -> Region | None:
+        """The region filter currently installed (if any)."""
+        return self.membership.container
 
     @property
     def reported_inside(self) -> bool:
-        return self._reported_inside
+        return self.membership.reported_inside

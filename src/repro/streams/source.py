@@ -13,6 +13,11 @@ server's assumed membership; if the source's actual membership differs, it
 reports immediately, which the server handles through its normal
 maintenance path.  This keeps Correctness Requirement 2 intact without
 probing all ``n`` streams on every resolution.
+
+The report-iff-membership-flips mechanics live in the runtime kernel
+(:class:`repro.runtime.source.ChannelFilteredSource` +
+:class:`repro.runtime.membership.IntervalMembership`); this class only
+binds the scalar payload codec and the scalar message vocabulary.
 """
 
 from __future__ import annotations
@@ -21,15 +26,15 @@ from repro.network.channel import Channel
 from repro.network.messages import (
     ConstraintMessage,
     Message,
-    MessageKind,
     ProbeReplyMessage,
-    ProbeRequestMessage,
     UpdateMessage,
 )
+from repro.runtime.membership import IntervalMembership
+from repro.runtime.source import ChannelFilteredSource
 from repro.streams.filters import FilterConstraint
 
 
-class StreamSource:
+class StreamSource(ChannelFilteredSource):
     """A single distributed stream source with an adaptive filter.
 
     Parameters
@@ -45,83 +50,49 @@ class StreamSource:
     def __init__(
         self, stream_id: int, initial_value: float, channel: Channel
     ) -> None:
-        self.stream_id = stream_id
-        self.value = float(initial_value)
-        self.channel = channel
-        self.constraint: FilterConstraint | None = None
-        # Membership of the last value the server knows, relative to the
-        # currently installed constraint.  Meaningless when no constraint
-        # is installed (the source then reports every change).
-        self._reported_inside = False
-        channel.bind_source(stream_id, self._handle_message)
+        super().__init__(
+            stream_id, initial_value, IntervalMembership(), channel
+        )
+
+    def _coerce(self, payload) -> float:
+        return float(payload)
 
     # ------------------------------------------------------------------
-    # Data-plane: value changes
+    # Data plane
     # ------------------------------------------------------------------
     def apply_value(self, value: float, time: float) -> None:
         """Install a new current value; report it if the filter demands."""
-        self.value = float(value)
-        if self.constraint is None:
-            self._report(time)
-            return
-        inside = self.constraint.contains(self.value)
-        if inside != self._reported_inside:
-            self._reported_inside = inside
-            self._report(time)
-
-    def _report(self, time: float) -> None:
-        self.channel.send_to_server(
-            UpdateMessage(stream_id=self.stream_id, time=time, value=self.value)
-        )
+        self.apply(value, time)
 
     # ------------------------------------------------------------------
-    # Control-plane: messages from the server
+    # Message vocabulary
     # ------------------------------------------------------------------
-    def _handle_message(self, message: Message) -> None:
-        if message.kind is MessageKind.PROBE_REQUEST:
-            self._handle_probe(message)
-        elif message.kind is MessageKind.CONSTRAINT:
-            self._handle_constraint(message)
-        else:  # pragma: no cover - defensive
-            raise RuntimeError(f"source received unexpected {message.kind}")
-
-    def _handle_probe(self, message: Message) -> None:
-        assert isinstance(message, ProbeRequestMessage)
-        # Replying synchronizes the server's knowledge with our value.
-        if self.constraint is not None:
-            self._reported_inside = self.constraint.contains(self.value)
-        self.channel.send_to_server(
-            ProbeReplyMessage(
-                stream_id=self.stream_id, time=message.time, value=self.value
-            )
+    def _update_message(self, time: float) -> Message:
+        return UpdateMessage(
+            stream_id=self.stream_id, time=time, value=self.value
         )
 
-    def _handle_constraint(self, message: Message) -> None:
+    def _reply_message(self, time: float) -> Message:
+        return ProbeReplyMessage(
+            stream_id=self.stream_id, time=time, value=self.value
+        )
+
+    def _constraint_of(self, message: Message) -> FilterConstraint:
         assert isinstance(message, ConstraintMessage)
-        self.constraint = FilterConstraint(message.lower, message.upper)
-        if self.constraint.is_silencing:
-            # Shut-down filters never fire; the belief flag is irrelevant.
-            self._reported_inside = self.constraint.contains(self.value)
-            return
-        assumed = message.assumed_inside
-        actual = self.constraint.contains(self.value)
-        if assumed is None:
-            # Server knows our value exactly (it probed us this round).
-            self._reported_inside = actual
-            return
-        self._reported_inside = bool(assumed)
-        if actual != self._reported_inside:
-            # Server's belief is stale: self-correct with one update.
-            self._reported_inside = actual
-            self._report(message.time)
+        return FilterConstraint(message.lower, message.upper)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
+    def constraint(self) -> FilterConstraint | None:
+        """The filter constraint currently installed (if any)."""
+        return self.membership.container
+
+    @property
     def reported_inside(self) -> bool:
         """The membership state the server currently believes."""
-        return self._reported_inside
+        return self.membership.reported_inside
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

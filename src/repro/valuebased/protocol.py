@@ -15,13 +15,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.correctness.oracle import Oracle
-from repro.network.accounting import MessageLedger, Phase
-from repro.network.channel import Channel
 from repro.queries.base import RankBasedQuery
 from repro.queries.rank import ranked_ids
+from repro.runtime.session import ExecutionSession
 from repro.sim.stats import Tally
 from repro.streams.trace import StreamTrace
-from repro.valuebased.source import WindowFilterSource
 
 
 class ValueToleranceTopKProtocol:
@@ -78,6 +76,7 @@ def run_value_tolerance(
     query: RankBasedQuery,
     eps: float,
     check_every: int = 1,
+    replay_mode: str = "auto",
 ) -> ValueToleranceResult:
     """Replay *trace* under value tolerance *eps*; measure rank quality.
 
@@ -85,35 +84,40 @@ def run_value_tolerance(
     checkpoint; ``mean_rank_error`` averages ``max(0, rank - k)`` over
     all sampled answer members.  ``value_guarantee_held`` verifies the
     scheme's own contract: every known value within ``eps/2`` of truth.
+    With ``check_every=0`` no rank quality is sampled and the batched
+    replay fast path applies.
     """
-    ledger = MessageLedger()
-    channel = Channel(ledger)
-    sources = [
-        WindowFilterSource(stream_id, value, channel, width=eps)
-        for stream_id, value in enumerate(trace.initial_values)
-    ]
+    session = ExecutionSession.for_windows(trace, width=eps)
     protocol = ValueToleranceTopKProtocol(query, eps)
-    channel.bind_server(
+    session.channel.bind_server(
         lambda message: protocol.on_update(message.stream_id, message.value)
     )
-    oracle = Oracle(trace.initial_values)
 
     # Initialization: one snapshot of every value (charged separately).
-    ledger.phase = Phase.INITIALIZATION
-    protocol.seed(
-        {stream_id: source.value for stream_id, source in enumerate(sources)}
+    session.initialize(
+        run=lambda time: protocol.seed(
+            {
+                stream_id: source.value
+                for stream_id, source in enumerate(session.sources)
+            }
+        )
     )
-    ledger.phase = Phase.MAINTENANCE
 
     worst_rank = query.k
     rank_error = Tally("rank-error")
     guarantee_held = True
-    tick = 0
-    for record in trace:
-        oracle.apply(record.stream_id, record.value)
-        sources[record.stream_id].apply_value(record.value, record.time)
-        tick += 1
-        if check_every and tick % check_every == 0:
+    oracle_apply = None
+    after_apply = None
+    if check_every:
+        oracle = Oracle(trace.initial_values)
+        oracle_apply = oracle.apply
+        tick = 0
+
+        def after_apply(time: float) -> None:
+            nonlocal tick, worst_rank, guarantee_held
+            tick += 1
+            if tick % check_every != 0:
+                return
             order = ranked_ids(query, oracle.values)
             positions = {int(s): i + 1 for i, s in enumerate(order)}
             for member in protocol.answer:
@@ -126,9 +130,16 @@ def run_value_tolerance(
             if drift > eps / 2.0 + 1e-9:
                 guarantee_held = False
 
+    session.replay_trace(
+        trace,
+        oracle_apply=oracle_apply,
+        after_apply=after_apply,
+        mode=replay_mode,
+    )
+
     return ValueToleranceResult(
         eps=eps,
-        maintenance_messages=ledger.maintenance_total,
+        maintenance_messages=session.ledger.maintenance_total,
         worst_rank=worst_rank,
         mean_rank_error=rank_error.mean if rank_error.count else 0.0,
         value_guarantee_held=guarantee_held,

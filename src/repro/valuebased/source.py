@@ -4,22 +4,20 @@ Unlike the paper's filters — fixed intervals installed by the server,
 violated on *membership flips* — a value window travels with the data:
 after each report the window recenters on the reported value.  No
 constraint messages are needed during maintenance; the width is fixed at
-installation.
+installation.  On the runtime kernel this is just
+:class:`repro.runtime.membership.RecenteringWindowMembership` bound to
+the scalar message vocabulary.
 """
 
 from __future__ import annotations
 
 from repro.network.channel import Channel
-from repro.network.messages import (
-    Message,
-    MessageKind,
-    ProbeReplyMessage,
-    ProbeRequestMessage,
-    UpdateMessage,
-)
+from repro.network.messages import Message, ProbeReplyMessage, UpdateMessage
+from repro.runtime.membership import RecenteringWindowMembership
+from repro.runtime.source import ChannelFilteredSource
 
 
-class WindowFilterSource:
+class WindowFilterSource(ChannelFilteredSource):
     """A source reporting when its value escapes a +-width/2 window."""
 
     def __init__(
@@ -29,43 +27,38 @@ class WindowFilterSource:
         channel: Channel,
         width: float,
     ) -> None:
-        if width < 0:
-            raise ValueError("window width must be non-negative")
-        self.stream_id = stream_id
-        self.value = float(initial_value)
+        membership = RecenteringWindowMembership(
+            width=width, center=float(initial_value)
+        )
+        super().__init__(stream_id, initial_value, membership, channel)
         self.width = float(width)
-        self.channel = channel
-        self._center = float(initial_value)
-        channel.bind_source(stream_id, self._handle_message)
+
+    def _coerce(self, payload) -> float:
+        return float(payload)
 
     def apply_value(self, value: float, time: float) -> None:
         """Install a new value; report iff it escapes the window."""
-        self.value = float(value)
-        if abs(self.value - self._center) > self.width / 2.0:
-            self._center = self.value
-            self.channel.send_to_server(
-                UpdateMessage(
-                    stream_id=self.stream_id, time=time, value=self.value
-                )
-            )
+        self.apply(value, time)
 
-    def _handle_message(self, message: Message) -> None:
-        if message.kind is MessageKind.PROBE_REQUEST:
-            assert isinstance(message, ProbeRequestMessage)
-            self._center = self.value  # the server now knows us exactly
-            self.channel.send_to_server(
-                ProbeReplyMessage(
-                    stream_id=self.stream_id,
-                    time=message.time,
-                    value=self.value,
-                )
-            )
-            return
-        raise RuntimeError(  # pragma: no cover - defensive
+    # ------------------------------------------------------------------
+    # Message vocabulary
+    # ------------------------------------------------------------------
+    def _update_message(self, time: float) -> Message:
+        return UpdateMessage(
+            stream_id=self.stream_id, time=time, value=self.value
+        )
+
+    def _reply_message(self, time: float) -> Message:
+        return ProbeReplyMessage(
+            stream_id=self.stream_id, time=time, value=self.value
+        )
+
+    def _constraint_of(self, message: Message):
+        raise RuntimeError(
             f"window source received unexpected {message.kind}"
         )
 
     @property
     def center(self) -> float:
         """The value the server currently believes (window centre)."""
-        return self._center
+        return self.membership.center

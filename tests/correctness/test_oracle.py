@@ -80,3 +80,72 @@ def test_unsupported_query_type_rejected():
     oracle = Oracle(np.array([1.0]))
     with pytest.raises(TypeError):
         oracle.true_answer(object())  # type: ignore[arg-type]
+
+
+class TestRegisterQuery:
+    """Satellite fix: every query kind registers, not just RangeQuery."""
+
+    def test_range_query_gets_incremental_maintenance(self):
+        oracle = Oracle(np.array([15.0, 25.0]))
+        query = RangeQuery(10.0, 20.0)
+        oracle.register_query(query)
+        assert query in oracle.registered_queries
+        oracle.apply(1, 12.0)
+        assert oracle.true_answer(query) == frozenset({0, 1})
+
+    def test_rank_queries_register(self):
+        from repro.queries.knn import KMinQuery
+
+        oracle = Oracle(np.array([10.0, 50.0, 30.0]))
+        for query in (
+            TopKQuery(k=2),
+            KnnQuery(q=30.0, k=1),
+            KMinQuery(k=1),
+        ):
+            oracle.register_query(query)
+        assert len(oracle.registered_queries) == 3
+        assert oracle.true_answer(TopKQuery(k=2)) == frozenset({1, 2})
+
+    def test_registration_is_idempotent(self):
+        oracle = Oracle(np.array([1.0]))
+        query = TopKQuery(k=1)
+        oracle.register_query(query)
+        oracle.register_query(query)
+        assert oracle.registered_queries == [query]
+
+    def test_unsupported_type_raises_at_registration(self):
+        oracle = Oracle(np.array([1.0]))
+        with pytest.raises(TypeError):
+            oracle.register_query(object())  # type: ignore[arg-type]
+
+    def test_checked_rank_query_run_registers_with_oracle(self, monkeypatch):
+        """run_protocol registers non-range queries the same way."""
+        from repro.harness.config import RunConfig
+        from repro.harness.runner import run_protocol
+        from repro.protocols.rtp import RankToleranceProtocol
+        from repro.streams.synthetic import (
+            SyntheticConfig,
+            generate_synthetic_trace,
+        )
+        from repro.tolerance.rank_tolerance import RankTolerance
+
+        registered = []
+        original = Oracle.register_query
+
+        def spy(self, query):
+            registered.append(query)
+            return original(self, query)
+
+        monkeypatch.setattr(Oracle, "register_query", spy)
+        trace = generate_synthetic_trace(
+            SyntheticConfig(n_streams=30, horizon=50.0, seed=2)
+        )
+        query = TopKQuery(k=3)
+        tolerance = RankTolerance(k=3, r=2)
+        run_protocol(
+            trace,
+            RankToleranceProtocol(query, tolerance),
+            tolerance=tolerance,
+            config=RunConfig(check_every=1, strict=True),
+        )
+        assert registered == [query]

@@ -1,0 +1,21 @@
+"""Acceptance: batched replay reproduces every figure byte-for-byte.
+
+Each seed figure experiment (01, 09-15) is run twice at the smoke
+profile — once forcing faithful per-event replay, once forcing the
+batched fast path — and must produce identical series.  The series are
+projections of the per-run ``MessageLedger`` snapshots, whose direct
+equality is additionally covered by ``tests/runtime/test_session.py``.
+"""
+
+import pytest
+
+from repro.experiments.registry import REGISTRY
+
+
+@pytest.mark.parametrize("name", list(REGISTRY))
+def test_figure_series_identical_across_replay_modes(name):
+    runner, _ = REGISTRY[name]
+    event = runner(profile="smoke", seed=0, replay_mode="event")
+    batch = runner(profile="smoke", seed=0, replay_mode="batch")
+    assert event.x_values == batch.x_values
+    assert event.series == batch.series

@@ -6,7 +6,6 @@ ground-truth checker actually *catches* the resulting violations — i.e.
 that the hundreds of `tolerance_ok` assertions elsewhere are meaningful.
 """
 
-import numpy as np
 import pytest
 
 from repro.correctness.checker import ToleranceChecker

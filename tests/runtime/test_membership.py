@@ -1,0 +1,155 @@
+"""Unit tests for the kernel's membership strategies."""
+
+import math
+
+import pytest
+
+from repro.runtime.membership import (
+    REPORT,
+    IntervalMembership,
+    RecenteringWindowMembership,
+    SlottedMembership,
+)
+from repro.streams.filters import (
+    FALSE_NEGATIVE_FILTER,
+    FALSE_POSITIVE_FILTER,
+    FilterConstraint,
+)
+
+
+class TestIntervalMembership:
+    def test_no_constraint_reports_everything(self):
+        m = IntervalMembership()
+        assert m.evaluate(1.0) is REPORT
+        assert m.evaluate(1.0) is REPORT  # even unchanged values
+
+    def test_reports_only_on_flip(self):
+        m = IntervalMembership()
+        m.install(FilterConstraint(0.0, 10.0), None, 5.0)
+        assert m.evaluate(7.0) is None       # inside -> inside
+        assert m.evaluate(12.0) is REPORT    # crossed out
+        assert m.evaluate(20.0) is None      # outside -> outside
+        assert m.evaluate(3.0) is REPORT     # crossed back in
+
+    def test_stale_belief_demands_self_correction(self):
+        m = IntervalMembership()
+        assert m.install(FilterConstraint(0.0, 10.0), True, 15.0) is True
+        assert m.reported_inside is False  # corrected
+
+    def test_correct_belief_stays_silent(self):
+        m = IntervalMembership()
+        assert m.install(FilterConstraint(0.0, 10.0), False, 15.0) is False
+
+    def test_silencing_filters_never_flip(self):
+        for constraint in (FALSE_POSITIVE_FILTER, FALSE_NEGATIVE_FILTER):
+            m = IntervalMembership()
+            assert m.install(constraint, True, 5.0) is False
+            for value in (0.0, 1e9, -1e9):
+                assert m.evaluate(value) is None
+
+    def test_resync_aligns_belief(self):
+        m = IntervalMembership()
+        m.install(FilterConstraint(0.0, 10.0), None, 5.0)
+        m.reported_inside = False  # simulate stale state
+        m.resync(5.0)
+        assert m.reported_inside is True
+
+    def test_quiescence_rows(self):
+        m = IntervalMembership()
+        assert m.quiescence_rows() is None  # bare stream: never quiescent
+        m.install(FilterConstraint(2.0, 8.0), None, 5.0)
+        assert m.quiescence_rows() == [(2.0, 8.0, True)]
+
+
+class TestRecenteringWindow:
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            RecenteringWindowMembership(width=-1.0, center=0.0)
+
+    def test_report_recenters(self):
+        m = RecenteringWindowMembership(width=10.0, center=10.0)
+        assert m.evaluate(14.0) is None
+        assert m.evaluate(16.0) is REPORT
+        assert m.center == 16.0
+        assert m.evaluate(20.0) is None  # inside the recentred window
+
+    def test_deployments_rejected(self):
+        m = RecenteringWindowMembership(width=1.0, center=0.0)
+        with pytest.raises(TypeError):
+            m.install(FilterConstraint(0.0, 1.0), None, 0.0)
+
+    def test_quiescence_rows_follow_center(self):
+        m = RecenteringWindowMembership(width=10.0, center=10.0)
+        assert m.quiescence_rows() == [(5.0, 15.0, True)]
+        m.evaluate(30.0)
+        assert m.quiescence_rows() == [(25.0, 35.0, True)]
+
+    def test_evaluate_agrees_with_rows_at_fp_boundaries(self):
+        """Regression: abs(v - c) > w/2 and the closed-interval bound
+        disagree by one ulp for e.g. c=0.3, w=0.2, v=0.4; evaluate must
+        use the rows' predicate or batch replay drops a report."""
+        m = RecenteringWindowMembership(width=0.2, center=0.3)
+        ((lower, upper, _),) = m.quiescence_rows()
+        for v in (0.4, 0.2, 0.1 + 0.3, 0.30000000000000004):
+            quiescent_by_rows = lower <= v <= upper
+            reported = m.evaluate(v) is not None
+            assert reported != quiescent_by_rows, v
+            m.center = 0.3  # undo any recentering for the next probe
+
+
+class TestSlottedMembership:
+    def test_bare_source_notifies_everyone(self):
+        m = SlottedMembership()
+        assert m.evaluate(1.0) is REPORT
+
+    def test_only_flipped_slots_tagged(self):
+        m = SlottedMembership()
+        m.install_slot("a", FilterConstraint(0.0, 10.0), None, 5.0)
+        m.install_slot("b", FilterConstraint(7.0, 20.0), None, 5.0)
+        assert m.evaluate(8.0) == ["b"]   # enters b, stays in a
+        assert m.evaluate(12.0) == ["a"]  # leaves a, stays in b
+        assert m.evaluate(13.0) is None   # nothing flips
+
+    def test_silencing_slots_skipped(self):
+        m = SlottedMembership()
+        m.install_slot("a", FALSE_POSITIVE_FILTER, None, 5.0)
+        assert m.evaluate(1e9) is None
+
+    def test_quiescence_rows_one_per_slot(self):
+        m = SlottedMembership()
+        assert m.quiescence_rows() is None
+        m.install_slot("a", FilterConstraint(0.0, 10.0), None, 5.0)
+        m.install_slot("b", FilterConstraint(7.0, 20.0), None, 5.0)
+        assert m.quiescence_rows() == [
+            (0.0, 10.0, True),
+            (7.0, 20.0, False),
+        ]
+
+    def test_stale_slot_belief_self_corrects(self):
+        m = SlottedMembership()
+        assert (
+            m.install_slot("a", FilterConstraint(0.0, 10.0), False, 5.0)
+            is True
+        )
+        assert m.reported_inside["a"] is True
+
+    def test_resync_slot_touches_only_that_slot(self):
+        m = SlottedMembership()
+        m.install_slot("a", FilterConstraint(0.0, 10.0), None, 5.0)
+        m.install_slot("b", FilterConstraint(0.0, 10.0), None, 5.0)
+        m.reported_inside["a"] = False
+        m.reported_inside["b"] = False
+        m.resync_slot("a", 5.0)
+        assert m.reported_inside == {"a": True, "b": False}
+
+
+def test_interval_rows_infinite_bounds_stay_quiescent():
+    """Silencing filters express naturally as bounds that never flip."""
+    m = IntervalMembership()
+    m.install(FALSE_POSITIVE_FILTER, None, 5.0)
+    ((lower, upper, inside),) = m.quiescence_rows()
+    assert lower == -math.inf and upper == math.inf and inside is True
+    m2 = IntervalMembership()
+    m2.install(FALSE_NEGATIVE_FILTER, None, 5.0)
+    ((lower, upper, inside),) = m2.quiescence_rows()
+    assert lower == math.inf and inside is False

@@ -1,0 +1,423 @@
+"""The FilteredSource strategy contract: kernel ports == legacy sources.
+
+Each kernel-ported source class must produce *identical message ledgers*
+to the seed repo's hand-rolled implementation on shared traces.  The
+reference implementations below are faithful copies of the pre-kernel
+semantics; the suite drives both sides through the same randomized
+script of value changes, probes and deployments and compares every
+message that crosses the channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.accounting import MessageLedger
+from repro.network.channel import Channel
+from repro.network.messages import (
+    ConstraintMessage,
+    MessageKind,
+    ProbeRequestMessage,
+    UpdateMessage,
+)
+from repro.spatial.geometry import BallRegion, BoxRegion, as_point
+from repro.spatial.messages import (
+    PointProbeRequestMessage,
+    PointUpdateMessage,
+    RegionConstraintMessage,
+)
+from repro.spatial.source import SpatialStreamSource
+from repro.streams.filters import FilterConstraint
+from repro.streams.source import StreamSource
+from repro.valuebased.source import WindowFilterSource
+
+
+# ----------------------------------------------------------------------
+# Reference (pre-kernel) implementations
+# ----------------------------------------------------------------------
+class LegacyStreamSource:
+    """Verbatim seed semantics of the scalar stream source."""
+
+    def __init__(self, stream_id, initial_value, channel):
+        self.stream_id = stream_id
+        self.value = float(initial_value)
+        self.channel = channel
+        self.constraint = None
+        self._reported_inside = False
+        channel.bind_source(stream_id, self._handle_message)
+
+    def apply_value(self, value, time):
+        self.value = float(value)
+        if self.constraint is None:
+            self._report(time)
+            return
+        inside = self.constraint.contains(self.value)
+        if inside != self._reported_inside:
+            self._reported_inside = inside
+            self._report(time)
+
+    def _report(self, time):
+        self.channel.send_to_server(
+            UpdateMessage(stream_id=self.stream_id, time=time, value=self.value)
+        )
+
+    def _handle_message(self, message):
+        if message.kind is MessageKind.PROBE_REQUEST:
+            if self.constraint is not None:
+                self._reported_inside = self.constraint.contains(self.value)
+            from repro.network.messages import ProbeReplyMessage
+
+            self.channel.send_to_server(
+                ProbeReplyMessage(
+                    stream_id=self.stream_id,
+                    time=message.time,
+                    value=self.value,
+                )
+            )
+            return
+        assert message.kind is MessageKind.CONSTRAINT
+        self.constraint = FilterConstraint(message.lower, message.upper)
+        if self.constraint.is_silencing:
+            self._reported_inside = self.constraint.contains(self.value)
+            return
+        assumed = message.assumed_inside
+        actual = self.constraint.contains(self.value)
+        if assumed is None:
+            self._reported_inside = actual
+            return
+        self._reported_inside = bool(assumed)
+        if actual != self._reported_inside:
+            self._reported_inside = actual
+            self._report(message.time)
+
+
+class LegacyWindowSource:
+    """Verbatim seed semantics of the value-window source."""
+
+    def __init__(self, stream_id, initial_value, channel, width):
+        self.stream_id = stream_id
+        self.value = float(initial_value)
+        self.width = float(width)
+        self.channel = channel
+        self._center = float(initial_value)
+        channel.bind_source(stream_id, self._handle_message)
+
+    def apply_value(self, value, time):
+        self.value = float(value)
+        if abs(self.value - self._center) > self.width / 2.0:
+            self._center = self.value
+            self.channel.send_to_server(
+                UpdateMessage(
+                    stream_id=self.stream_id, time=time, value=self.value
+                )
+            )
+
+    def _handle_message(self, message):
+        assert message.kind is MessageKind.PROBE_REQUEST
+        self._center = self.value
+        from repro.network.messages import ProbeReplyMessage
+
+        self.channel.send_to_server(
+            ProbeReplyMessage(
+                stream_id=self.stream_id, time=message.time, value=self.value
+            )
+        )
+
+
+class LegacySpatialSource:
+    """Verbatim seed semantics of the spatial source."""
+
+    def __init__(self, stream_id, initial_point, channel):
+        self.stream_id = stream_id
+        self.point = as_point(initial_point)
+        self.channel = channel
+        self.region = None
+        self._reported_inside = False
+        channel.bind_source(stream_id, self._handle_message)
+
+    def apply_point(self, point, time):
+        self.point = as_point(point)
+        if self.region is None:
+            self._report(time)
+            return
+        inside = self.region.contains(self.point)
+        if inside != self._reported_inside:
+            self._reported_inside = inside
+            self._report(time)
+
+    def _report(self, time):
+        self.channel.send_to_server(
+            PointUpdateMessage(
+                stream_id=self.stream_id, time=time, point=self.point.copy()
+            )
+        )
+
+    def _handle_message(self, message):
+        if message.kind is MessageKind.PROBE_REQUEST:
+            if self.region is not None:
+                self._reported_inside = self.region.contains(self.point)
+            from repro.spatial.messages import PointProbeReplyMessage
+
+            self.channel.send_to_server(
+                PointProbeReplyMessage(
+                    stream_id=self.stream_id,
+                    time=message.time,
+                    point=self.point.copy(),
+                )
+            )
+            return
+        assert message.kind is MessageKind.CONSTRAINT
+        self.region = message.region
+        if self.region.is_silencing:
+            self._reported_inside = self.region.contains(self.point)
+            return
+        actual = self.region.contains(self.point)
+        if message.assumed_inside is None:
+            self._reported_inside = actual
+            return
+        self._reported_inside = bool(message.assumed_inside)
+        if actual != self._reported_inside:
+            self._reported_inside = actual
+            self._report(message.time)
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def _sink_system(make_source):
+    ledger = MessageLedger()
+    channel = Channel(ledger)
+    received = []
+    channel.bind_server(received.append)
+    source = make_source(channel)
+    return channel, ledger, source, received
+
+
+def _messages_digest(received):
+    """A comparable rendering of every server-bound message."""
+    digest = []
+    for message in received:
+        payload = getattr(message, "value", None)
+        if payload is None:
+            payload = tuple(message.point.tolist())
+        digest.append((message.kind, message.stream_id, message.time, payload))
+    return digest
+
+
+SCALAR_SEEDS = [0, 1, 2, 3]
+
+
+@pytest.mark.parametrize("seed", SCALAR_SEEDS)
+def test_stream_source_matches_legacy(seed):
+    rng = np.random.default_rng(seed)
+    script = []
+    for step in range(400):
+        roll = rng.random()
+        if roll < 0.7:
+            script.append(("value", float(rng.normal(500.0, 120.0))))
+        elif roll < 0.85:
+            script.append(("probe",))
+        else:
+            lower = float(rng.uniform(300.0, 500.0))
+            assumed = rng.choice([None, True, False])
+            script.append(
+                ("deploy", lower, lower + float(rng.uniform(10.0, 300.0)),
+                 None if assumed is None else bool(assumed))
+            )
+
+    def drive(source_cls):
+        channel, ledger, source, received = _sink_system(
+            lambda ch: source_cls(0, 500.0, ch)
+        )
+        for t, action in enumerate(script, start=1):
+            if action[0] == "value":
+                source.apply_value(action[1], float(t))
+            elif action[0] == "probe":
+                channel.send_to_source(ProbeRequestMessage(0, float(t)))
+            else:
+                channel.send_to_source(
+                    ConstraintMessage(
+                        0, float(t), lower=action[1], upper=action[2],
+                        assumed_inside=action[3],
+                    )
+                )
+        return ledger.snapshot(), _messages_digest(received)
+
+    legacy = drive(LegacyStreamSource)
+    kernel = drive(StreamSource)
+    assert legacy == kernel
+
+
+@pytest.mark.parametrize("seed", SCALAR_SEEDS)
+@pytest.mark.parametrize("width", [0.0, 25.0, 400.0])
+def test_window_source_matches_legacy(seed, width):
+    rng = np.random.default_rng(seed)
+    script = []
+    for step in range(400):
+        if rng.random() < 0.9:
+            script.append(("value", float(rng.normal(500.0, 60.0))))
+        else:
+            script.append(("probe",))
+
+    def drive(source_cls):
+        channel, ledger, source, received = _sink_system(
+            lambda ch: source_cls(0, 500.0, ch, width)
+        )
+        for t, action in enumerate(script, start=1):
+            if action[0] == "value":
+                source.apply_value(action[1], float(t))
+            else:
+                channel.send_to_source(ProbeRequestMessage(0, float(t)))
+        return ledger.snapshot(), _messages_digest(received)
+
+    legacy = drive(
+        lambda sid, v, ch, w=width: LegacyWindowSource(sid, v, ch, w)
+    )
+    kernel = drive(
+        lambda sid, v, ch, w=width: WindowFilterSource(sid, v, ch, width=w)
+    )
+    assert legacy == kernel
+
+
+@pytest.mark.parametrize("seed", SCALAR_SEEDS)
+def test_spatial_source_matches_legacy(seed):
+    rng = np.random.default_rng(seed)
+    script = []
+    for step in range(300):
+        roll = rng.random()
+        if roll < 0.7:
+            script.append(("point", rng.uniform(0.0, 100.0, size=2).tolist()))
+        elif roll < 0.85:
+            script.append(("probe",))
+        else:
+            if rng.random() < 0.5:
+                center = rng.uniform(20.0, 80.0, size=2)
+                region = BallRegion(center, float(rng.uniform(5.0, 40.0)))
+            else:
+                lows = rng.uniform(0.0, 50.0, size=2)
+                region = BoxRegion(lows, lows + rng.uniform(5.0, 50.0, size=2))
+            assumed = rng.choice([None, True, False])
+            script.append(
+                ("deploy", region, None if assumed is None else bool(assumed))
+            )
+
+    def drive(source_cls):
+        channel, ledger, source, received = _sink_system(
+            lambda ch: source_cls(0, [50.0, 50.0], ch)
+        )
+        for t, action in enumerate(script, start=1):
+            if action[0] == "point":
+                source.apply_point(action[1], float(t))
+            elif action[0] == "probe":
+                channel.send_to_source(PointProbeRequestMessage(0, float(t)))
+            else:
+                channel.send_to_source(
+                    RegionConstraintMessage(
+                        0, float(t), region=action[1], assumed_inside=action[2]
+                    )
+                )
+        return ledger.snapshot(), _messages_digest(received)
+
+    legacy = drive(LegacySpatialSource)
+    kernel = drive(SpatialStreamSource)
+    assert legacy == kernel
+
+
+@pytest.mark.parametrize("seed", SCALAR_SEEDS)
+def test_multiquery_source_matches_legacy(seed):
+    """The slotted port must reproduce the seed's shared-update stream."""
+    from repro.multiquery.source import MultiQuerySource
+
+    class LegacyMultiQuerySource:
+        def __init__(self, stream_id, initial_value, coordinator):
+            self.stream_id = stream_id
+            self.value = float(initial_value)
+            self.coordinator = coordinator
+            self._constraints = {}
+            self._reported = {}
+
+        def apply_value(self, value, time):
+            self.value = float(value)
+            if not self._constraints:
+                self.coordinator.receive_update(
+                    self.stream_id, self.value, time, flipped=None
+                )
+                return
+            flipped = []
+            for query_id, constraint in self._constraints.items():
+                if constraint.is_silencing:
+                    continue
+                inside = constraint.contains(self.value)
+                if inside != self._reported[query_id]:
+                    self._reported[query_id] = inside
+                    flipped.append(query_id)
+            if flipped:
+                self.coordinator.receive_update(
+                    self.stream_id, self.value, time, flipped=flipped
+                )
+
+        def install(self, query_id, constraint, assumed_inside, time):
+            self._constraints[query_id] = constraint
+            if constraint.is_silencing:
+                self._reported[query_id] = constraint.contains(self.value)
+                return
+            actual = constraint.contains(self.value)
+            if assumed_inside is None:
+                self._reported[query_id] = actual
+                return
+            self._reported[query_id] = bool(assumed_inside)
+            if actual != self._reported[query_id]:
+                self._reported[query_id] = actual
+                self.coordinator.receive_update(
+                    self.stream_id, self.value, time, flipped=[query_id]
+                )
+
+        def probe(self, query_id):
+            constraint = self._constraints.get(query_id)
+            if constraint is not None:
+                self._reported[query_id] = constraint.contains(self.value)
+            return self.value
+
+    class SinkCoordinator:
+        def __init__(self):
+            self.received = []
+
+        def receive_update(self, stream_id, value, time, flipped):
+            self.received.append((stream_id, value, time, flipped))
+
+    rng = np.random.default_rng(seed)
+    script = []
+    for step in range(400):
+        roll = rng.random()
+        if roll < 0.6:
+            script.append(("value", float(rng.normal(500.0, 120.0))))
+        elif roll < 0.75:
+            script.append(("probe", rng.choice(["a", "b"])))
+        else:
+            lower = float(rng.uniform(300.0, 500.0))
+            assumed = rng.choice([None, True, False])
+            script.append(
+                ("install", str(rng.choice(["a", "b"])), lower,
+                 lower + float(rng.uniform(10.0, 300.0)),
+                 None if assumed is None else bool(assumed))
+            )
+
+    def drive(source_cls):
+        coordinator = SinkCoordinator()
+        source = source_cls(0, 500.0, coordinator)
+        for t, action in enumerate(script, start=1):
+            if action[0] == "value":
+                source.apply_value(action[1], float(t))
+            elif action[0] == "probe":
+                source.probe(action[1])
+            else:
+                source.install(
+                    action[1],
+                    FilterConstraint(action[2], action[3]),
+                    action[4],
+                    float(t),
+                )
+        return coordinator.received
+
+    assert drive(LegacyMultiQuerySource) == drive(MultiQuerySource)

@@ -116,6 +116,35 @@ def test_self_correction_during_deploy_is_deferred():
     assert depth["max"] == 1  # never nested
 
 
+def test_update_arriving_mid_drain_is_queued_not_reentered():
+    """Regression: an update triggered *while* the pending queue is
+    draining must join the queue, not re-enter the protocol.
+
+    Stream 0's update deploys a stale-belief constraint at stream 1
+    (self-correction #1, deferred).  Draining that update deploys a
+    stale-belief constraint at stream 2 — its self-correction arrives
+    mid-drain and must be serialized after it, never nested."""
+    depth = {"now": 0, "max": 0}
+
+    def on_upd(server, stream_id, value, time):
+        depth["now"] += 1
+        depth["max"] = max(depth["max"], depth["now"])
+        if stream_id == 0:
+            # value 10 is outside [100, 200]: belief 'inside' is stale.
+            server.deploy(1, 100.0, 200.0, assumed_inside=True)
+        elif stream_id == 1:
+            # Triggered during _drain_pending: another stale deploy.
+            server.deploy(2, 100.0, 200.0, assumed_inside=True)
+        depth["now"] -= 1
+
+    server, protocol, sources, _ = make_system(
+        protocol=RecordingProtocol(on_upd=on_upd)
+    )
+    sources[0].apply_value(50.0, time=1.0)
+    assert [u[0] for u in protocol.updates] == [0, 1, 2]
+    assert depth["max"] == 1  # the drain never nested a handler
+
+
 def test_self_correction_during_initialize_is_deferred():
     def on_init(server):
         server.deploy(0, 100.0, 200.0, assumed_inside=True)
