@@ -1,0 +1,28 @@
+"""Shared benchmark-artifact conventions.
+
+Both environment knobs are read here so every bench agrees on them:
+
+* ``BENCH_OUTPUT_DIR`` — when set, each bench writes its accumulated
+  results as ``<dir>/BENCH_<name>.json`` (the CI bench-smoke job uploads
+  those so the perf trajectory accumulates per commit);
+* ``BENCH_SMOKE`` — when set, benches shrink their grids for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+
+def write_artifact(name: str, results) -> None:
+    """Write ``BENCH_<name>.json`` if ``BENCH_OUTPUT_DIR`` is set."""
+    out_dir = os.environ.get("BENCH_OUTPUT_DIR")
+    if not out_dir:
+        return
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+    print(f"artifact: {path}")

@@ -15,11 +15,17 @@ workload (synthetic, default profile) with checking disabled:
 
 Ledger equality between the two paths is asserted on every run (the
 equivalence corpus lives in tests/runtime/test_session.py).
+
+Set ``BENCH_OUTPUT_DIR`` to also write a ``BENCH_runtime_replay.json``
+artifact (uploaded by the CI bench-smoke job); ``BENCH_SMOKE=1`` shrinks
+the sweep for CI.
 """
 
 from __future__ import annotations
 
 import time
+
+from bench_artifacts import SMOKE, write_artifact
 
 from repro.harness.config import RunConfig
 from repro.harness.runner import run_protocol
@@ -35,8 +41,12 @@ HORIZON = 300.0
 SEED = 0
 K = 10
 R = 5
-EPS_VALUES = [2.0, 10.0, 50.0, 150.0, 400.0, 800.0]
-REPEATS = 3
+EPS_VALUES = (
+    [10.0, 150.0, 800.0] if SMOKE else [2.0, 10.0, 50.0, 150.0, 400.0, 800.0]
+)
+REPEATS = 1 if SMOKE else 3
+
+_RESULTS: dict[str, list | dict] = {"value_window": [], "rtp": {}}
 
 
 def _trace():
@@ -77,6 +87,14 @@ def test_bench_value_window_replay():
         print(f"{eps:>8} {event.maintenance_messages:>9} "
               f"{t_event * 1e3:>8.1f}ms {t_batch * 1e3:>8.1f}ms "
               f"{t_event / t_batch:>7.2f}x")
+        _RESULTS["value_window"].append(
+            {
+                "eps": eps,
+                "maintenance_messages": event.maintenance_messages,
+                "event_ms": round(t_event * 1e3, 3),
+                "batch_ms": round(t_batch * 1e3, 3),
+            }
+        )
         # The filtering regime: windows suppress >= 90% of the records.
         if event.maintenance_messages < 0.1 * trace.n_records:
             filtering_event += t_event
@@ -87,6 +105,8 @@ def test_bench_value_window_replay():
     )
     speedup = filtering_event / filtering_batch
     print(f"filtering regime aggregate: {speedup:.2f}x")
+    _RESULTS["value_window_speedup"] = round(speedup, 2)
+    write_artifact("runtime_replay", _RESULTS)
     assert speedup >= 2.0, (
         f"batched replay only {speedup:.2f}x faster in the filtering regime"
     )
@@ -110,5 +130,11 @@ def test_bench_rtp_replay_no_regression():
     print()
     print(f"RTP(r={R}): event {t_event * 1e3:.1f}ms "
           f"batch {t_batch * 1e3:.1f}ms ({t_event / t_batch:.2f}x)")
+    _RESULTS["rtp"] = {
+        "r": R,
+        "event_ms": round(t_event * 1e3, 3),
+        "batch_ms": round(t_batch * 1e3, 3),
+    }
+    write_artifact("runtime_replay", _RESULTS)
     # The bailout must keep the constraint-heavy protocol close to par.
     assert t_batch <= 1.5 * t_event

@@ -71,6 +71,7 @@ from repro.runtime import (
     MembershipStrategy,
 )
 from repro.sim import SimulationEngine
+from repro.state import RankView, SilencerPools, StreamStateTable
 from repro.streams import (
     FilterConstraint,
     StreamSource,
@@ -111,11 +112,14 @@ __all__ = [
     "RangeQuery",
     "RankTolerance",
     "RankToleranceProtocol",
+    "RankView",
     "RhoPolicy",
     "RunConfig",
     "RunResult",
+    "SilencerPools",
     "SimulationEngine",
     "StreamSource",
+    "StreamStateTable",
     "StreamTrace",
     "SyntheticConfig",
     "TcpTraceConfig",

@@ -23,6 +23,7 @@ from repro.network.accounting import MessageLedger
 from repro.network.messages import MessageKind
 from repro.protocols.base import FilterProtocol
 from repro.runtime.dispatch import DeferredDeliveryMixin
+from repro.state.table import StreamStateTable
 
 if TYPE_CHECKING:
     from repro.multiquery.source import MultiQuerySource
@@ -38,6 +39,11 @@ class QueryContext:
     @property
     def now(self) -> float:
         return self._coordinator.now
+
+    @property
+    def state(self) -> StreamStateTable:
+        """This query's columnar state table (Server-compatible)."""
+        return self._coordinator.state_for(self.query_id)
 
     @property
     def stream_ids(self) -> list[int]:
@@ -86,6 +92,10 @@ class MultiQueryCoordinator(DeferredDeliveryMixin):
         self.sources: list["MultiQuerySource"] = []
         self._protocols: dict[str, FilterProtocol] = {}
         self._contexts: dict[str, QueryContext] = {}
+        #: One columnar state table per standing query.  The dict object
+        #: is shared live with every source's slotted membership (slot
+        #: write-through) and with the replay pre-scan.
+        self.state_tables: dict[str, StreamStateTable] = {}
         self.now = 0.0
         self._init_delivery()
         #: Physical uplink updates (each possibly serving several queries).
@@ -103,6 +113,18 @@ class MultiQueryCoordinator(DeferredDeliveryMixin):
             MultiQuerySource(stream_id, value, self)
             for stream_id, value in enumerate(initial_values)
         ]
+        for source in self.sources:
+            source.membership.bind_slot_states(
+                self.state_tables, source.stream_id
+            )
+
+    def state_for(self, query_id: str) -> StreamStateTable:
+        """The state table of one query (created on first access)."""
+        table = self.state_tables.get(query_id)
+        if table is None:
+            table = StreamStateTable(len(self.sources))
+            self.state_tables[query_id] = table
+        return table
 
     def register(self, query_id: str, protocol: FilterProtocol) -> QueryContext:
         """Add a standing query; returns its server facade."""
@@ -111,6 +133,7 @@ class MultiQueryCoordinator(DeferredDeliveryMixin):
         self._protocols[query_id] = protocol
         context = QueryContext(query_id, self)
         self._contexts[query_id] = context
+        self.state_for(query_id)
         return context
 
     def initialize_all(self, time: float = 0.0) -> None:
@@ -129,6 +152,7 @@ class MultiQueryCoordinator(DeferredDeliveryMixin):
         self.ledger.record_kind(MessageKind.PROBE_REQUEST)
         value = self.sources[stream_id].probe(query_id)
         self.ledger.record_kind(MessageKind.PROBE_REPLY)
+        self.state_for(query_id).record_report(stream_id, value, self.now)
         return value
 
     def deploy(
@@ -142,6 +166,7 @@ class MultiQueryCoordinator(DeferredDeliveryMixin):
         from repro.streams.filters import FilterConstraint
 
         self.ledger.record_kind(MessageKind.CONSTRAINT)
+        self.state_for(query_id).record_deploy(stream_id, lower, upper)
         self.sources[stream_id].install(
             query_id,
             FilterConstraint(lower, upper),
@@ -187,6 +212,9 @@ class MultiQueryCoordinator(DeferredDeliveryMixin):
             if protocol is None:  # pragma: no cover - defensive
                 continue
             self.logical_deliveries += 1
+            # Refresh exactly the forwarded queries' value planes: each
+            # protocol's knowledge stays identical to its solo run.
+            self.state_for(query_id).record_report(stream_id, value, time)
             protocol.on_update(
                 self._contexts[query_id], stream_id, value, time
             )

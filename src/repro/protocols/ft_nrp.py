@@ -27,7 +27,7 @@ remains reachable by later ``Fix_Error`` invocations instead of being
 stranded.
 
 A second deviation closes a soundness gap (found by the continuous
-checker; documented in EXPERIMENTS.md): the paper sizes ``n-`` against
+checker; documented in DESIGN.md): the paper sizes ``n-`` against
 ``|A(t0)|`` once, but ``F-``'s denominator is the *current* true-set
 size, which shrinks as in-range streams legitimately leave.  At small
 populations / high tolerance an outstanding FN silencer then pushes
@@ -41,6 +41,10 @@ worst-case budgets against the current answer:
 reclaiming (probing and unsilencing) silencers while either fails.  Both
 inequalities hold with equality at the paper's initialization sizing, so
 behaviour only diverges exactly where the paper's arithmetic breaks.
+
+Server-side state — answer mask and silencer flags — lives in the shared
+:class:`~repro.state.table.StreamStateTable`; the FIFO pool order is a
+:class:`~repro.state.pools.SilencerPools` mirrored into its flag column.
 """
 
 from __future__ import annotations
@@ -52,11 +56,12 @@ from typing import TYPE_CHECKING
 from repro.protocols.base import FilterProtocol
 from repro.protocols.selection import BoundaryNearestSelection, SelectionHeuristic
 from repro.queries.range_query import RangeQuery
-from repro.server.answers import AnswerSet
+from repro.state.pools import SilencerPools
 from repro.tolerance.fraction_tolerance import FractionTolerance
 
 if TYPE_CHECKING:
     from repro.server.server import Server
+    from repro.state.table import StreamStateTable
 
 
 class FractionToleranceRangeProtocol(FilterProtocol):
@@ -91,21 +96,24 @@ class FractionToleranceRangeProtocol(FilterProtocol):
         self.tolerance = tolerance
         self.selection = selection or BoundaryNearestSelection()
         self.reinitialize_when_exhausted = reinitialize_when_exhausted
-        self._answer = AnswerSet()
+        self._state: "StreamStateTable | None" = None
+        self._pools = SilencerPools()
         self._count = 0
-        self._fp_pool: deque[int] = deque()  # silenced, believed inside
-        self._fn_pool: deque[int] = deque()  # silenced, believed outside
         self.reinitializations = 0
 
     # ------------------------------------------------------------------
     # Initialization phase (Figure 7, top)
     # ------------------------------------------------------------------
     def initialize(self, server: "Server") -> None:
+        if self._state is not server.state:
+            self._state = server.state
+            self._pools.bind(self._state)
         values = server.probe_all()
         self._install(server, values)
 
     def _install(self, server: "Server", values: dict[int, float]) -> None:
         """Compute A, choose silencers, and deploy all filters."""
+        assert self._state is not None
         inside = {
             stream_id: value
             for stream_id, value in values.items()
@@ -116,7 +124,7 @@ class FractionToleranceRangeProtocol(FilterProtocol):
             for stream_id, value in values.items()
             if stream_id not in inside
         }
-        self._answer.replace(inside)
+        self._state.answer_replace(inside)
         self._count = 0
 
         n_plus = min(self.tolerance.emax_plus(len(inside)), len(inside))
@@ -124,8 +132,7 @@ class FractionToleranceRangeProtocol(FilterProtocol):
         lower, upper = self.query.lower, self.query.upper
         fp_ids = self.selection.select(inside, n_plus, lower, upper)
         fn_ids = self.selection.select(outside, n_minus, lower, upper)
-        self._fp_pool = deque(fp_ids)
-        self._fn_pool = deque(fn_ids)
+        self._pools.reset(fp_ids, fn_ids)
 
         fp_set = set(fp_ids)
         fn_set = set(fn_ids)
@@ -144,21 +151,22 @@ class FractionToleranceRangeProtocol(FilterProtocol):
     def on_update(
         self, server: "Server", stream_id: int, value: float, time: float
     ) -> None:
+        assert self._state is not None, "initialize() must run first"
         if self.query.matches(value):
             # Case 1: a stream entered the range — the answer improves.
-            self._answer.add(stream_id)
+            self._state.answer_add(stream_id)
             self._count += 1
         else:
             # Case 2: a stream left the range.
-            self._answer.discard(stream_id)
+            self._state.answer_discard(stream_id)
             if self._count > 0:
                 self._count -= 1
             else:
                 self._fix_error(server)
                 if (
                     self.reinitialize_when_exhausted
-                    and not self._fp_pool
-                    and not self._fn_pool
+                    and not self._pools.fp
+                    and not self._pools.fn
                 ):
                     self.reinitializations += 1
                     self._install(server, server.probe_all())
@@ -171,8 +179,9 @@ class FractionToleranceRangeProtocol(FilterProtocol):
     # ------------------------------------------------------------------
     def _fix_error(self, server: "Server") -> None:
         """Spend silenced streams to restore the F+/F- budgets."""
-        if self._fp_pool:
-            candidate = self._fp_pool.popleft()
+        assert self._state is not None
+        if self._pools.fp:
+            candidate = self._pools.pop_fp()
             value = server.probe(candidate)
             if self.query.matches(value):
                 # True positive after all: pin it with the real range
@@ -182,45 +191,49 @@ class FractionToleranceRangeProtocol(FilterProtocol):
             # True negative: drop it from the answer.  It is now silenced
             # and believed outside — i.e. a false-negative filter — so it
             # joins that pool (see module docstring).
-            self._answer.discard(candidate)
-            self._fn_pool.append(candidate)
-        if self._fn_pool:
-            candidate = self._fn_pool.popleft()
+            self._state.answer_discard(candidate)
+            self._pools.push_fn(candidate)
+        if self._pools.fn:
+            candidate = self._pools.pop_fn()
             value = server.probe(candidate)
             if self.query.matches(value):
-                self._answer.add(candidate)
+                self._state.answer_add(candidate)
             server.deploy(candidate, self.query.lower, self.query.upper)
 
     # ------------------------------------------------------------------
     # Budget enforcement (see module docstring, second deviation)
     # ------------------------------------------------------------------
     def _fp_budget_ok(self) -> bool:
-        return len(self._fp_pool) <= (
-            self.tolerance.eps_plus * len(self._answer) + 1e-9
+        assert self._state is not None
+        return self._pools.n_plus <= (
+            self.tolerance.eps_plus * self._state.answer_size + 1e-9
         )
 
     def _fn_budget_ok(self) -> bool:
-        in_range_floor = len(self._answer) - len(self._fp_pool)
-        return len(self._fn_pool) * (1.0 - self.tolerance.eps_minus) <= (
+        assert self._state is not None
+        in_range_floor = self._state.answer_size - self._pools.n_plus
+        return self._pools.n_minus * (1.0 - self.tolerance.eps_minus) <= (
             self.tolerance.eps_minus * in_range_floor + 1e-9
         )
 
     def _enforce_budgets(self, server: "Server") -> None:
         """Reclaim silencers while a worst-case fraction bound would fail."""
-        while self._fp_pool and not self._fp_budget_ok():
+        assert self._state is not None
+        while self._pools.fp and not self._fp_budget_ok():
             self._reclaim_fp(server)
-        while self._fn_pool and not self._fn_budget_ok():
-            candidate = self._fn_pool.popleft()
+        while self._pools.fn and not self._fn_budget_ok():
+            candidate = self._pools.pop_fn()
             value = server.probe(candidate)
             if self.query.matches(value):
-                self._answer.add(candidate)
+                self._state.answer_add(candidate)
             server.deploy(candidate, self.query.lower, self.query.upper)
 
     def _reclaim_fp(self, server: "Server") -> None:
-        candidate = self._fp_pool.popleft()
+        assert self._state is not None
+        candidate = self._pools.pop_fp()
         value = server.probe(candidate)
         if not self.query.matches(value):
-            self._answer.discard(candidate)
+            self._state.answer_discard(candidate)
         server.deploy(candidate, self.query.lower, self.query.upper)
 
     # ------------------------------------------------------------------
@@ -228,7 +241,9 @@ class FractionToleranceRangeProtocol(FilterProtocol):
     # ------------------------------------------------------------------
     @property
     def answer(self) -> frozenset[int]:
-        return self._answer.snapshot()
+        if self._state is None:
+            return frozenset()
+        return self._state.answer_snapshot()
 
     @property
     def count(self) -> int:
@@ -238,9 +253,18 @@ class FractionToleranceRangeProtocol(FilterProtocol):
     @property
     def n_plus(self) -> int:
         """Remaining false-positive filters (paper's ``n+``)."""
-        return len(self._fp_pool)
+        return self._pools.n_plus
 
     @property
     def n_minus(self) -> int:
         """Remaining false-negative filters (paper's ``n-``)."""
-        return len(self._fn_pool)
+        return self._pools.n_minus
+
+    @property
+    def _fp_pool(self) -> deque[int]:
+        """The FIFO false-positive pool (exposed for tests/ablations)."""
+        return self._pools.fp
+
+    @property
+    def _fn_pool(self) -> deque[int]:
+        return self._pools.fn

@@ -38,6 +38,11 @@ At ``eps+ = eps- = 0`` the silencer pools are empty and the size bounds
 collapse to ``|A| = k``, so every crossing forces a recomputation: FT-RP
 degenerates to ZT-RP, which is how Figure 15's ``eps = 0`` points are
 produced.
+
+The recompute path runs on the columnar state engine (shared
+:class:`~repro.state.table.StreamStateTable` + vectorized
+:class:`~repro.state.rank.RankView` partial selection); the FIFO
+silencer pools are mirrored into the table's flag column.
 """
 
 from __future__ import annotations
@@ -46,15 +51,19 @@ import math
 from collections import deque
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.protocols.base import FilterProtocol
 from repro.protocols.selection import BoundaryNearestSelection, SelectionHeuristic
 from repro.queries.base import RankBasedQuery
-from repro.server.answers import AnswerSet
+from repro.state.pools import SilencerPools
+from repro.state.rank import RankView
 from repro.tolerance.fraction_tolerance import FractionTolerance
 from repro.tolerance.knn_fraction import RhoPolicy, answer_size_bounds, derive_rho
 
 if TYPE_CHECKING:
     from repro.server.server import Server
+    from repro.state.table import StreamStateTable
 
 
 class FractionToleranceKnnProtocol(FilterProtocol):
@@ -90,10 +99,10 @@ class FractionToleranceKnnProtocol(FilterProtocol):
         # The paper's static Equations 7/9 bounds, kept for reference and
         # reporting; the live triggers below tighten them by pool sizes.
         self.size_min, self.size_max = answer_size_bounds(query.k, tolerance)
-        self._answer = AnswerSet()
+        self._state: "StreamStateTable | None" = None
+        self._rank: RankView | None = None
+        self._pools = SilencerPools()
         self._count = 0
-        self._fp_pool: deque[int] = deque()
-        self._fn_pool: deque[int] = deque()
         self._region: tuple[float, float] | None = None
         self.recomputations = 0
 
@@ -105,34 +114,42 @@ class FractionToleranceKnnProtocol(FilterProtocol):
             raise ValueError(
                 f"FT-RP needs more than k = {self.query.k} streams"
             )
-        values = server.probe_all()
-        self._resolve(server, values)
+        if self._state is not server.state:
+            self._state = server.state
+            self._rank = RankView(self._state, self.query.distance_array)
+            self._pools.bind(self._state)
+        server.probe_all()
+        self._resolve(server)
 
-    def _resolve(self, server: "Server", values: dict[int, float]) -> None:
-        """Compute R from fresh *values*, pick silencers, deploy filters."""
-        k = self.query.k
-        order = sorted(
-            values, key=lambda i: (self.query.distance(values[i]), i)
-        )
-        self._answer.replace(order[:k])
+    def _resolve(self, server: "Server") -> None:
+        """Compute R from fresh table values, pick silencers, deploy."""
+        assert self._state is not None and self._rank is not None
+        state, k = self._state, self.query.k
+        leaders = self._rank.leaders(k + 1)
+        top = leaders[:k]
+        state.answer_replace(top)
         self._count = 0
-        d_in = self.query.distance(values[order[k - 1]])
-        d_out = self.query.distance(values[order[k]])
+        values = state.values
+        d_in = self.query.distance(float(values[leaders[k - 1]]))
+        d_out = self.query.distance(float(values[leaders[k]]))
         self._region = self.query.region((d_in + d_out) / 2.0)
         lower, upper = self._region
 
-        inside = {i: values[i] for i in order[:k]}
-        outside = {i: values[i] for i in order[k:]}
+        inside = {i: float(values[i]) for i in top}
+        outside_mask = state.known.copy()
+        outside_mask[top] = False
+        outside = {
+            int(i): float(values[i]) for i in np.nonzero(outside_mask)[0]
+        }
         n_fp = min(math.floor(k * self.rho_plus + 1e-9), len(inside))
         n_fn = min(math.floor(k * self.rho_minus + 1e-9), len(outside))
         fp_ids = self.selection.select(inside, n_fp, lower, upper)
         fn_ids = self.selection.select(outside, n_fn, lower, upper)
-        self._fp_pool = deque(fp_ids)
-        self._fn_pool = deque(fn_ids)
+        self._pools.reset(fp_ids, fn_ids)
 
         fp_set = set(fp_ids)
         fn_set = set(fn_ids)
-        for stream_id in values:
+        for stream_id in server.stream_ids:
             if stream_id in fp_set:
                 server.deploy(stream_id, -math.inf, math.inf)
             elif stream_id in fn_set:
@@ -147,7 +164,7 @@ class FractionToleranceKnnProtocol(FilterProtocol):
     def effective_size_max(self) -> int:
         """Largest ``|A|`` that keeps F+ safe given live FN silencers."""
         k = self.query.k
-        budget = k - len(self._fn_pool)
+        budget = k - self._pools.n_minus
         return math.floor(budget / (1.0 - self.tolerance.eps_plus) + 1e-9)
 
     @property
@@ -155,10 +172,11 @@ class FractionToleranceKnnProtocol(FilterProtocol):
         """Smallest ``|A|`` that keeps F- safe given live silencers."""
         k = self.query.k
         base = math.ceil(k * (1.0 - self.tolerance.eps_minus) - 1e-9)
-        return base + len(self._fp_pool) + len(self._fn_pool)
+        return base + self._pools.n_plus + self._pools.n_minus
 
     def _bounds_violated(self) -> bool:
-        size = len(self._answer)
+        assert self._state is not None
+        size = self._state.answer_size
         return size > self.effective_size_max or size < self.effective_size_min
 
     # ------------------------------------------------------------------
@@ -168,10 +186,11 @@ class FractionToleranceKnnProtocol(FilterProtocol):
         self, server: "Server", stream_id: int, value: float, time: float
     ) -> None:
         assert self._region is not None, "initialize() must run first"
+        assert self._state is not None
         lower, upper = self._region
         if lower <= value <= upper:
             # An object entered R.
-            self._answer.add(stream_id)
+            self._state.answer_add(stream_id)
             if self._bounds_violated():
                 # R is too loose: it pretends too many objects are top-k.
                 self._recompute(server)
@@ -179,7 +198,7 @@ class FractionToleranceKnnProtocol(FilterProtocol):
             self._count += 1
         else:
             # An object left R.
-            self._answer.discard(stream_id)
+            self._state.answer_discard(stream_id)
             if self._bounds_violated():
                 # R is too tight: it can no longer cover k objects.
                 self._recompute(server)
@@ -194,25 +213,26 @@ class FractionToleranceKnnProtocol(FilterProtocol):
     def _recompute(self, server: "Server") -> None:
         """Full collection + redeployment — the expensive path."""
         self.recomputations += 1
-        self._resolve(server, server.probe_all())
+        server.probe_all()
+        self._resolve(server)
 
     def _fix_error(self, server: "Server") -> None:
         """FT-NRP's Fix_Error over the R view (see ft_nrp.py)."""
-        assert self._region is not None
+        assert self._region is not None and self._state is not None
         lower, upper = self._region
-        if self._fp_pool:
-            candidate = self._fp_pool.popleft()
+        if self._pools.fp:
+            candidate = self._pools.pop_fp()
             value = server.probe(candidate)
             if lower <= value <= upper:
                 server.deploy(candidate, lower, upper)
                 return
-            self._answer.discard(candidate)
-            self._fn_pool.append(candidate)
-        if self._fn_pool:
-            candidate = self._fn_pool.popleft()
+            self._state.answer_discard(candidate)
+            self._pools.push_fn(candidate)
+        if self._pools.fn:
+            candidate = self._pools.pop_fn()
             value = server.probe(candidate)
             if lower <= value <= upper:
-                self._answer.add(candidate)
+                self._state.answer_add(candidate)
             server.deploy(candidate, lower, upper)
 
     # ------------------------------------------------------------------
@@ -220,7 +240,9 @@ class FractionToleranceKnnProtocol(FilterProtocol):
     # ------------------------------------------------------------------
     @property
     def answer(self) -> frozenset[int]:
-        return self._answer.snapshot()
+        if self._state is None:
+            return frozenset()
+        return self._state.answer_snapshot()
 
     @property
     def region(self) -> tuple[float, float] | None:
@@ -229,8 +251,17 @@ class FractionToleranceKnnProtocol(FilterProtocol):
 
     @property
     def n_plus(self) -> int:
-        return len(self._fp_pool)
+        return self._pools.n_plus
 
     @property
     def n_minus(self) -> int:
-        return len(self._fn_pool)
+        return self._pools.n_minus
+
+    @property
+    def _fp_pool(self) -> deque[int]:
+        """The FIFO false-positive pool (exposed for tests/ablations)."""
+        return self._pools.fp
+
+    @property
+    def _fn_pool(self) -> deque[int]:
+        return self._pools.fn

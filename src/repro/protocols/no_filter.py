@@ -11,21 +11,22 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-import numpy as np
-
 from repro.protocols.base import FilterProtocol
 from repro.queries.base import EntityQuery, NonRankBasedQuery
 
 if TYPE_CHECKING:
     from repro.server.server import Server
+    from repro.state.table import StreamStateTable
 
 
 class NoFilterProtocol(FilterProtocol):
     """Exact answering with zero filtering.
 
-    The answer set is recomputed lazily: range-query membership is
-    maintained incrementally, rank-based answers are evaluated from the
-    tracked value vector only when :attr:`answer` is read (the checker or
+    The value vector is the shared state table's value column (the
+    server refreshes it on every update, and with no filters every
+    update arrives).  Range-query membership is maintained incrementally
+    in the table's answer mask; rank-based answers are evaluated from
+    the value column only when :attr:`answer` is read (the checker or
     user asks; the hot update path stays O(1)).
     """
 
@@ -33,44 +34,40 @@ class NoFilterProtocol(FilterProtocol):
 
     def __init__(self, query: EntityQuery) -> None:
         self.query = query
-        self._values: np.ndarray | None = None
-        self._range_members: set[int] = set()
+        self._state: "StreamStateTable | None" = None
         self._is_range = isinstance(query, NonRankBasedQuery)
         self._rank_cache: frozenset[int] | None = None
 
     def initialize(self, server: "Server") -> None:
         # No filters are deployed; the server still needs a first snapshot
         # of every value to answer before any update arrives.
-        values = server.probe_all()
-        self._values = np.empty(len(values), dtype=np.float64)
-        for stream_id, value in values.items():
-            self._values[stream_id] = value
+        self._state = server.state
+        server.probe_all()
         if self._is_range:
             assert isinstance(self.query, NonRankBasedQuery)
-            matches = self.query.matches_array(self._values)
-            self._range_members = set(int(i) for i in np.nonzero(matches)[0])
+            matches = self.query.matches_array(self._state.values)
+            self._state.answer_set_mask(matches)
         self._rank_cache = None
 
     def on_update(
         self, server: "Server", stream_id: int, value: float, time: float
     ) -> None:
-        assert self._values is not None, "initialize() must run first"
-        self._values[stream_id] = value
+        assert self._state is not None, "initialize() must run first"
         if self._is_range:
             assert isinstance(self.query, NonRankBasedQuery)
             if self.query.matches(value):
-                self._range_members.add(stream_id)
+                self._state.answer_add(stream_id)
             else:
-                self._range_members.discard(stream_id)
+                self._state.answer_discard(stream_id)
         else:
             self._rank_cache = None
 
     @property
     def answer(self) -> frozenset[int]:
-        if self._values is None:
+        if self._state is None:
             return frozenset()
         if self._is_range:
-            return frozenset(self._range_members)
+            return self._state.answer_snapshot()
         if self._rank_cache is None:
-            self._rank_cache = self.query.true_answer(self._values)
+            self._rank_cache = self.query.true_answer(self._state.values)
         return self._rank_cache

@@ -24,6 +24,12 @@ without probing every stream, so the server attaches its believed
 membership to each deployment; a source whose actual membership differs
 self-corrects with one update, which the server handles through the
 normal Case 1-3 routing.  See ``repro.streams.source``.
+
+Server-side state lives in the shared :class:`~repro.state.table.
+StreamStateTable` — ``A(t)`` and ``X(t)`` are its membership masks, and
+the "old ranking scores kept by the server" are its value column, kept
+in rank order by an incremental :class:`~repro.state.rank.RankView`
+(dirty-region repair) instead of a full ``sorted()`` per resolution.
 """
 
 from __future__ import annotations
@@ -32,11 +38,12 @@ from typing import TYPE_CHECKING
 
 from repro.protocols.base import FilterProtocol
 from repro.queries.base import RankBasedQuery
-from repro.server.answers import AnswerSet
+from repro.state.rank import RankView
 from repro.tolerance.rank_tolerance import RankTolerance
 
 if TYPE_CHECKING:
     from repro.server.server import Server
+    from repro.state.table import StreamStateTable
 
 
 class RankToleranceProtocol(FilterProtocol):
@@ -70,12 +77,8 @@ class RankToleranceProtocol(FilterProtocol):
         self.query = query
         self.tolerance = tolerance
         self.expand_search = expand_search
-        self._answer = AnswerSet()
-        self._x: set[int] = set()
-        # Latest value the server has seen per stream (fresh for probed /
-        # reporting streams, stale otherwise) — the "old ranking scores
-        # kept by the server" that Case 2's expanding search consults.
-        self._known: dict[int, float] = {}
+        self._state: "StreamStateTable | None" = None
+        self._rank: RankView | None = None
         self._region: tuple[float, float] | None = None
         self.reinitializations = 0
         self.expansions = 0
@@ -91,11 +94,14 @@ class RankToleranceProtocol(FilterProtocol):
     def _distance(self, value: float) -> float:
         return self.query.distance(value)
 
+    def _known_value(self, stream_id: int) -> float:
+        assert self._state is not None
+        return float(self._state.values[stream_id])
+
     def _ranked_known(self) -> list[int]:
         """Stream ids sorted by (distance of last-known value, id)."""
-        return sorted(
-            self._known, key=lambda i: (self._distance(self._known[i]), i)
-        )
+        assert self._rank is not None
+        return self._rank.order()
 
     def _in_region(self, value: float) -> bool:
         assert self._region is not None
@@ -112,11 +118,14 @@ class RankToleranceProtocol(FilterProtocol):
                 f"(got {server.n_streams}): the bound R must separate the "
                 f"(k+r)-th and (k+r+1)-st ranked objects"
             )
-        self._known = server.probe_all()
+        if self._state is not server.state:
+            self._state = server.state
+            self._rank = RankView(self._state, self.query.distance_array)
+        server.probe_all()
         order = self._ranked_known()
-        self._answer.replace(order[: self.query.k])
-        self._x = set(order[: self.eps])
-        self._deploy_bound(server, fresh_ids=set(self._known))
+        self._state.answer_replace(order[: self.query.k])
+        self._state.tracked_replace(order[: self.eps])
+        self._deploy_bound(server, fresh_ids=set(server.stream_ids))
 
     def _deploy_bound(self, server: "Server", fresh_ids: set[int]) -> None:
         """Deploy_bound(t): position R halfway past the eps-th object.
@@ -126,13 +135,15 @@ class RankToleranceProtocol(FilterProtocol):
         last report otherwise.  Deployments to non-fresh streams carry the
         believed membership so stale sources self-correct.
         """
+        assert self._state is not None
         order = self._ranked_known()
-        inside = [i for i in order if i in self._x]
-        outside = [i for i in order if i not in self._x]
+        tracked = self._state.tracked_mask
+        inside = [i for i in order if tracked[i]]
+        outside = [i for i in order if not tracked[i]]
         if not inside or not outside:  # pragma: no cover - guarded at init
             raise RuntimeError("R must separate a non-empty in/out split")
-        d_inside = self._distance(self._known[inside[-1]])
-        d_outside = self._distance(self._known[outside[0]])
+        d_inside = self._distance(self._known_value(inside[-1]))
+        d_outside = self._distance(self._known_value(outside[0]))
         # A stale outside value can appear closer than a fresh X member;
         # R must nevertheless enclose all of X.  Clamping degenerates the
         # halfway gap to zero in that rare case, and the stale stream
@@ -149,7 +160,7 @@ class RankToleranceProtocol(FilterProtocol):
                     stream_id,
                     lower,
                     upper,
-                    assumed_inside=stream_id in self._x,
+                    assumed_inside=bool(tracked[stream_id]),
                 )
 
     # ------------------------------------------------------------------
@@ -158,34 +169,37 @@ class RankToleranceProtocol(FilterProtocol):
     def on_update(
         self, server: "Server", stream_id: int, value: float, time: float
     ) -> None:
-        self._known[stream_id] = value
+        # The server already refreshed the value column (and dirtied the
+        # rank view) before invoking this handler.
         if self._region is None:  # pragma: no cover - defensive
             raise RuntimeError("initialize() must run before updates")
+        assert self._state is not None
         entering = self._in_region(value)
         if not entering:
-            if stream_id in self._answer:
+            if self._state.answer_contains(stream_id):
                 self._case_leaves_answer(server, stream_id)
             else:
                 # Case 1 — or a consistent self-correction from a stream
                 # that was never tracked; discarding is a no-op then.
-                self._x.discard(stream_id)
+                self._state.tracked_discard(stream_id)
         else:
-            if stream_id not in self._x:
+            if not self._state.tracked_contains(stream_id):
                 self._case_enters(server, stream_id)
             # else: already tracked inside R; nothing to maintain.
 
     def _case_leaves_answer(self, server: "Server", stream_id: int) -> None:
         """Case 2: an answer member left R."""
-        self._answer.discard(stream_id)
-        self._x.discard(stream_id)
-        replacements = self._x - set(self._answer)
-        if replacements:
+        assert self._state is not None
+        self._state.answer_discard(stream_id)
+        self._state.tracked_discard(stream_id)
+        replacements = self._state.tracked_not_in_answer()
+        if replacements.size:
             # Step 3: promote the highest-ranked tracked non-answer object.
             best = min(
-                replacements,
-                key=lambda i: (self._distance(self._known[i]), i),
+                (int(i) for i in replacements),
+                key=lambda i: (self._distance(self._known_value(i)), i),
             )
-            self._answer.add(best)
+            self._state.answer_add(best)
             return
         # Step 4: X = A with only k-1 members left; expand the search
         # region over the stale ranking until two candidates surface.
@@ -197,14 +211,16 @@ class RankToleranceProtocol(FilterProtocol):
 
     def _expand_search(self, server: "Server") -> bool:
         """Case 2 Step 4: probe outward by stale rank; True on success."""
+        assert self._state is not None
         self.expansions += 1
         candidates = [
-            i for i in self._ranked_known() if i not in self._answer
+            i
+            for i in self._ranked_known()
+            if not self._state.answer_contains(i)
         ]
         probed: dict[int, float] = {}
         for candidate in candidates:
             probed[candidate] = server.probe(candidate)
-            self._known[candidate] = probed[candidate]
             # R' is bounded by the candidate's (now fresh) distance; U is
             # every probed stream currently within R'.
             radius = self._distance(probed[candidate])
@@ -217,44 +233,52 @@ class RankToleranceProtocol(FilterProtocol):
                 ranked_u = sorted(
                     u_set, key=lambda i: (self._distance(probed[i]), i)
                 )
-                self._answer.add(ranked_u[0])
+                self._state.answer_add(ranked_u[0])
                 keep = ranked_u[: self.tolerance.r + 1]
-                self._x = set(self._answer) | set(keep)
+                self._state.tracked_replace(
+                    set(self._state.answer_snapshot()) | set(keep)
+                )
                 self._deploy_bound(server, fresh_ids=set(probed))
                 return True
         return False
 
     def _case_enters(self, server: "Server", stream_id: int) -> None:
         """Case 3: an untracked object entered R."""
-        if len(self._x) < self.eps:
+        assert self._state is not None
+        if self._state.tracked_size < self.eps:
             # Step 6: room to spare — track it; R still holds <= eps.
-            self._x.add(stream_id)
+            self._state.tracked_add(stream_id)
             return
         # Step 7: R now holds eps + 1 objects — re-evaluate it from fresh
         # values of the tracked set (everyone else is provably farther).
-        fresh = {stream_id: self._known[stream_id]}
-        for member in sorted(self._x):
-            fresh[member] = server.probe(member)
-            self._known[member] = fresh[member]
-        self._x.add(stream_id)
+        members = [int(i) for i in self._state.tracked_ids()]
+        fresh_ids = {stream_id}
+        for member in members:
+            server.probe(member)
+            fresh_ids.add(member)
+        pool = members + [stream_id]
         ranked = sorted(
-            self._x, key=lambda i: (self._distance(self._known[i]), i)
+            pool, key=lambda i: (self._distance(self._known_value(i)), i)
         )
-        self._answer.replace(ranked[: self.query.k])
-        self._x = set(ranked[: self.eps])
-        self._deploy_bound(server, fresh_ids=set(fresh))
+        self._state.answer_replace(ranked[: self.query.k])
+        self._state.tracked_replace(ranked[: self.eps])
+        self._deploy_bound(server, fresh_ids=fresh_ids)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def answer(self) -> frozenset[int]:
-        return self._answer.snapshot()
+        if self._state is None:
+            return frozenset()
+        return self._state.answer_snapshot()
 
     @property
     def tracked(self) -> frozenset[int]:
         """The server's ``X(t)`` — objects believed inside ``R``."""
-        return frozenset(self._x)
+        if self._state is None:
+            return frozenset()
+        return self._state.tracked_snapshot()
 
     @property
     def region(self) -> tuple[float, float] | None:

@@ -4,6 +4,10 @@ Every stream's filter *is* the query range ``[l, u]``, so each filter
 evaluates the range predicate locally and reports exactly the membership
 flips.  The answer is always exact, and — unlike the no-filter baseline —
 value changes that do not cross the range boundary cost nothing.
+
+Server-side state lives in the shared :class:`~repro.state.table.
+StreamStateTable`: the answer is the table's membership mask, and the
+deployed range is recorded in its constraint columns.
 """
 
 from __future__ import annotations
@@ -12,10 +16,10 @@ from typing import TYPE_CHECKING
 
 from repro.protocols.base import FilterProtocol
 from repro.queries.range_query import RangeQuery
-from repro.server.answers import AnswerSet
 
 if TYPE_CHECKING:
     from repro.server.server import Server
+    from repro.state.table import StreamStateTable
 
 
 class ZeroToleranceRangeProtocol(FilterProtocol):
@@ -25,11 +29,12 @@ class ZeroToleranceRangeProtocol(FilterProtocol):
 
     def __init__(self, query: RangeQuery) -> None:
         self.query = query
-        self._answer = AnswerSet()
+        self._state: "StreamStateTable | None" = None
 
     def initialize(self, server: "Server") -> None:
+        state = self._state = server.state
         values = server.probe_all()
-        self._answer.replace(
+        state.answer_replace(
             stream_id
             for stream_id, value in values.items()
             if self.query.matches(value)
@@ -41,11 +46,14 @@ class ZeroToleranceRangeProtocol(FilterProtocol):
     def on_update(
         self, server: "Server", stream_id: int, value: float, time: float
     ) -> None:
+        assert self._state is not None, "initialize() must run first"
         if self.query.matches(value):
-            self._answer.add(stream_id)
+            self._state.answer_add(stream_id)
         else:
-            self._answer.discard(stream_id)
+            self._state.answer_discard(stream_id)
 
     @property
     def answer(self) -> frozenset[int]:
-        return self._answer.snapshot()
+        if self._state is None:
+            return frozenset()
+        return self._state.answer_snapshot()

@@ -7,6 +7,12 @@ reason FT-RP exists — is that *any* crossing invalidates ``R``: the server
 must re-collect every value, recompute ``R``, and announce it to every
 stream ("it is very sensitive to the situation when an object's value
 crosses R").  Each crossing therefore costs about ``3n`` messages.
+
+The recompute path runs on the columnar state engine: the server's
+probe replies land in the shared :class:`~repro.state.table.
+StreamStateTable`, and the ``k+1`` leaders are extracted with one
+vectorized partial selection (:class:`~repro.state.rank.RankView`)
+instead of a full python ``sorted()`` scan.
 """
 
 from __future__ import annotations
@@ -15,10 +21,11 @@ from typing import TYPE_CHECKING
 
 from repro.protocols.base import FilterProtocol
 from repro.queries.base import RankBasedQuery
-from repro.server.answers import AnswerSet
+from repro.state.rank import RankView
 
 if TYPE_CHECKING:
     from repro.server.server import Server
+    from repro.state.table import StreamStateTable
 
 
 class ZeroToleranceKnnProtocol(FilterProtocol):
@@ -28,29 +35,34 @@ class ZeroToleranceKnnProtocol(FilterProtocol):
 
     def __init__(self, query: RankBasedQuery) -> None:
         self.query = query
-        self._answer = AnswerSet()
-        self._known: dict[int, float] = {}
+        self._state: "StreamStateTable | None" = None
+        self._rank: RankView | None = None
         self._region: tuple[float, float] | None = None
         self.recomputations = 0
+
+    def _bind(self, server: "Server") -> None:
+        if self._state is not server.state:
+            self._state = server.state
+            self._rank = RankView(self._state, self.query.distance_array)
 
     def initialize(self, server: "Server") -> None:
         if server.n_streams <= self.query.k:
             raise ValueError(
                 f"ZT-RP needs more than k = {self.query.k} streams"
             )
-        self._known = server.probe_all()
+        self._bind(server)
+        server.probe_all()
         self._resolve(server)
 
     def _resolve(self, server: "Server") -> None:
         """Recompute R from fresh values and deploy it everywhere."""
-        order = sorted(
-            self._known,
-            key=lambda i: (self.query.distance(self._known[i]), i),
-        )
+        assert self._state is not None and self._rank is not None
         k = self.query.k
-        self._answer.replace(order[:k])
-        d_in = self.query.distance(self._known[order[k - 1]])
-        d_out = self.query.distance(self._known[order[k]])
+        leaders = self._rank.leaders(k + 1)
+        self._state.answer_replace(leaders[:k])
+        values = self._state.values
+        d_in = self.query.distance(float(values[leaders[k - 1]]))
+        d_out = self.query.distance(float(values[leaders[k]]))
         threshold = (d_in + d_out) / 2.0
         self._region = self.query.region(threshold)
         lower, upper = self._region
@@ -61,16 +73,17 @@ class ZeroToleranceKnnProtocol(FilterProtocol):
         self, server: "Server", stream_id: int, value: float, time: float
     ) -> None:
         # Any crossing invalidates R: re-collect everything and start over.
-        self._known[stream_id] = value
+        # (The server already recorded the updater's value in the table.)
         self.recomputations += 1
         others = [i for i in server.stream_ids if i != stream_id]
-        fresh = server.probe_all(others)
-        self._known.update(fresh)
+        server.probe_all(others)
         self._resolve(server)
 
     @property
     def answer(self) -> frozenset[int]:
-        return self._answer.snapshot()
+        if self._state is None:
+            return frozenset()
+        return self._state.answer_snapshot()
 
     @property
     def region(self) -> tuple[float, float] | None:

@@ -70,6 +70,17 @@ def deployment_outcome(
 class MembershipStrategy(ABC):
     """The report-iff-membership-flips policy of one source."""
 
+    def bind_state(self, table, stream_id: int) -> None:
+        """Attach a :class:`~repro.state.table.StreamStateTable` row.
+
+        Bound strategies *write through* their scalar filter state —
+        bounds and believed membership — to the table's constraint
+        columns, making the table the single source of truth the batched
+        replay pre-scan reads.  The default is a no-op: strategies whose
+        state has no scalar-interval form (regions) stay unbound, and
+        their sources always dispatch per-event.
+        """
+
     @abstractmethod
     def evaluate(self, payload):
         """Judge a freshly-installed *payload*.
@@ -139,7 +150,51 @@ class ContainmentMembership(MembershipStrategy):
 
 
 class IntervalMembership(ContainmentMembership):
-    """Scalar closed-interval membership (the paper's filters)."""
+    """Scalar closed-interval membership (the paper's filters).
+
+    When bound to a state table the installed bounds and the believed
+    membership are written through on every mutation, so the batched
+    replay pre-scan can read them columnar without polling sources.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._table = None
+        self._row = -1
+
+    def bind_state(self, table, stream_id: int) -> None:
+        self._table = table
+        self._row = int(stream_id)
+        self._write_through()
+
+    def _write_through(self) -> None:
+        if self._table is None:
+            return
+        if self.container is None:
+            self._table.clear_filter(self._row)
+        else:
+            self._table.set_filter(
+                self._row,
+                self.container.lower,
+                self.container.upper,
+                self.reported_inside,
+            )
+
+    def evaluate(self, payload):
+        result = super().evaluate(payload)
+        if result is not None and self._table is not None:
+            self._table.set_inside(self._row, self.reported_inside)
+        return result
+
+    def resync(self, payload) -> None:
+        super().resync(payload)
+        if self._table is not None and self.container is not None:
+            self._table.set_inside(self._row, self.reported_inside)
+
+    def install(self, container, assumed_inside: bool | None, payload) -> bool:
+        must_report = super().install(container, assumed_inside, payload)
+        self._write_through()
+        return must_report
 
     def quiescence_rows(self) -> list[QuiescenceRow] | None:
         if self.container is None:
@@ -167,6 +222,21 @@ class RecenteringWindowMembership(MembershipStrategy):
             raise ValueError("window width must be non-negative")
         self.width = float(width)
         self.center = float(center)
+        self._table = None
+        self._row = -1
+
+    def bind_state(self, table, stream_id: int) -> None:
+        self._table = table
+        self._row = int(stream_id)
+        self._write_through()
+
+    def _write_through(self) -> None:
+        if self._table is None:
+            return
+        half = self.width / 2.0
+        self._table.set_filter(
+            self._row, self.center - half, self.center + half, True
+        )
 
     def evaluate(self, payload):
         # Written as the same closed-interval comparison the batched
@@ -177,11 +247,13 @@ class RecenteringWindowMembership(MembershipStrategy):
         half = self.width / 2.0
         if not (self.center - half <= payload <= self.center + half):
             self.center = payload
+            self._write_through()
             return REPORT
         return None
 
     def resync(self, payload) -> None:
         self.center = payload
+        self._write_through()
 
     def quiescence_rows(self) -> list[QuiescenceRow] | None:
         half = self.width / 2.0
@@ -201,6 +273,41 @@ class SlottedMembership(MembershipStrategy):
     def __init__(self) -> None:
         self.constraints: dict[str, object] = {}
         self.reported_inside: dict[str, bool] = {}
+        self._tables: dict[str, object] | None = None
+        self._row = -1
+
+    def bind_slot_states(self, tables: dict, stream_id: int) -> None:
+        """Attach the per-query state-table registry (shared, live dict).
+
+        Each slot tag that also keys *tables* writes its filter state
+        through to that query's table row; tags without a registered
+        table (ad-hoc slots in unit tests) are simply not mirrored.
+        """
+        self._tables = tables
+        self._row = int(stream_id)
+        for tag in self.constraints:
+            self._write_slot(tag)
+
+    def _write_slot(self, tag: str) -> None:
+        if self._tables is None:
+            return
+        table = self._tables.get(tag)
+        if table is None:
+            return
+        constraint = self.constraints[tag]
+        table.set_filter(
+            self._row,
+            constraint.lower,
+            constraint.upper,
+            self.reported_inside[tag],
+        )
+
+    def _write_slot_inside(self, tag: str) -> None:
+        if self._tables is None:
+            return
+        table = self._tables.get(tag)
+        if table is not None:
+            table.set_inside(self._row, self.reported_inside[tag])
 
     def evaluate(self, payload):
         if not self.constraints:
@@ -212,6 +319,7 @@ class SlottedMembership(MembershipStrategy):
             inside = constraint.contains(payload)
             if inside != self.reported_inside[tag]:
                 self.reported_inside[tag] = inside
+                self._write_slot_inside(tag)
                 if flipped is None:
                     flipped = []
                 flipped.append(tag)
@@ -220,12 +328,14 @@ class SlottedMembership(MembershipStrategy):
     def resync(self, payload) -> None:
         for tag, constraint in self.constraints.items():
             self.reported_inside[tag] = constraint.contains(payload)
+            self._write_slot_inside(tag)
 
     def resync_slot(self, tag: str, payload) -> None:
         """Probe semantics for one slot only."""
         constraint = self.constraints.get(tag)
         if constraint is not None:
             self.reported_inside[tag] = constraint.contains(payload)
+            self._write_slot_inside(tag)
 
     def install_slot(
         self, tag: str, constraint, assumed_inside: bool | None, payload
@@ -236,6 +346,7 @@ class SlottedMembership(MembershipStrategy):
         self.reported_inside[tag], must_report = deployment_outcome(
             constraint, assumed_inside, payload
         )
+        self._write_slot(tag)
         return must_report
 
     def slot(self, tag: str):

@@ -19,13 +19,19 @@ the host (server or coordinator) — and provides the single
   definition, the resulting :class:`MessageLedger` snapshot is
   byte-identical to the per-event path's.
 
+The pre-scan reads the deployed bounds and believed memberships directly
+from the session's :class:`~repro.state.table.StreamStateTable` columns
+(one table per standing query): source membership strategies write their
+filter state through to the table (:meth:`~repro.runtime.membership.
+MembershipStrategy.bind_state`), so the columns *are* the live filter
+state — no per-source polling, no dirty-tracking, no rebuilds.
+
 ``mode="auto"`` picks batch exactly when it is both safe (no callbacks)
-and useful (at least one source exposes scalar quiescence bounds).
+and useful (at least one stream has a scalar filter installed).
 """
 
 from __future__ import annotations
 
-import math
 from typing import Callable, Sequence
 
 import numpy as np
@@ -34,6 +40,7 @@ from repro.network.accounting import MessageLedger, Phase
 from repro.network.channel import Channel
 from repro.runtime.source import FilteredSource
 from repro.sim.engine import SimulationEngine
+from repro.state.table import StreamStateTable
 
 #: Chunk size of the batched quiescence pre-scan.
 DEFAULT_BATCH_SIZE = 4096
@@ -74,6 +81,39 @@ class ExecutionSession:
         if initialize is None and host is not None:
             initialize = getattr(host, "initialize", None)
         self._initialize = initialize
+        #: Session-owned state table (hostless assemblies only; hosted
+        #: sessions use the host's table(s)).
+        self.state: StreamStateTable | None = None
+        self._bind_state()
+
+    def _bind_state(self) -> None:
+        """Bind every source's membership to a state-table row.
+
+        Hosts with per-query tables (the multi-query coordinator) bind
+        their own sources; otherwise the host's table — or a session-owned
+        one for bare assemblies — becomes the write-through target.
+        Strategies without scalar filter state ignore the binding.
+        """
+        if self.host is not None and hasattr(self.host, "state_tables"):
+            return
+        table = getattr(self.host, "state", None)
+        if table is None and self.sources:
+            table = self.state = StreamStateTable(len(self.sources))
+        if table is None:
+            return
+        for source in self.sources:
+            source.membership.bind_state(table, source.stream_id)
+
+    def _state_tables(self) -> list[StreamStateTable]:
+        """Every state table whose constraint columns guard a filter."""
+        if self.host is not None:
+            tables = getattr(self.host, "state_tables", None)
+            if tables is not None:
+                return list(tables.values())
+            table = getattr(self.host, "state", None)
+            if table is not None:
+                return [table]
+        return [self.state] if self.state is not None else []
 
     # ------------------------------------------------------------------
     # Builders: one per stack
@@ -240,9 +280,9 @@ class ExecutionSession:
         if np.ndim(payloads) != 1:
             return "event"
         if mode == "auto" and not any(
-            s.membership.quiescence_rows() is not None for s in self.sources
+            table.scannable.any() for table in self._state_tables()
         ):
-            # Nothing exposes bounds: pre-scanning cannot pay off.
+            # No scalar filter anywhere: pre-scanning cannot pay off.
             return "event"
         return "batch"
 
@@ -300,7 +340,7 @@ class ExecutionSession:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         n = len(times)
-        table = _QuiescenceTable(self.sources, self.channel)
+        prescan = _StatePrescan(self._state_tables())
         deferred = _DeferredAssignments(self.sources, self.channel)
         dispatches = 0
         # Adaptive chunk: track the typical quiescent run length so a
@@ -313,7 +353,7 @@ class ExecutionSession:
                 end = min(i + chunk, n)
                 ids_chunk = stream_ids[i:end]
                 vals_chunk = payloads[i:end]
-                hit = table.first_potential(ids_chunk, vals_chunk)
+                hit = prescan.first_potential(ids_chunk, vals_chunk)
                 if hit is None:
                     deferred.stage(ids_chunk, vals_chunk)
                     avg_run = min(float(batch_size), 2.0 * max(avg_run, 1.0))
@@ -329,15 +369,12 @@ class ExecutionSession:
                     self.engine.run(until=time)
                 deferred.flush_for_dispatch(stream_id)
                 self.sources[stream_id].apply(payloads[j], time)
-                table.note_dispatch()
                 i = j + 1
                 dispatches += 1
-                # Broadcast-heavy protocols dirty every column per step;
-                # when re-reading bounds costs more than the records
-                # saved, pre-scanning cannot pay off.  Detectable after
-                # only a few dispatches, so bail before it adds up.
-                if dispatches >= 8 and table.refresh_fills > 2 * i:
-                    break
+                # The state-table columns are live views, so re-reading
+                # bounds after a broadcast costs nothing; the only
+                # overhead left is chunk re-scans, which the dispatch-rate
+                # bailout below keeps bounded.
                 if (
                     dispatches >= self._BAILOUT_MIN_DISPATCHES
                     and dispatches > self._BAILOUT_RATE * i
@@ -345,7 +382,6 @@ class ExecutionSession:
                     break
         finally:
             deferred.close()
-            table.close()
         if i < n:
             # Too lively: finish faithfully on the per-event path.
             self._replay_events(
@@ -416,131 +452,41 @@ class _DeferredAssignments:
             self._sources[stream_id].assign(self._values[stream_id])
 
 
-class _QuiescenceTable:
+class _StatePrescan:
     """Vectorized "can this record flip any filter?" test.
 
-    Maintains, per source, the scalar bounds and believed membership of
-    every installed filter as ``(rows, n_streams)`` arrays (sources with
-    several filters — multi-query slots — contribute several rows;
-    unused rows are padded so they never flip).  Sources whose membership
-    exposes no scalar bounds always dispatch.
+    Reads the deployed bounds and believed memberships straight from the
+    live :class:`~repro.state.table.StreamStateTable` columns — one table
+    per standing query, written through by the source membership
+    strategies — so there is nothing to poll, tap, or rebuild: the
+    columns *are* the filter state at every instant.
 
-    When the session has a channel, a tap keeps the table incrementally
-    fresh: every membership mutation is caused by a message (an update
-    report, a probe request, a constraint deployment), so the touched
-    stream ids are exactly the dirty columns.  Without a channel (the
-    multi-query coordinator) the table rebuilds after every dispatch.
+    A record is quiescent iff, for every table, either the stream has no
+    scalar filter in that table (``scannable`` false: that query cannot
+    flip) or the payload's containment equals the believed membership.
+    Streams with no scalar filter in *any* table always dispatch — with
+    no filters installed a source reports every change.
     """
 
-    def __init__(self, sources, channel: Channel | None) -> None:
-        self._sources = sources
-        self._channel = channel
-        self._n = len(sources)
-        self._dirty: set[int] = set()
-        self._tracking = channel is not None
-        self._stale = False
-        #: Columns re-read since construction — the table's bookkeeping
-        #: cost, used by the replay loop's overhead bailout.
-        self.refresh_fills = 0
-        if channel is not None:
-            channel.add_tap(self._tap)
-        self._build()
+    def __init__(self, tables: Sequence[StreamStateTable]) -> None:
+        self._tables = list(tables)
 
-    def close(self) -> None:
-        if self._channel is not None:
-            self._channel.remove_tap(self._tap)
-
-    def _tap(self, message) -> None:
-        self._dirty.add(message.stream_id)
-
-    def note_dispatch(self) -> None:
-        """Membership may have changed; without a channel tap the next
-        refresh must rebuild (between dispatch-free scans it need not —
-        no protocol code ran, so no filter can have moved)."""
-        if not self._tracking:
-            self._stale = True
-
-    # ------------------------------------------------------------------
-    def _build(self) -> None:
-        rows_per_source = [
-            s.membership.quiescence_rows() for s in self._sources
-        ]
-        depth = max(
-            (len(r) for r in rows_per_source if r is not None), default=0
-        )
-        depth = max(depth, 1)
-        self._depth = depth
-        self._lower = np.full((depth, self._n), -math.inf)
-        self._upper = np.full((depth, self._n), math.inf)
-        self._inside = np.ones((depth, self._n), dtype=bool)
-        self._always = np.zeros(self._n, dtype=bool)
-        for stream_id, rows in enumerate(rows_per_source):
-            self._fill_column(stream_id, rows)
-        self._dirty.clear()
-
-    def _fill_column(self, stream_id: int, rows) -> bool:
-        """Write one source's rows; False when a rebuild is required."""
-        if rows is None:
-            self._always[stream_id] = True
-            return True
-        if len(rows) > self._depth:
-            return False
-        self._always[stream_id] = False
-        if self._depth == 1:
-            # Hot path: one filter per source, three scalar writes.
-            lower, upper, inside = rows[0]
-            self._lower[0, stream_id] = lower
-            self._upper[0, stream_id] = upper
-            self._inside[0, stream_id] = inside
-            return True
-        self._lower[:, stream_id] = -math.inf
-        self._upper[:, stream_id] = math.inf
-        self._inside[:, stream_id] = True
-        for row, (lower, upper, inside) in enumerate(rows):
-            self._lower[row, stream_id] = lower
-            self._upper[row, stream_id] = upper
-            self._inside[row, stream_id] = inside
-        return True
-
-    def _refresh(self) -> None:
-        if not self._tracking:
-            if self._stale:
-                self.refresh_fills += self._n
-                self._build()
-                self._stale = False
-            return
-        if not self._dirty:
-            return
-        self.refresh_fills += len(self._dirty)
-        for stream_id in self._dirty:
-            rows = self._sources[stream_id].membership.quiescence_rows()
-            if not self._fill_column(stream_id, rows):
-                self._build()
-                return
-        self._dirty.clear()
-
-    # ------------------------------------------------------------------
     def first_potential(self, ids_chunk, vals_chunk) -> int | None:
         """Index of the first record that might flip a filter, if any."""
-        self._refresh()
-        if self._depth == 1:
-            # Single filter per source: cheap 1-D gathers.
-            lower = self._lower[0]
-            upper = self._upper[0]
-            inside = self._inside[0]
-            new_inside = (lower[ids_chunk] <= vals_chunk) & (
-                vals_chunk <= upper[ids_chunk]
+        potential: np.ndarray | None = None
+        guarded: np.ndarray | None = None
+        for table in self._tables:
+            scan = table.scannable[ids_chunk]
+            new_inside = (table.lower[ids_chunk] <= vals_chunk) & (
+                vals_chunk <= table.upper[ids_chunk]
             )
-            potential = (new_inside != inside[ids_chunk]) | self._always[
-                ids_chunk
-            ]
-        else:
-            new_inside = (self._lower[:, ids_chunk] <= vals_chunk) & (
-                vals_chunk <= self._upper[:, ids_chunk]
-            )
-            potential = np.any(
-                new_inside != self._inside[:, ids_chunk], axis=0
-            ) | self._always[ids_chunk]
+            flips = scan & (new_inside != table.inside[ids_chunk])
+            potential = flips if potential is None else potential | flips
+            guarded = scan if guarded is None else guarded | scan
+        if potential is None or guarded is None:
+            return 0 if len(ids_chunk) else None
+        # Filterless streams report every change.
+        potential |= ~guarded
         hits = np.nonzero(potential)[0]
         if hits.size == 0:
             return None

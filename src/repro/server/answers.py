@@ -29,10 +29,13 @@ class AnswerSet:
         self._members.add(int(stream_id))
 
     def discard(self, stream_id: int) -> None:
-        self._members.discard(stream_id)
+        # Cast like `add` does: a np.int64 id hashes like the stored int,
+        # but keeping the types symmetric guards against id types that
+        # do not (and keeps the container homogeneous).
+        self._members.discard(int(stream_id))
 
     def remove(self, stream_id: int) -> None:
-        self._members.remove(stream_id)
+        self._members.remove(int(stream_id))
 
     def replace(self, members: Iterable[int]) -> None:
         """Atomically swap in a new answer set."""

@@ -27,6 +27,7 @@ from repro.network.messages import (
 )
 from repro.protocols.base import FilterProtocol
 from repro.runtime.dispatch import DeferredDeliveryMixin
+from repro.state.table import StreamStateTable
 
 
 class Server(DeferredDeliveryMixin):
@@ -36,6 +37,7 @@ class Server(DeferredDeliveryMixin):
         self.channel = channel
         self.protocol = protocol
         self._now = 0.0
+        self._state: StreamStateTable | None = None
         self._probe_reply: ProbeReplyMessage | None = None
         self._awaiting_probe = False
         self._init_delivery()
@@ -57,6 +59,21 @@ class Server(DeferredDeliveryMixin):
     @property
     def n_streams(self) -> int:
         return len(self.channel.source_ids)
+
+    @property
+    def state(self) -> StreamStateTable:
+        """The columnar stream-state table (created on first access).
+
+        The server is the table's value-plane writer: probe replies and
+        update deliveries refresh the last-known value and report time,
+        and :meth:`deploy` records the bounds of every installed
+        constraint.  Protocols keep their answer / tracked / silencer
+        state in the same table, so there is exactly one copy of the
+        server-side picture of the stream population.
+        """
+        if self._state is None:
+            self._state = StreamStateTable(len(self.channel.source_ids))
+        return self._state
 
     def initialize(self, time: float = 0.0) -> None:
         """Run the protocol's initialization phase at virtual *time*."""
@@ -81,7 +98,9 @@ class Server(DeferredDeliveryMixin):
         self._awaiting_probe = False
         if self._probe_reply is None:  # pragma: no cover - defensive
             raise RuntimeError(f"source {stream_id} did not reply to probe")
-        return self._probe_reply.value
+        reply = self._probe_reply
+        self.state.record_report(reply.stream_id, reply.value, reply.time)
+        return reply.value
 
     def probe_all(self, stream_ids: list[int] | None = None) -> dict[int, float]:
         """Probe several (default: all) sources; returns id -> value."""
@@ -101,6 +120,7 @@ class Server(DeferredDeliveryMixin):
         source's value is fresh; otherwise the source self-corrects with
         an immediate update if the belief is stale.
         """
+        self.state.record_deploy(stream_id, lower, upper)
         self.channel.send_to_source(
             ConstraintMessage(
                 stream_id=stream_id,
@@ -148,6 +168,12 @@ class Server(DeferredDeliveryMixin):
         )
 
     def _handle_delivery(self, message: UpdateMessage) -> None:
+        # Refresh the value plane at *delivery* time (not receive time):
+        # a queued delivery must not let a later-arriving value be
+        # visible to an earlier update's protocol handler.
+        self.state.record_report(
+            message.stream_id, message.value, message.time
+        )
         self.protocol.on_update(
             self, message.stream_id, message.value, message.time
         )

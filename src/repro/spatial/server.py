@@ -22,6 +22,7 @@ from repro.spatial.messages import (
     PointUpdateMessage,
     RegionConstraintMessage,
 )
+from repro.state.table import StreamStateTable
 
 if TYPE_CHECKING:
     from repro.spatial.protocols import SpatialProtocol
@@ -34,6 +35,7 @@ class SpatialServer(DeferredDeliveryMixin):
         self.channel = channel
         self.protocol = protocol
         self._now = 0.0
+        self._state: StreamStateTable | None = None
         self._probe_reply: PointProbeReplyMessage | None = None
         self._awaiting_probe = False
         self._init_delivery()
@@ -50,6 +52,20 @@ class SpatialServer(DeferredDeliveryMixin):
     @property
     def n_streams(self) -> int:
         return len(self.channel.source_ids)
+
+    @property
+    def state(self) -> StreamStateTable:
+        """The columnar stream-state table (vector payloads).
+
+        Mirrors :attr:`repro.server.server.Server.state`: probe replies
+        and update deliveries refresh the point column; deployed regions
+        land in the object container column.  Spatial constraints have no
+        scalar-interval form, so the table's pre-scan columns stay
+        unscannable and spatial replays run per-event.
+        """
+        if self._state is None:
+            self._state = StreamStateTable(len(self.channel.source_ids))
+        return self._state
 
     def initialize(self, time: float = 0.0) -> None:
         self._now = time
@@ -68,7 +84,9 @@ class SpatialServer(DeferredDeliveryMixin):
         self._awaiting_probe = False
         if self._probe_reply is None:  # pragma: no cover - defensive
             raise RuntimeError(f"source {stream_id} did not reply")
-        return self._probe_reply.point
+        reply = self._probe_reply
+        self.state.record_report(reply.stream_id, reply.point, reply.time)
+        return reply.point
 
     def probe_all(
         self, stream_ids: list[int] | None = None
@@ -83,6 +101,7 @@ class SpatialServer(DeferredDeliveryMixin):
         assumed_inside: bool | None = None,
     ) -> None:
         """Install *region* at one source (one message)."""
+        self.state.record_container_deploy(stream_id, region)
         self.channel.send_to_source(
             RegionConstraintMessage(
                 stream_id=stream_id,
@@ -112,6 +131,9 @@ class SpatialServer(DeferredDeliveryMixin):
         )
 
     def _handle_delivery(self, message: PointUpdateMessage) -> None:
+        self.state.record_report(
+            message.stream_id, message.point, message.time
+        )
         self.protocol.on_update(
             self, message.stream_id, message.point, message.time
         )

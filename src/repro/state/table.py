@@ -1,0 +1,273 @@
+"""The columnar stream-state table.
+
+One :class:`StreamStateTable` holds, column-wise, everything one query's
+server-side protocol knows about the stream population:
+
+========================  =====================================================
+column                    meaning
+========================  =====================================================
+``values`` / ``points``   last payload the server learned (update or probe)
+``report_time``           virtual time of that last refresh
+``known``                 whether any payload has been learned yet
+``lower`` / ``upper``     bounds of the deployed filter constraint
+``inside``                membership the server believes the source reported
+``scannable``             a scalar filter is installed (pre-scan eligible)
+``answer_mask``           ``A(t)`` — the answer reported to the user
+``tracked_mask``          ``X(t)`` — RTP's objects believed inside ``R``
+``silencer``              silencer flag (none / false-positive / false-negative)
+========================  =====================================================
+
+Ownership convention: the *value plane* (``values``, ``report_time``,
+``known``) is written by the server on probe replies and update
+deliveries; the *constraint plane* (``lower``/``upper``) by the server at
+deploy time and by bound membership strategies at install time (both
+write the same bounds — the deployment message carries them end to end);
+``inside`` by the source-side membership strategy, which is the only
+party that knows the post-deployment belief; the *membership planes* by
+the protocol.  Scalar payloads live in ``values``; vector payloads
+(the spatial stack) in the lazily-allocated ``points`` matrix.
+
+:class:`RankView` instances register as listeners so every value-plane
+write marks the touched row dirty for incremental rank repair.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+#: ``silencer`` column codes.
+SILENCER_NONE = 0
+SILENCER_FP = 1  # silenced with [-inf, +inf]; believed inside
+SILENCER_FN = 2  # silenced with [+inf, +inf]; believed outside
+
+
+class StreamStateTable:
+    """Columnar server-side state for one standing query."""
+
+    def __init__(self, n_streams: int) -> None:
+        n = int(n_streams)
+        if n < 0:
+            raise ValueError("n_streams must be non-negative")
+        self.n_streams = n
+        # Value plane (server knowledge).
+        self.values = np.zeros(n, dtype=np.float64)
+        self.report_time = np.full(n, -math.inf)
+        self.known = np.zeros(n, dtype=bool)
+        self.points: np.ndarray | None = None  # (n, d), spatial stacks only
+        # Constraint plane (deployed filters; single source of truth).
+        self.lower = np.full(n, -math.inf)
+        self.upper = np.full(n, math.inf)
+        self.inside = np.zeros(n, dtype=bool)
+        self.scannable = np.zeros(n, dtype=bool)
+        self.containers: np.ndarray | None = None  # object column, spatial
+        # Membership planes.
+        self.answer_mask = np.zeros(n, dtype=bool)
+        self.tracked_mask = np.zeros(n, dtype=bool)
+        self.silencer = np.zeros(n, dtype=np.int8)
+        self._answer_count = 0
+        self._tracked_count = 0
+        self._known_count = 0
+        self._listeners: list = []
+
+    # ------------------------------------------------------------------
+    # Value plane
+    # ------------------------------------------------------------------
+    def record_report(self, stream_id: int, payload, time: float) -> None:
+        """Install the payload the server just learned for one stream."""
+        stream_id = int(stream_id)
+        if isinstance(payload, np.ndarray) and payload.ndim > 0:
+            points = self._ensure_points(len(payload))
+            points[stream_id] = payload
+        else:
+            self.values[stream_id] = payload
+        self.report_time[stream_id] = time
+        if not self.known[stream_id]:
+            self.known[stream_id] = True
+            self._known_count += 1
+        for listener in self._listeners:
+            listener.note(stream_id)
+
+    def record_report_bulk(self, values: np.ndarray, time: float) -> None:
+        """Vectorized full-collection ingest (every stream probed at once).
+
+        Equivalent to ``record_report`` per stream but one C-level copy;
+        rank views are invalidated wholesale, which is exactly right — a
+        full collection dirties every key anyway.
+        """
+        self.values[:] = values
+        self.report_time[:] = time
+        if self._known_count != self.n_streams:
+            self.known[:] = True
+            self._known_count = self.n_streams
+        for listener in self._listeners:
+            listener.invalidate()
+
+    def _ensure_points(self, dimension: int) -> np.ndarray:
+        if self.points is None:
+            self.points = np.zeros((self.n_streams, int(dimension)))
+        return self.points
+
+    def payload_array(self) -> np.ndarray:
+        """The payload column: ``values`` (scalar) or ``points`` (vector)."""
+        return self.values if self.points is None else self.points
+
+    def value_of(self, stream_id: int):
+        """The last-known payload of one stream."""
+        return self.payload_array()[int(stream_id)]
+
+    @property
+    def known_count(self) -> int:
+        return self._known_count
+
+    def known_ids(self) -> np.ndarray:
+        """Ids with a known payload, ascending."""
+        return np.nonzero(self.known)[0]
+
+    # ------------------------------------------------------------------
+    # Constraint plane
+    # ------------------------------------------------------------------
+    def record_deploy(self, stream_id: int, lower: float, upper: float) -> None:
+        """Record the scalar bounds of a deployed filter constraint."""
+        stream_id = int(stream_id)
+        self.lower[stream_id] = lower
+        self.upper[stream_id] = upper
+        self.scannable[stream_id] = True
+
+    def record_container_deploy(self, stream_id: int, container) -> None:
+        """Record a non-scalar deployed constraint (spatial regions)."""
+        if self.containers is None:
+            self.containers = np.empty(self.n_streams, dtype=object)
+        self.containers[int(stream_id)] = container
+
+    def set_filter(
+        self, stream_id: int, lower: float, upper: float, inside: bool
+    ) -> None:
+        """Source-side write-through: bounds plus believed membership."""
+        stream_id = int(stream_id)
+        self.lower[stream_id] = lower
+        self.upper[stream_id] = upper
+        self.inside[stream_id] = inside
+        self.scannable[stream_id] = True
+
+    def set_inside(self, stream_id: int, inside: bool) -> None:
+        self.inside[int(stream_id)] = inside
+
+    def clear_filter(self, stream_id: int) -> None:
+        stream_id = int(stream_id)
+        self.lower[stream_id] = -math.inf
+        self.upper[stream_id] = math.inf
+        self.inside[stream_id] = False
+        self.scannable[stream_id] = False
+
+    def bounds_of(self, stream_id: int) -> tuple[float, float]:
+        stream_id = int(stream_id)
+        return float(self.lower[stream_id]), float(self.upper[stream_id])
+
+    # ------------------------------------------------------------------
+    # Answer membership (A(t))
+    # ------------------------------------------------------------------
+    @property
+    def answer_size(self) -> int:
+        return self._answer_count
+
+    def answer_contains(self, stream_id: int) -> bool:
+        return bool(self.answer_mask[int(stream_id)])
+
+    def answer_add(self, stream_id: int) -> None:
+        stream_id = int(stream_id)
+        if not self.answer_mask[stream_id]:
+            self.answer_mask[stream_id] = True
+            self._answer_count += 1
+
+    def answer_discard(self, stream_id: int) -> None:
+        stream_id = int(stream_id)
+        if self.answer_mask[stream_id]:
+            self.answer_mask[stream_id] = False
+            self._answer_count -= 1
+
+    def answer_replace(self, members: Iterable[int]) -> None:
+        self.answer_mask[:] = False
+        for stream_id in members:
+            self.answer_mask[int(stream_id)] = True
+        self._answer_count = int(np.count_nonzero(self.answer_mask))
+
+    def answer_set_mask(self, mask: np.ndarray) -> None:
+        self.answer_mask[:] = mask
+        self._answer_count = int(np.count_nonzero(self.answer_mask))
+
+    def answer_ids(self) -> np.ndarray:
+        return np.nonzero(self.answer_mask)[0]
+
+    def answer_snapshot(self) -> frozenset[int]:
+        return frozenset(int(i) for i in np.nonzero(self.answer_mask)[0])
+
+    # ------------------------------------------------------------------
+    # Tracked membership (RTP's X(t))
+    # ------------------------------------------------------------------
+    @property
+    def tracked_size(self) -> int:
+        return self._tracked_count
+
+    def tracked_contains(self, stream_id: int) -> bool:
+        return bool(self.tracked_mask[int(stream_id)])
+
+    def tracked_add(self, stream_id: int) -> None:
+        stream_id = int(stream_id)
+        if not self.tracked_mask[stream_id]:
+            self.tracked_mask[stream_id] = True
+            self._tracked_count += 1
+
+    def tracked_discard(self, stream_id: int) -> None:
+        stream_id = int(stream_id)
+        if self.tracked_mask[stream_id]:
+            self.tracked_mask[stream_id] = False
+            self._tracked_count -= 1
+
+    def tracked_replace(self, members: Iterable[int]) -> None:
+        self.tracked_mask[:] = False
+        for stream_id in members:
+            self.tracked_mask[int(stream_id)] = True
+        self._tracked_count = int(np.count_nonzero(self.tracked_mask))
+
+    def tracked_ids(self) -> np.ndarray:
+        return np.nonzero(self.tracked_mask)[0]
+
+    def tracked_snapshot(self) -> frozenset[int]:
+        return frozenset(int(i) for i in np.nonzero(self.tracked_mask)[0])
+
+    def tracked_not_in_answer(self) -> np.ndarray:
+        """Ids in ``X(t) - A(t)`` — RTP Case 2's replacement candidates."""
+        return np.nonzero(self.tracked_mask & ~self.answer_mask)[0]
+
+    # ------------------------------------------------------------------
+    # Silencer flags
+    # ------------------------------------------------------------------
+    def set_silencer(self, stream_id: int, kind: int) -> None:
+        self.silencer[int(stream_id)] = kind
+
+    def silencer_of(self, stream_id: int) -> int:
+        return int(self.silencer[int(stream_id)])
+
+    def clear_silencers(self) -> None:
+        self.silencer[:] = SILENCER_NONE
+
+    # ------------------------------------------------------------------
+    # Rank listeners
+    # ------------------------------------------------------------------
+    def add_listener(self, listener) -> None:
+        """Register a rank view to be notified of value-plane writes."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"StreamStateTable(n={self.n_streams}, known={self._known_count}, "
+            f"|A|={self._answer_count}, |X|={self._tracked_count})"
+        )

@@ -49,6 +49,56 @@ class TestBoundaryNearest:
         assert heuristic.order(candidates, 10.0, 20.0) == [1, 3]
 
 
+class TestEmptyPools:
+    def test_boundary_nearest_empty_candidates(self):
+        heuristic = BoundaryNearestSelection()
+        assert heuristic.order({}, 0.0, 10.0) == []
+        assert heuristic.select({}, 3, 0.0, 10.0) == []
+
+    def test_random_empty_candidates(self):
+        heuristic = RandomSelection(seed=0)
+        assert heuristic.order({}, 0.0, 10.0) == []
+        assert heuristic.select({}, 5, 0.0, 10.0) == []
+
+    def test_select_zero_count(self):
+        heuristic = BoundaryNearestSelection()
+        assert heuristic.select({0: 1.0, 1: 2.0}, 0, 0.0, 10.0) == []
+
+
+class TestTieBreakDeterminism:
+    def test_boundary_nearest_duplicate_values(self):
+        """Streams holding the *same* value tie in boundary distance and
+        must come out in ascending id order, whatever the dict order."""
+        heuristic = BoundaryNearestSelection()
+        forward = {0: 12.0, 1: 12.0, 2: 12.0, 3: 15.0}
+        backward = dict(reversed(list(forward.items())))
+        expected = [0, 1, 2, 3]  # three ties at distance 2, then 3
+        assert heuristic.order(forward, 10.0, 20.0) == expected
+        assert heuristic.order(backward, 10.0, 20.0) == expected
+
+    def test_boundary_nearest_symmetric_duplicates(self):
+        """Equal distances from *opposite* endpoints also tie by id."""
+        heuristic = BoundaryNearestSelection()
+        candidates = {5: 11.0, 2: 19.0, 8: 11.0}  # all at distance 1
+        assert heuristic.order(candidates, 10.0, 20.0) == [2, 5, 8]
+        assert heuristic.select(candidates, 2, 10.0, 20.0) == [2, 5]
+
+    def test_random_order_independent_of_dict_order(self):
+        """Seeded random selection sorts ids before shuffling, so the
+        candidate dict's insertion order must never leak through."""
+        forward = {i: float(i) for i in range(12)}
+        backward = dict(reversed(list(forward.items())))
+        a = RandomSelection(seed=9).order(forward, 0.0, 5.0)
+        b = RandomSelection(seed=9).order(backward, 0.0, 5.0)
+        assert a == b
+
+    def test_repeated_order_calls_are_reproducible_per_instance(self):
+        candidates = {i: float(i) for i in range(8)}
+        first = RandomSelection(seed=4).order(candidates, 0.0, 5.0)
+        second = RandomSelection(seed=4).order(candidates, 0.0, 5.0)
+        assert first == second
+
+
 class TestRandomSelection:
     def test_returns_all_candidates(self):
         heuristic = RandomSelection(seed=0)

@@ -47,3 +47,18 @@ def test_clear():
 
 def test_iteration():
     assert sorted(AnswerSet([3, 1, 2])) == [1, 2, 3]
+
+
+def test_numpy_integer_ids_roundtrip():
+    """np.int64 ids (from mask columns / argsort) must add AND remove."""
+    np = pytest.importorskip("numpy")
+    answers = AnswerSet()
+    answers.add(np.int64(5))
+    assert 5 in answers
+    answers.discard(np.int64(5))
+    assert 5 not in answers and len(answers) == 0
+    answers.add(np.int64(7))
+    answers.remove(np.int64(7))
+    assert len(answers) == 0
+    answers.replace([np.int64(1), np.int64(2)])
+    assert all(isinstance(member, int) for member in answers)

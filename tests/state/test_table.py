@@ -1,0 +1,132 @@
+"""Unit tests for the columnar stream-state table."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.state.table import (
+    SILENCER_FN,
+    SILENCER_FP,
+    SILENCER_NONE,
+    StreamStateTable,
+)
+
+
+class TestValuePlane:
+    def test_record_report_updates_columns(self):
+        table = StreamStateTable(4)
+        assert table.known_count == 0
+        table.record_report(2, 7.5, 3.0)
+        assert table.values[2] == 7.5
+        assert table.report_time[2] == 3.0
+        assert table.known[2]
+        assert table.known_count == 1
+        assert list(table.known_ids()) == [2]
+
+    def test_record_report_accepts_numpy_ids(self):
+        table = StreamStateTable(3)
+        table.record_report(np.int64(1), 2.0, 0.0)
+        assert table.known[1]
+
+    def test_bulk_ingest_marks_all_known(self):
+        table = StreamStateTable(3)
+        table.record_report_bulk(np.array([1.0, 2.0, 3.0]), 5.0)
+        assert table.known_count == 3
+        assert list(table.values) == [1.0, 2.0, 3.0]
+        assert all(table.report_time == 5.0)
+
+    def test_vector_payload_allocates_points(self):
+        table = StreamStateTable(2)
+        table.record_report(0, np.array([1.0, 2.0]), 0.0)
+        assert table.points is not None
+        assert table.points.shape == (2, 2)
+        assert table.payload_array() is table.points
+        assert list(table.value_of(0)) == [1.0, 2.0]
+
+    def test_scalar_payload_array_is_values(self):
+        table = StreamStateTable(2)
+        assert table.payload_array() is table.values
+
+
+class TestConstraintPlane:
+    def test_record_deploy_and_filter_writethrough(self):
+        table = StreamStateTable(2)
+        assert not table.scannable[0]
+        table.record_deploy(0, 1.0, 9.0)
+        assert table.bounds_of(0) == (1.0, 9.0)
+        assert table.scannable[0]
+        table.set_filter(0, 1.0, 9.0, True)
+        assert table.inside[0]
+        table.set_inside(0, False)
+        assert not table.inside[0]
+        table.clear_filter(0)
+        assert not table.scannable[0]
+        assert table.lower[0] == -math.inf and table.upper[0] == math.inf
+
+
+class TestMembershipPlanes:
+    def test_answer_ops_track_size(self):
+        table = StreamStateTable(5)
+        table.answer_add(1)
+        table.answer_add(1)  # idempotent
+        table.answer_add(np.int64(3))
+        assert table.answer_size == 2
+        assert table.answer_contains(3)
+        table.answer_discard(np.int64(3))
+        table.answer_discard(3)  # idempotent
+        assert table.answer_size == 1
+        assert table.answer_snapshot() == frozenset({1})
+
+    def test_answer_replace_and_mask(self):
+        table = StreamStateTable(4)
+        table.answer_replace([0, 2])
+        assert table.answer_snapshot() == frozenset({0, 2})
+        table.answer_set_mask(np.array([False, True, False, True]))
+        assert table.answer_snapshot() == frozenset({1, 3})
+        assert table.answer_size == 2
+
+    def test_tracked_ops_and_difference(self):
+        table = StreamStateTable(5)
+        table.tracked_replace([0, 1, 2])
+        table.answer_replace([0, 2])
+        assert table.tracked_size == 3
+        assert list(table.tracked_not_in_answer()) == [1]
+        table.tracked_discard(1)
+        assert table.tracked_snapshot() == frozenset({0, 2})
+
+    def test_silencer_flags(self):
+        table = StreamStateTable(3)
+        table.set_silencer(0, SILENCER_FP)
+        table.set_silencer(1, SILENCER_FN)
+        assert table.silencer_of(0) == SILENCER_FP
+        assert table.silencer_of(1) == SILENCER_FN
+        table.clear_silencers()
+        assert table.silencer_of(0) == SILENCER_NONE
+
+
+class TestListeners:
+    def test_listeners_notified_per_report(self):
+        table = StreamStateTable(3)
+        notes = []
+
+        class Spy:
+            def note(self, stream_id):
+                notes.append(stream_id)
+
+            def invalidate(self):
+                notes.append("all")
+
+        spy = Spy()
+        table.add_listener(spy)
+        table.add_listener(spy)  # idempotent
+        table.record_report(1, 5.0, 0.0)
+        table.record_report_bulk(np.zeros(3), 1.0)
+        assert notes == [1, "all"]
+        table.remove_listener(spy)
+        table.record_report(0, 2.0, 2.0)
+        assert notes == [1, "all"]
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            StreamStateTable(-1)
