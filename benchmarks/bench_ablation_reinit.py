@@ -8,7 +8,7 @@ suppression of boundary churn.
 """
 
 from repro.harness.reporting import format_series
-from repro.harness.runner import run_protocol
+from repro.api import Engine
 from repro.protocols.ft_nrp import FractionToleranceRangeProtocol
 from repro.queries.range_query import RangeQuery
 from repro.streams.synthetic import SyntheticConfig, generate_synthetic_trace
@@ -16,6 +16,8 @@ from repro.tolerance.fraction_tolerance import FractionTolerance
 
 EPS_VALUES = [0.1, 0.2, 0.3, 0.4]
 QUERY = RangeQuery(400.0, 600.0)
+
+run_protocol = Engine().run_protocol
 
 
 def _run_ablation():

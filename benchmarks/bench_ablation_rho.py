@@ -7,12 +7,14 @@ are sound — the test suite verifies that separately).
 """
 
 from repro.harness.reporting import format_series
-from repro.harness.runner import run_protocol
+from repro.api import Engine
 from repro.protocols.ft_rp import FractionToleranceKnnProtocol
 from repro.queries.knn import KnnQuery
 from repro.streams.synthetic import SyntheticConfig, generate_synthetic_trace
 from repro.tolerance.fraction_tolerance import FractionTolerance
 from repro.tolerance.knn_fraction import RhoPolicy
+
+run_protocol = Engine().run_protocol
 
 EPS_VALUES = [0.1, 0.2, 0.3, 0.4]
 K = 60

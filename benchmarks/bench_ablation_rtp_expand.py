@@ -7,11 +7,13 @@ machinery saves.
 """
 
 from repro.harness.reporting import format_series
-from repro.harness.runner import run_protocol
+from repro.api import Engine
 from repro.protocols.rtp import RankToleranceProtocol
 from repro.queries.knn import KnnQuery
 from repro.streams.synthetic import SyntheticConfig, generate_synthetic_trace
 from repro.tolerance.rank_tolerance import RankTolerance
+
+run_protocol = Engine().run_protocol
 
 R_VALUES = [0, 2, 4, 8]
 K = 10

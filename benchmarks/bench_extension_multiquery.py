@@ -7,13 +7,15 @@ update per violating value change, fanned out server-side.
 """
 
 from repro.harness.reporting import format_table
-from repro.harness.runner import run_protocol
-from repro.multiquery.runner import run_multi_query
+from repro.api import Engine
+from repro.multiquery import execute_multi_query as run_multi_query
 from repro.protocols.ft_nrp import FractionToleranceRangeProtocol
 from repro.protocols.zt_nrp import ZeroToleranceRangeProtocol
 from repro.queries.range_query import RangeQuery
 from repro.streams.synthetic import SyntheticConfig, generate_synthetic_trace
 from repro.tolerance.fraction_tolerance import FractionTolerance
+
+run_protocol = Engine().run_protocol
 
 TOLERANCES = [0.0, 0.1, 0.2, 0.4]
 

@@ -13,7 +13,7 @@ from repro.spatial.protocols import (
     SpatialZeroKnnProtocol,
 )
 from repro.spatial.queries import SpatialKnnQuery
-from repro.spatial.runner import run_spatial_protocol
+from repro.spatial.runner import execute_spatial as run_spatial_protocol
 from repro.spatial.workloads import MovingObjectsConfig, generate_moving_objects_trace
 from repro.tolerance.fraction_tolerance import FractionTolerance
 from repro.tolerance.rank_tolerance import RankTolerance

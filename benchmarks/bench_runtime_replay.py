@@ -27,8 +27,7 @@ import time
 
 from bench_artifacts import SMOKE, write_artifact
 
-from repro.harness.config import RunConfig
-from repro.harness.runner import run_protocol
+from repro.api import Deployment, Engine
 from repro.protocols.rtp import RankToleranceProtocol
 from repro.queries.knn import TopKQuery
 from repro.streams.synthetic import SyntheticConfig, generate_synthetic_trace
@@ -117,11 +116,11 @@ def test_bench_rtp_replay_no_regression():
     tolerance = RankTolerance(k=K, r=R)
 
     def run(mode):
-        return run_protocol(
+        return Engine().run_protocol(
             trace,
             RankToleranceProtocol(TopKQuery(k=K), tolerance),
             tolerance=tolerance,
-            config=RunConfig(replay_mode=mode),
+            deployment=Deployment.single(replay_mode=mode),
         )
 
     event, t_event = _best_of(lambda: run("event"))

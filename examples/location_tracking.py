@@ -19,14 +19,14 @@ Run:  python examples/location_tracking.py
 import numpy as np
 
 from repro import (
+    Deployment,
+    Engine,
     FractionTolerance,
     FractionToleranceKnnProtocol,
     KnnQuery,
-    RunConfig,
     StreamTrace,
     ZeroToleranceKnnProtocol,
     format_table,
-    run_protocol,
 )
 from repro.sim.rng import RandomStreams
 from repro.streams.generators import BoundedRandomWalk
@@ -79,10 +79,9 @@ def main() -> None:
     tolerance = FractionTolerance(eps_plus=0.2, eps_minus=0.2)
     rows = []
 
-    exact = run_protocol(
-        trace,
-        ZeroToleranceKnnProtocol(KnnQuery(DEPOT_KM, K)),
-        config=RunConfig(check_every=25),
+    engine = Engine(Deployment.single(check_every=25))
+    exact = engine.run_protocol(
+        trace, ZeroToleranceKnnProtocol(KnnQuery(DEPOT_KM, K))
     )
     rows.append(
         {
@@ -96,11 +95,8 @@ def main() -> None:
     tolerant_protocol = FractionToleranceKnnProtocol(
         KnnQuery(DEPOT_KM, K), tolerance
     )
-    tolerant = run_protocol(
-        trace,
-        tolerant_protocol,
-        tolerance=tolerance,
-        config=RunConfig(check_every=25),
+    tolerant = engine.run_protocol(
+        trace, tolerant_protocol, tolerance=tolerance
     )
     rows.append(
         {

@@ -13,52 +13,48 @@ Run:  python examples/multi_query_dashboard.py
 """
 
 from repro import (
+    Deployment,
+    Engine,
     FractionTolerance,
-    FractionToleranceRangeProtocol,
+    QuerySpec,
     RangeQuery,
     RankTolerance,
-    RankToleranceProtocol,
-    RunConfig,
     TopKQuery,
+    Workload,
     format_table,
-    generate_synthetic_trace,
-    run_protocol,
 )
-from repro.multiquery import run_multi_query
 from repro.streams.generators import BoundedRandomWalk
+from repro.streams.synthetic import generate_synthetic_trace
 
 N_SENSORS = 400
 
 
-def build_queries():
-    """The dashboard's standing queries (fresh protocol instances).
+def build_specs() -> dict[str, QuerySpec]:
+    """The dashboard's standing queries, as declarative specs.
 
     The two operators watch the *same* warn tier with different error
     budgets — their filter boundaries coincide, so their violations ride
     the same physical updates.  The danger tier has its own boundary and
     shares only when a reading jumps across both at once.
     """
-    queries = {}
+    specs = {}
     tiers = {
         "ops-A warn [700, 1000]": (RangeQuery(700.0, 1000.0), 0.20),
         "ops-B warn [700, 1000]": (RangeQuery(700.0, 1000.0), 0.10),
         "danger     [850, 1000]": (RangeQuery(850.0, 1000.0), 0.10),
     }
     for name, (query, eps) in tiers.items():
-        tolerance = FractionTolerance(eps, eps)
-        queries[name] = (
-            FractionToleranceRangeProtocol(query, tolerance),
-            query,
-            tolerance,
+        specs[name] = QuerySpec(
+            protocol="ft-nrp",
+            query=query,
+            tolerance=FractionTolerance(eps, eps),
         )
-    topk = TopKQuery(k=10)
-    rank_tolerance = RankTolerance(k=10, r=5)
-    queries["top-10 hottest"] = (
-        RankToleranceProtocol(topk, rank_tolerance),
-        topk,
-        rank_tolerance,
+    specs["top-10 hottest"] = QuerySpec(
+        protocol="rtp",
+        query=TopKQuery(k=10),
+        tolerance=RankTolerance(k=10, r=5),
     )
-    return queries
+    return specs
 
 
 def main() -> None:
@@ -68,14 +64,17 @@ def main() -> None:
         seed=21,
         process=BoundedRandomWalk(sigma=30.0, low=0.0, high=1000.0),
     )
+    workload = Workload.from_trace(trace)
     print(f"{N_SENSORS} sensors, {trace.n_records} readings")
 
-    shared = run_multi_query(
-        trace, build_queries(), config=RunConfig(check_every=10)
+    specs = build_specs()
+    engine = Engine()
+    shared = engine.run_queries(
+        specs, workload, Deployment.single(check_every=10)
     )
     independent = sum(
-        run_protocol(trace, protocol, tolerance=tolerance).maintenance_messages
-        for protocol, _, tolerance in build_queries().values()
+        engine.run(spec, workload).maintenance_messages
+        for spec in specs.values()
     )
 
     rows = [
@@ -87,7 +86,7 @@ def main() -> None:
         {
             "deployment": "shared multi-query sources",
             "messages": shared.maintenance_messages,
-            "sharing factor": f"{shared.sharing_factor:.2f}",
+            "sharing factor": f"{shared.extras['sharing_factor']:.2f}",
         },
     ]
     print()

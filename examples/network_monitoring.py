@@ -16,15 +16,15 @@ Run:  python examples/network_monitoring.py
 """
 
 from repro import (
+    Deployment,
+    Engine,
     NoFilterProtocol,
     RankTolerance,
     RankToleranceProtocol,
-    RunConfig,
     TcpTraceConfig,
     TopKQuery,
     format_table,
     generate_tcp_trace,
-    run_protocol,
 )
 
 K = 20  # monitor the top-20 heaviest subnets
@@ -39,7 +39,8 @@ def main() -> None:
         f"{trace.n_streams} subnets over {trace.metadata['days']:g} days"
     )
 
-    baseline = run_protocol(trace, NoFilterProtocol(TopKQuery(k=K)))
+    engine = Engine()
+    baseline = engine.run_protocol(trace, NoFilterProtocol(TopKQuery(k=K)))
     rows = [
         {
             "protocol": "no filter",
@@ -53,12 +54,12 @@ def main() -> None:
     for r in (0, 5, 10, 15):
         tolerance = RankTolerance(k=K, r=r)
         protocol = RankToleranceProtocol(TopKQuery(k=K), tolerance)
-        result = run_protocol(
+        result = engine.run_protocol(
             trace,
             protocol,
             tolerance=tolerance,
             # Rank checks cost O(n log n); sample every 20th update.
-            config=RunConfig(check_every=20),
+            deployment=Deployment.single(check_every=20),
         )
         savings = 1 - result.maintenance_messages / baseline.maintenance_messages
         rows.append(

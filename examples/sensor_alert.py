@@ -20,12 +20,11 @@ from repro import (
     FractionToleranceRangeProtocol,
     RandomSelection,
     RangeQuery,
-    RunConfig,
     ZeroToleranceRangeProtocol,
     format_table,
     generate_synthetic_trace,
-    run_protocol,
 )
+from repro import Deployment, Engine
 from repro.streams.generators import BoundedRandomWalk
 
 N_SENSORS = 600
@@ -52,11 +51,8 @@ def main() -> None:
         f"[{DANGER_ZONE.lower:g}, {DANGER_ZONE.upper:g}]"
     )
 
-    exact = run_protocol(
-        trace,
-        ZeroToleranceRangeProtocol(DANGER_ZONE),
-        config=RunConfig(check_every=1),
-    )
+    engine = Engine(Deployment.single(check_every=1))
+    exact = engine.run_protocol(trace, ZeroToleranceRangeProtocol(DANGER_ZONE))
 
     rows = [
         {
@@ -71,12 +67,7 @@ def main() -> None:
         protocol = FractionToleranceRangeProtocol(
             DANGER_ZONE, tolerance, selection=heuristic
         )
-        result = run_protocol(
-            trace,
-            protocol,
-            tolerance=tolerance,
-            config=RunConfig(check_every=1),
-        )
+        result = engine.run_protocol(trace, protocol, tolerance=tolerance)
         rows.append(
             {
                 "configuration": f"FT-NRP / {heuristic.name}",

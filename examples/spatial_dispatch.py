@@ -14,18 +14,14 @@ position remains on the same side of the deployed box/ball boundary.
 Run:  python examples/spatial_dispatch.py
 """
 
-from repro.harness.config import RunConfig
+from repro.api import Deployment, Engine, QuerySpec, Workload
 from repro.harness.reporting import format_table
 from repro.spatial import (
     BoxRegion,
     MovingObjectsConfig,
-    SpatialFractionRangeProtocol,
     SpatialKnnQuery,
-    SpatialNoFilterProtocol,
     SpatialRangeQuery,
-    SpatialRankToleranceProtocol,
     generate_moving_objects_trace,
-    run_spatial_protocol,
 )
 from repro.tolerance.fraction_tolerance import FractionTolerance
 from repro.tolerance.rank_tolerance import RankTolerance
@@ -48,8 +44,13 @@ def main() -> None:
 
     rows = []
 
-    baseline = run_spatial_protocol(
-        trace, SpatialNoFilterProtocol(SpatialRangeQuery(RESTRICTED))
+    engine = Engine()
+    workload = Workload.from_trace(trace)
+    baseline = engine.run(
+        QuerySpec(
+            protocol="no-filter-2d", query=SpatialRangeQuery(RESTRICTED)
+        ),
+        workload,
     )
     rows.append(
         {
@@ -61,13 +62,14 @@ def main() -> None:
     )
 
     geofence_tolerance = FractionTolerance(0.25, 0.25)
-    geofence = run_spatial_protocol(
-        trace,
-        SpatialFractionRangeProtocol(
-            SpatialRangeQuery(RESTRICTED), geofence_tolerance
+    geofence = engine.run(
+        QuerySpec(
+            protocol="ft-nrp-2d",
+            query=SpatialRangeQuery(RESTRICTED),
+            tolerance=geofence_tolerance,
         ),
-        tolerance=geofence_tolerance,
-        config=RunConfig(check_every=1),
+        workload,
+        Deployment.single(check_every=1),
     )
     rows.append(
         {
@@ -79,13 +81,14 @@ def main() -> None:
     )
 
     knn_tolerance = RankTolerance(k=8, r=4)
-    nearest = run_spatial_protocol(
-        trace,
-        SpatialRankToleranceProtocol(
-            SpatialKnnQuery(DEPOT, 8), knn_tolerance
+    nearest = engine.run(
+        QuerySpec(
+            protocol="rtp-2d",
+            query=SpatialKnnQuery(DEPOT, 8),
+            tolerance=knn_tolerance,
         ),
-        tolerance=knn_tolerance,
-        config=RunConfig(check_every=5),
+        workload,
+        Deployment.single(check_every=5),
     )
     rows.append(
         {

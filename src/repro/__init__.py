@@ -16,36 +16,56 @@ with a vectorized batched fast path for runs without correctness
 checking.  Parameter sweeps (:func:`run_grid`, :func:`sweep_values`)
 optionally fan out over a process pool.
 
+Execution entry is the declarative facade ``repro.api``: a run is a
+value — :class:`~repro.api.QuerySpec` (query + tolerance + protocol),
+:class:`~repro.api.Workload` (trace parameters) and
+:class:`~repro.api.Deployment` (topology, replay mode, checking) —
+compiled by an :class:`~repro.api.Engine` into an executable plan and
+returning one unified :class:`~repro.api.RunReport`.  The deployment
+axis includes a sharded topology (``Deployment.sharded(n)``: per-shard
+state tables and servers behind a k-way-merge coordinator) whose
+message ledgers are byte-identical to the single-server run.
+
 Quickstart
 ----------
 >>> from repro import (
-...     FractionTolerance, FractionToleranceRangeProtocol, RangeQuery,
-...     RunConfig, generate_synthetic_trace, run_protocol,
+...     Deployment, Engine, FractionTolerance, QuerySpec, RangeQuery,
+...     Workload,
 ... )
->>> trace = generate_synthetic_trace(n_streams=100, horizon=200.0, seed=7)
->>> query = RangeQuery(400.0, 600.0)
->>> tolerance = FractionTolerance(eps_plus=0.2, eps_minus=0.2)
->>> protocol = FractionToleranceRangeProtocol(query, tolerance)
->>> result = run_protocol(
-...     trace, protocol, tolerance=tolerance,
-...     config=RunConfig(check_every=1),
+>>> report = Engine().run(
+...     QuerySpec(
+...         protocol="ft-nrp",
+...         query=RangeQuery(400.0, 600.0),
+...         tolerance=FractionTolerance(eps_plus=0.2, eps_minus=0.2),
+...     ),
+...     Workload.synthetic(n_streams=100, horizon=200.0, seed=7),
+...     Deployment.single(check_every=1),
 ... )
->>> result.tolerance_ok
+>>> report.tolerance_ok
 True
+
+Scaling out is one argument change: ``Deployment.sharded(4)``.
 
 See ``examples/`` for richer scenarios and ``repro.experiments`` for the
 paper's figures.
 """
 
+from repro.api import (
+    Deployment,
+    Engine,
+    QuerySpec,
+    RunReport,
+    Workload,
+    run_grid,
+    sweep_values,
+)
 from repro.correctness import Oracle, ToleranceChecker
 from repro.harness import (
     RunConfig,
     RunResult,
     format_series,
     format_table,
-    run_grid,
     run_protocol,
-    sweep_values,
 )
 from repro.network import MessageKind, MessageLedger
 from repro.protocols import (
@@ -70,8 +90,15 @@ from repro.runtime import (
     FilteredSource,
     MembershipStrategy,
 )
+from repro.server import Server, ShardedServer
 from repro.sim import SimulationEngine
-from repro.state import RankView, SilencerPools, StreamStateTable
+from repro.state import (
+    RankView,
+    ShardedRankView,
+    SilencerPools,
+    StateShardView,
+    StreamStateTable,
+)
 from repro.streams import (
     FilterConstraint,
     StreamSource,
@@ -90,10 +117,12 @@ from repro.tolerance import (
     derive_rho,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BoundaryNearestSelection",
+    "Deployment",
+    "Engine",
     "ExecutionSession",
     "FilterConstraint",
     "FilterProtocol",
@@ -108,6 +137,7 @@ __all__ = [
     "MessageLedger",
     "NoFilterProtocol",
     "Oracle",
+    "QuerySpec",
     "RandomSelection",
     "RangeQuery",
     "RankTolerance",
@@ -115,9 +145,14 @@ __all__ = [
     "RankView",
     "RhoPolicy",
     "RunConfig",
+    "RunReport",
     "RunResult",
+    "Server",
+    "ShardedRankView",
+    "ShardedServer",
     "SilencerPools",
     "SimulationEngine",
+    "StateShardView",
     "StreamSource",
     "StreamStateTable",
     "StreamTrace",
@@ -126,6 +161,7 @@ __all__ = [
     "ToleranceChecker",
     "TopKQuery",
     "TraceRecord",
+    "Workload",
     "ZeroToleranceKnnProtocol",
     "ZeroToleranceRangeProtocol",
     "answer_size_bounds",

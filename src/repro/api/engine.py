@@ -1,0 +1,504 @@
+"""The deployment compiler: specs in, unified reports out.
+
+:class:`Engine` turns a ``(QuerySpec, Workload, Deployment)`` triple
+into an executable plan and runs it.  Compilation is a pair of small
+decisions:
+
+1. **Assembly** — which :class:`~repro.runtime.session.ExecutionSession`
+   builder matches the spec's stack and the deployment's topology
+   (``for_streams`` vs ``for_streams_sharded``, etc.).
+2. **Schedule** — whether the plan runs in-process or fans out to a
+   process pool: a sharded deployment with ``parallel=True`` replays
+   the shards of a *decomposable* protocol (no server feedback during
+   maintenance, e.g. ZT-NRP) on independent workers and merges the
+   per-shard ledgers; everything else runs the sequential coordinator,
+   whose ledgers are byte-identical to a single server by construction.
+
+The module-level ``_execute_*`` functions are the former bodies of the
+stack-specific entrypoints (``run_protocol``, ``run_spatial_protocol``,
+``run_multi_query``); those old names survive as thin deprecation shims
+delegating here, so results are ledger-identical across the rename.
+"""
+
+from __future__ import annotations
+
+import copy
+import time as _time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Mapping
+
+from repro.api.report import RunReport
+from repro.api.spec import (
+    STACK_SPATIAL,
+    STACK_STREAMS,
+    STACK_VALUEBASED,
+    Deployment,
+    QuerySpec,
+    Workload,
+)
+from repro.correctness.checker import ToleranceChecker
+from repro.correctness.oracle import Oracle
+from repro.harness.results import RunResult
+from repro.network.accounting import LedgerSnapshot
+from repro.runtime.session import ExecutionSession
+
+
+def _as_workload(workload) -> Workload:
+    """Accept a Workload or a bare trace object."""
+    if isinstance(workload, Workload):
+        return workload
+    return Workload.from_trace(workload)
+
+
+def _collect_extras(protocol) -> dict:
+    """Harvest optional protocol-specific counters for the result row."""
+    extras: dict = {}
+    for attr in (
+        "reinitializations",
+        "recomputations",
+        "expansions",
+        "n_plus",
+        "n_minus",
+        "count",
+    ):
+        value = getattr(protocol, attr, None)
+        if isinstance(value, (int, float)):
+            extras[attr] = value
+    return extras
+
+
+# ----------------------------------------------------------------------
+# Scalar streams stack
+# ----------------------------------------------------------------------
+def _execute_streams(
+    trace,
+    protocol,
+    query=None,
+    tolerance=None,
+    deployment: Deployment | None = None,
+    label: str = "",
+) -> RunResult:
+    """Replay *trace* against a scalar *protocol* under *deployment*."""
+    deployment = deployment or Deployment.single()
+    if (
+        deployment.topology == "sharded"
+        and deployment.parallel
+        and deployment.check_every == 0
+        and getattr(protocol, "decomposable_maintenance", False)
+    ):
+        return _execute_streams_fanout(trace, protocol, deployment, label)
+
+    if deployment.topology == "sharded":
+        session = ExecutionSession.for_streams_sharded(
+            trace, protocol, deployment.n_shards
+        )
+    else:
+        session = ExecutionSession.for_streams(trace, protocol)
+
+    checker: ToleranceChecker | None = None
+    oracle: Oracle | None = None
+    if deployment.check_every > 0:
+        if query is None:
+            query = getattr(protocol, "query", None)
+        if query is None:
+            raise ValueError("checking requires a query")
+        oracle = Oracle(trace.initial_values)
+        oracle.register_query(query)
+        checker = ToleranceChecker(
+            oracle=oracle,
+            query=query,
+            tolerance=tolerance,
+            answer_of=lambda: protocol.answer,
+            every=deployment.check_every,
+            strict=deployment.strict,
+        )
+
+    session.initialize(time=0.0)
+    if checker is not None:
+        checker.check_now(0.0)
+
+    session.replay_trace(
+        trace,
+        oracle_apply=oracle.apply if oracle is not None else None,
+        after_apply=checker.check if checker is not None else None,
+        mode=deployment.replay_mode,
+        batch_size=deployment.batch_size,
+    )
+
+    return RunResult(
+        protocol=protocol.name,
+        ledger=session.snapshot(),
+        checker=checker.report if checker is not None else None,
+        n_streams=trace.n_streams,
+        n_records=trace.n_records,
+        final_answer=protocol.answer,
+        label=label,
+        extras=_collect_extras(protocol),
+    )
+
+
+def _restrict_to_shard(trace, lo: int, hi: int):
+    """The shard's sub-trace, re-indexed to local stream ids."""
+    from repro.streams.trace import StreamTrace
+
+    keep = (trace.stream_ids >= lo) & (trace.stream_ids < hi)
+    return StreamTrace(
+        initial_values=trace.initial_values[lo:hi].copy(),
+        times=trace.times[keep],
+        stream_ids=trace.stream_ids[keep] - lo,
+        values=trace.values[keep],
+        horizon=trace.horizon,
+        metadata={**trace.metadata, "shard": (lo, hi)},
+    )
+
+
+def _shard_replay_worker(job):
+    """One shard's independent replay (runs in a pool worker).
+
+    Valid only for decomposable protocols: maintenance sends nothing
+    server-to-source, so the shard's message sequence depends only on
+    its own records and the merged per-shard ledgers equal the
+    single-server ledger exactly.
+    """
+    shard_trace, protocol, replay_mode, batch_size, lo = job
+    session = ExecutionSession.for_streams(shard_trace, protocol)
+    session.initialize(time=0.0)
+    session.replay_trace(
+        shard_trace, mode=replay_mode, batch_size=batch_size
+    )
+    answer = frozenset(int(i) + lo for i in protocol.answer)
+    return session.snapshot(), answer, _collect_extras(protocol)
+
+
+def _merge_snapshots(parts: list[LedgerSnapshot]) -> LedgerSnapshot:
+    initialization: dict = {}
+    maintenance: dict = {}
+    for part in parts:
+        for kind, count in part.initialization.items():
+            initialization[kind] = initialization.get(kind, 0) + count
+        for kind, count in part.maintenance.items():
+            maintenance[kind] = maintenance.get(kind, 0) + count
+    return LedgerSnapshot(
+        initialization=initialization, maintenance=maintenance
+    )
+
+
+def _execute_streams_fanout(
+    trace, protocol, deployment: Deployment, label: str
+) -> RunResult:
+    """Sharded + parallel replay of a decomposable protocol."""
+    from repro.state.sharding import shard_ranges
+
+    ranges = shard_ranges(trace.n_streams, deployment.n_shards)
+    jobs = [
+        (
+            _restrict_to_shard(trace, lo, hi),
+            copy.deepcopy(protocol),
+            deployment.replay_mode,
+            deployment.batch_size,
+            lo,
+        )
+        for lo, hi in ranges
+    ]
+    max_workers = deployment.max_workers or len(ranges)
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        parts = list(pool.map(_shard_replay_worker, jobs))
+
+    answer: frozenset[int] = frozenset()
+    extras: dict = {}
+    for _, shard_answer, shard_extras in parts:
+        answer |= shard_answer
+        for key, value in shard_extras.items():
+            extras[key] = extras.get(key, 0) + value
+    return RunResult(
+        protocol=protocol.name,
+        ledger=_merge_snapshots([snapshot for snapshot, _, _ in parts]),
+        checker=None,
+        n_streams=trace.n_streams,
+        n_records=trace.n_records,
+        final_answer=answer,
+        label=label,
+        extras=extras,
+    )
+
+
+# ----------------------------------------------------------------------
+# Spatial stack
+# ----------------------------------------------------------------------
+def _execute_spatial(
+    trace,
+    protocol,
+    query=None,
+    tolerance=None,
+    deployment: Deployment | None = None,
+):
+    """Replay a spatial *trace*; single topology only (regions have no
+    scalar-interval shard merge yet — see ROADMAP)."""
+    from repro.spatial.runner import execute_spatial
+
+    deployment = deployment or Deployment.single()
+    if deployment.topology != "single":
+        raise ValueError(
+            "the spatial stack supports only Deployment.single() "
+            "(regions have no per-shard rank merge yet)"
+        )
+    return execute_spatial(
+        trace,
+        protocol,
+        query=query,
+        tolerance=tolerance,
+        config=deployment.run_config(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Multi-query stack
+# ----------------------------------------------------------------------
+def _execute_multiquery(trace, queries, deployment: Deployment | None = None):
+    """Run several protocols over one shared population; single only."""
+    from repro.multiquery.runner import execute_multi_query
+
+    deployment = deployment or Deployment.single()
+    if deployment.topology != "single":
+        raise ValueError(
+            "the multi-query stack supports only Deployment.single()"
+        )
+    return execute_multi_query(trace, queries, config=deployment.run_config())
+
+
+# ----------------------------------------------------------------------
+# Value-window stack
+# ----------------------------------------------------------------------
+def _execute_value_window(
+    trace, query, eps: float, deployment: Deployment | None = None
+):
+    from repro.valuebased.protocol import run_value_tolerance
+
+    deployment = deployment or Deployment.single()
+    return run_value_tolerance(
+        trace,
+        query,
+        eps,
+        check_every=deployment.check_every,
+        replay_mode=deployment.replay_mode,
+        n_shards=deployment.n_shards,
+    )
+
+
+# ----------------------------------------------------------------------
+# The facade
+# ----------------------------------------------------------------------
+class Engine:
+    """Compiles declarative run descriptions into executions.
+
+    >>> from repro.api import Deployment, Engine, QuerySpec, Workload
+    >>> from repro import RangeQuery
+    >>> engine = Engine()
+    >>> report = engine.run(
+    ...     QuerySpec(protocol="zt-nrp", query=RangeQuery(400.0, 600.0)),
+    ...     Workload.synthetic(n_streams=100, horizon=100.0, seed=1),
+    ... )
+    >>> report.tolerance_ok
+    True
+
+    The engine itself is stateless apart from its default deployment;
+    one instance can run any number of specs, and the same ``(spec,
+    workload)`` pair re-runs identically under any topology.
+    """
+
+    def __init__(self, deployment: Deployment | None = None) -> None:
+        self.deployment = deployment or Deployment.single()
+
+    # ------------------------------------------------------------------
+    # Declarative entry
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        spec: QuerySpec,
+        workload: Workload,
+        deployment: Deployment | None = None,
+        label: str = "",
+    ) -> RunReport:
+        """Execute one spec over one workload; returns a unified report."""
+        deployment = deployment or self.deployment
+        workload = _as_workload(workload)
+        trace = workload.materialize()
+        started = _time.perf_counter()
+
+        if spec.stack == STACK_STREAMS:
+            result = _execute_streams(
+                trace,
+                spec.build(),
+                query=spec.query,
+                tolerance=spec.tolerance,
+                deployment=deployment,
+                label=label,
+            )
+            return self._report_from_run_result(
+                result, STACK_STREAMS, deployment, started, label
+            )
+        if spec.stack == STACK_SPATIAL:
+            result = _execute_spatial(
+                trace,
+                spec.build(),
+                query=spec.query,
+                tolerance=spec.tolerance,
+                deployment=deployment,
+            )
+            return RunReport(
+                protocol=result.protocol,
+                stack=STACK_SPATIAL,
+                topology=deployment.describe(),
+                ledger=result.ledger,
+                n_streams=result.n_streams,
+                n_records=result.n_records,
+                wall_seconds=_time.perf_counter() - started,
+                final_answer=result.final_answer,
+                checks=result.checks,
+                violations=tuple(result.violations),
+                label=label,
+                raw=result,
+            )
+        assert spec.stack == STACK_VALUEBASED
+        result = _execute_value_window(
+            trace, spec.query, float(spec.options["eps"]), deployment
+        )
+        return RunReport(
+            protocol="value-eps",
+            stack=STACK_VALUEBASED,
+            topology=deployment.describe(),
+            ledger=result.ledger,
+            n_streams=trace.n_streams,
+            n_records=trace.n_records,
+            wall_seconds=_time.perf_counter() - started,
+            final_answer=frozenset(),
+            checks=result.rank_samples,
+            violations=()
+            if result.value_guarantee_held
+            else ("value guarantee violated",),
+            label=label,
+            extras={
+                "eps": result.eps,
+                "worst_rank": result.worst_rank,
+                "mean_rank_error": result.mean_rank_error,
+                "value_guarantee_held": result.value_guarantee_held,
+            },
+            raw=result,
+        )
+
+    def run_queries(
+        self,
+        specs: Mapping[str, QuerySpec],
+        workload: Workload,
+        deployment: Deployment | None = None,
+        label: str = "",
+    ) -> RunReport:
+        """Run several specs as one shared multi-query deployment."""
+        deployment = deployment or self.deployment
+        workload = _as_workload(workload)
+        trace = workload.materialize()
+        queries = {
+            query_id: (spec.build(), spec.query, spec.tolerance)
+            for query_id, spec in specs.items()
+        }
+        started = _time.perf_counter()
+        result = _execute_multiquery(trace, queries, deployment)
+        return RunReport(
+            protocol="multi-query",
+            stack="multiquery",
+            topology=deployment.describe(),
+            ledger=result.ledger,
+            n_streams=trace.n_streams,
+            n_records=trace.n_records,
+            wall_seconds=_time.perf_counter() - started,
+            final_answer=frozenset(),
+            checks=result.checks,
+            violations=tuple(result.violations),
+            label=label,
+            extras={
+                "shared_updates": result.shared_updates,
+                "logical_deliveries": result.logical_deliveries,
+                "sharing_factor": result.sharing_factor,
+            },
+            answers=dict(result.answers),
+            raw=result,
+        )
+
+    # ------------------------------------------------------------------
+    # Escape hatch for pre-built protocol instances
+    # ------------------------------------------------------------------
+    def run_protocol(
+        self,
+        trace,
+        protocol,
+        query=None,
+        tolerance=None,
+        deployment: Deployment | None = None,
+        label: str = "",
+    ) -> RunReport:
+        """Run an already-constructed scalar protocol instance.
+
+        For ablations and tests that tweak protocol internals before
+        running; figure-style runs should prefer :meth:`run` with a
+        :class:`QuerySpec`.
+        """
+        deployment = deployment or self.deployment
+        started = _time.perf_counter()
+        result = _execute_streams(
+            trace,
+            protocol,
+            query=query,
+            tolerance=tolerance,
+            deployment=deployment,
+            label=label,
+        )
+        return self._report_from_run_result(
+            result, STACK_STREAMS, deployment, started, label
+        )
+
+    def _report_from_run_result(
+        self,
+        result: RunResult,
+        stack: str,
+        deployment: Deployment,
+        started: float,
+        label: str,
+    ) -> RunReport:
+        checker = result.checker
+        violations: tuple[str, ...] = ()
+        checks = 0
+        if checker is not None:
+            checks = checker.checks
+            violations = tuple(
+                f"t={violation.time}: {violation.reason}"
+                for violation in checker.violations
+            )
+            if checker.violation_count > len(checker.violations):
+                violations += (
+                    f"... and {checker.violation_count - len(checker.violations)} more",
+                )
+        return RunReport(
+            protocol=result.protocol,
+            stack=stack,
+            topology=deployment.describe(),
+            ledger=result.ledger,
+            n_streams=result.n_streams,
+            n_records=result.n_records,
+            wall_seconds=_time.perf_counter() - started,
+            final_answer=result.final_answer,
+            checks=checks,
+            violations=violations,
+            label=label,
+            extras=dict(result.extras),
+            raw=result,
+        )
+
+
+def run(
+    spec: QuerySpec,
+    workload: Workload,
+    deployment: Deployment | None = None,
+    label: str = "",
+) -> RunReport:
+    """Module-level convenience: ``Engine().run(...)``."""
+    return Engine().run(spec, workload, deployment, label=label)

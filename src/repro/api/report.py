@@ -1,0 +1,92 @@
+"""The unified run report: one result shape across all four stacks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.network.accounting import LedgerSnapshot
+from repro.network.messages import MessageKind
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Outcome of one :meth:`Engine.run` — ledger, violations, timing.
+
+    Every stack-specific result (``RunResult``, ``SpatialRunResult``,
+    ``MultiQueryResult``, ``ValueToleranceResult``) projects onto this
+    shape, so comparisons across stacks and topologies read the same
+    fields.  ``raw`` keeps the stack-specific result for callers that
+    need its extra detail.
+    """
+
+    protocol: str
+    stack: str
+    topology: str
+    ledger: LedgerSnapshot
+    n_streams: int
+    n_records: int
+    wall_seconds: float
+    final_answer: frozenset[int] = frozenset()
+    checks: int = 0
+    violations: tuple[str, ...] = ()
+    label: str = ""
+    extras: Mapping[str, Any] = field(default_factory=dict)
+    #: Per-query answers (multi-query runs only).
+    answers: Mapping[str, frozenset[int]] | None = None
+    #: The stack-specific result object this report was built from.
+    raw: Any = None
+
+    # ------------------------------------------------------------------
+    # The paper's metrics
+    # ------------------------------------------------------------------
+    @property
+    def maintenance_messages(self) -> int:
+        """The headline metric: total maintenance-phase messages."""
+        return self.ledger.maintenance_total
+
+    @property
+    def initialization_messages(self) -> int:
+        return self.ledger.initialization_total
+
+    @property
+    def total_messages(self) -> int:
+        return self.ledger.total
+
+    @property
+    def update_messages(self) -> int:
+        return self.ledger.maintenance_of(MessageKind.UPDATE)
+
+    @property
+    def probe_messages(self) -> int:
+        return self.ledger.maintenance_of(
+            MessageKind.PROBE_REQUEST
+        ) + self.ledger.maintenance_of(MessageKind.PROBE_REPLY)
+
+    @property
+    def constraint_messages(self) -> int:
+        return self.ledger.maintenance_of(MessageKind.CONSTRAINT)
+
+    @property
+    def tolerance_ok(self) -> bool:
+        """True when every sampled check passed (or checking was off)."""
+        return not self.violations
+
+    def row(self) -> dict:
+        """Flatten into a reporting-friendly dict."""
+        row = {
+            "protocol": self.protocol,
+            "stack": self.stack,
+            "topology": self.topology,
+            "label": self.label,
+            "messages": self.maintenance_messages,
+            "updates": self.update_messages,
+            "probes": self.probe_messages,
+            "constraints": self.constraint_messages,
+            "n_streams": self.n_streams,
+            "n_records": self.n_records,
+            "tolerance_ok": self.tolerance_ok,
+            "wall_seconds": self.wall_seconds,
+        }
+        row.update(self.extras)
+        return row

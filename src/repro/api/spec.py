@@ -1,0 +1,367 @@
+"""The declarative vocabulary: a run is a value.
+
+Three frozen dataclasses describe everything about a run *before* any
+execution machinery exists:
+
+* :class:`QuerySpec` — *what* is asked: the standing query, the
+  tolerance, and which protocol exploits it.
+* :class:`Workload` — *what happens*: a replayable trace, either given
+  directly or described by generator parameters and materialized
+  lazily (and cached, so one ``Workload`` value feeds many runs with
+  the identical record sequence — the paper's same-trace comparison
+  discipline for free).
+* :class:`Deployment` — *where and how*: the physical topology
+  (``single()`` or ``sharded(n)``), the replay mode, correctness
+  checking, and process parallelism.
+
+The :class:`~repro.api.engine.Engine` compiles a ``(spec, workload,
+deployment)`` triple into an executable plan; protocol and trace
+construction happen lazily at build/materialize time, so specs are
+cheap to construct, compare by value, and ship across process
+boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Mapping
+
+from repro.runtime.session import DEFAULT_BATCH_SIZE
+
+#: Stack identifiers (which execution assembly a protocol runs on).
+STACK_STREAMS = "streams"
+STACK_SPATIAL = "spatial"
+STACK_VALUEBASED = "valuebased"
+
+TOPOLOGIES = ("single", "sharded")
+
+
+def _build_streams(name: str) -> Callable:
+    def build(spec: "QuerySpec"):
+        from repro.protocols.ft_nrp import FractionToleranceRangeProtocol
+        from repro.protocols.ft_rp import FractionToleranceKnnProtocol
+        from repro.protocols.no_filter import NoFilterProtocol
+        from repro.protocols.rtp import RankToleranceProtocol
+        from repro.protocols.zt_nrp import ZeroToleranceRangeProtocol
+        from repro.protocols.zt_rp import ZeroToleranceKnnProtocol
+
+        options = dict(spec.options)
+        if name == "no-filter":
+            return NoFilterProtocol(spec.query)
+        if name == "zt-nrp":
+            return ZeroToleranceRangeProtocol(spec.query)
+        if name == "zt-rp":
+            return ZeroToleranceKnnProtocol(spec.query)
+        if name == "rtp":
+            return RankToleranceProtocol(
+                spec.query, spec.require_tolerance(), **options
+            )
+        if name == "ft-nrp":
+            return FractionToleranceRangeProtocol(
+                spec.query, spec.require_tolerance(), **options
+            )
+        assert name == "ft-rp"
+        return FractionToleranceKnnProtocol(
+            spec.query, spec.require_tolerance(), **options
+        )
+
+    return build
+
+
+def _build_spatial(name: str) -> Callable:
+    def build(spec: "QuerySpec"):
+        from repro.spatial.protocols import (
+            SpatialFractionKnnProtocol,
+            SpatialFractionRangeProtocol,
+            SpatialNoFilterProtocol,
+            SpatialRankToleranceProtocol,
+            SpatialZeroKnnProtocol,
+            SpatialZeroRangeProtocol,
+        )
+
+        options = dict(spec.options)
+        if name == "no-filter-2d":
+            return SpatialNoFilterProtocol(spec.query)
+        if name == "zt-nrp-2d":
+            return SpatialZeroRangeProtocol(spec.query)
+        if name == "zt-rp-2d":
+            return SpatialZeroKnnProtocol(spec.query)
+        if name == "rtp-2d":
+            return SpatialRankToleranceProtocol(
+                spec.query, spec.require_tolerance(), **options
+            )
+        if name == "ft-nrp-2d":
+            return SpatialFractionRangeProtocol(
+                spec.query, spec.require_tolerance(), **options
+            )
+        assert name == "ft-rp-2d"
+        return SpatialFractionKnnProtocol(
+            spec.query, spec.require_tolerance(), **options
+        )
+
+    return build
+
+
+#: Protocol name -> (stack, builder).  Names are the paper's, lowercased;
+#: ``-2d`` marks the spatial generalizations and ``value-eps`` the
+#: Olston-style value-window scheme Figure 1 compares against.
+PROTOCOLS: dict[str, tuple[str, Callable | None]] = {
+    name: (STACK_STREAMS, _build_streams(name))
+    for name in ("no-filter", "zt-nrp", "ft-nrp", "rtp", "zt-rp", "ft-rp")
+}
+PROTOCOLS.update(
+    {
+        name: (STACK_SPATIAL, _build_spatial(name))
+        for name in (
+            "no-filter-2d",
+            "zt-nrp-2d",
+            "ft-nrp-2d",
+            "rtp-2d",
+            "zt-rp-2d",
+            "ft-rp-2d",
+        )
+    }
+)
+PROTOCOLS["value-eps"] = (STACK_VALUEBASED, None)
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One standing query plus the protocol chosen to serve it.
+
+    Attributes
+    ----------
+    protocol:
+        Protocol name (see :data:`PROTOCOLS`): ``"rtp"``, ``"zt-nrp"``,
+        ``"ft-nrp"``, ``"zt-rp"``, ``"ft-rp"``, ``"no-filter"``, their
+        ``-2d`` spatial variants, or ``"value-eps"``.
+    query:
+        The standing query object (``RangeQuery``, ``TopKQuery``,
+        ``KnnQuery``, ``KMinQuery``, or a spatial query).
+    tolerance:
+        ``RankTolerance`` / ``FractionTolerance``; required by the
+        tolerance-exploiting protocols, optional (checking-only) for the
+        exact ones.
+    options:
+        Protocol-specific keyword options (e.g. ``selection=`` for
+        FT-NRP, ``expand_search=False`` for RTP ablations,
+        ``eps=50.0`` for ``value-eps``).
+    """
+
+    protocol: str
+    query: Any
+    tolerance: Any = None
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        name = str(self.protocol).lower()
+        if name not in PROTOCOLS:
+            known = ", ".join(sorted(PROTOCOLS))
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; choose one of: {known}"
+            )
+        object.__setattr__(self, "protocol", name)
+        if self.query is None:
+            raise ValueError("QuerySpec requires a query")
+        if name == "value-eps" and "eps" not in self.options:
+            raise ValueError("value-eps requires options={'eps': <width>}")
+
+    @property
+    def stack(self) -> str:
+        """Which execution stack serves this spec."""
+        return PROTOCOLS[self.protocol][0]
+
+    def require_tolerance(self):
+        if self.tolerance is None:
+            raise ValueError(
+                f"protocol {self.protocol!r} requires a tolerance"
+            )
+        return self.tolerance
+
+    def build(self):
+        """A fresh protocol instance (protocols are single-use)."""
+        builder = PROTOCOLS[self.protocol][1]
+        if builder is None:
+            raise TypeError(
+                f"{self.protocol!r} has no protocol object; the engine "
+                "runs it directly"
+            )
+        return builder(self)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A replayable trace, given directly or described by parameters.
+
+    Use the constructors — :meth:`from_trace`, :meth:`synthetic`,
+    :meth:`tcp`, :meth:`moving_objects` — rather than ``__init__``.
+    ``materialize()`` generates (once, cached) and returns the trace;
+    generation is deterministic in the parameters, so equal workload
+    values always produce identical record sequences.
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    # The cached trace is derived state: it must not participate in
+    # equality (two equal-parameter workloads stay equal after one
+    # materializes — and ndarray comparison would raise in __eq__).
+    trace: Any = field(default=None, compare=False, repr=False)
+
+    _KINDS = ("trace", "synthetic", "tcp", "moving_objects")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(
+                f"workload kind must be one of {self._KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.kind == "trace" and self.trace is None:
+            raise ValueError("kind='trace' requires a trace object")
+
+    @classmethod
+    def from_trace(cls, trace) -> "Workload":
+        """Wrap an already-materialized trace."""
+        return cls(kind="trace", trace=trace)
+
+    @classmethod
+    def synthetic(cls, **params) -> "Workload":
+        """The Section-6.2 synthetic model; params as
+        :class:`repro.streams.synthetic.SyntheticConfig`."""
+        return cls(kind="synthetic", params=dict(params))
+
+    @classmethod
+    def tcp(cls, **params) -> "Workload":
+        """The TCP connection workload; params as
+        :class:`repro.streams.tcp.TcpTraceConfig`."""
+        return cls(kind="tcp", params=dict(params))
+
+    @classmethod
+    def moving_objects(cls, **params) -> "Workload":
+        """The spatial moving-objects workload; params as
+        :class:`repro.spatial.workloads.MovingObjectsConfig`."""
+        return cls(kind="moving_objects", params=dict(params))
+
+    def materialize(self):
+        """The trace (generated on first call, then cached)."""
+        if self.trace is not None:
+            return self.trace
+        if self.kind == "synthetic":
+            from repro.streams.synthetic import (
+                SyntheticConfig,
+                generate_synthetic_trace,
+            )
+
+            trace = generate_synthetic_trace(SyntheticConfig(**self.params))
+        elif self.kind == "tcp":
+            from repro.streams.tcp import TcpTraceConfig, generate_tcp_trace
+
+            trace = generate_tcp_trace(TcpTraceConfig(**self.params))
+        else:
+            assert self.kind == "moving_objects"
+            from repro.spatial.workloads import (
+                MovingObjectsConfig,
+                generate_moving_objects_trace,
+            )
+
+            trace = generate_moving_objects_trace(
+                MovingObjectsConfig(**self.params)
+            )
+        object.__setattr__(self, "trace", trace)
+        return trace
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """The physical shape of a run.
+
+    Attributes
+    ----------
+    topology:
+        ``"single"`` — the paper's one logical server — or
+        ``"sharded"`` — the population partitioned into ``n_shards``
+        contiguous ranges behind per-shard servers with a k-way-merge
+        coordinator (rank-query ledger semantics unchanged; see
+        ``repro.server.sharded``).
+    n_shards:
+        Shard count (``>= 1``; must be ``>= 2`` for ``sharded``).
+    replay_mode, batch_size:
+        As :class:`repro.harness.config.RunConfig`.
+    check_every, strict:
+        Continuous tolerance checking cadence (``0`` disables; checking
+        forces per-event replay).
+    parallel, max_workers:
+        Process parallelism.  Under ``sharded``, protocols whose
+        maintenance needs no server feedback (``decomposable_maintenance``)
+        replay their shards concurrently on a process pool; sweeps fan
+        combinations out regardless of topology.
+    """
+
+    topology: str = "single"
+    n_shards: int = 1
+    replay_mode: str = "auto"
+    batch_size: int = DEFAULT_BATCH_SIZE
+    check_every: int = 0
+    strict: bool = False
+    parallel: bool = False
+    max_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"topology must be one of {TOPOLOGIES}, got {self.topology!r}"
+            )
+        if not isinstance(self.n_shards, int) or isinstance(
+            self.n_shards, bool
+        ):
+            raise TypeError("n_shards must be an int")
+        if self.topology == "single" and self.n_shards != 1:
+            raise ValueError("single topology runs exactly one shard")
+        if self.topology == "sharded" and self.n_shards < 2:
+            raise ValueError(
+                "sharded topology needs n_shards >= 2 "
+                "(use Deployment.single() for one server)"
+            )
+        # Reuse RunConfig's validation for the shared knobs.
+        self.run_config()
+
+    @classmethod
+    def single(cls, **knobs) -> "Deployment":
+        """One logical server (the paper's Figure-3 system)."""
+        return cls(topology="single", n_shards=1, **knobs)
+
+    @classmethod
+    def sharded(cls, n_shards: int, **knobs) -> "Deployment":
+        """``n_shards`` shard servers behind a merging coordinator."""
+        return cls(topology="sharded", n_shards=n_shards, **knobs)
+
+    @classmethod
+    def from_run_config(cls, config) -> "Deployment":
+        """Lift a legacy :class:`RunConfig` onto a single-server deployment."""
+        return cls.single(
+            replay_mode=config.replay_mode,
+            batch_size=config.batch_size,
+            check_every=config.check_every,
+            strict=config.strict,
+        )
+
+    def run_config(self, label: str = ""):
+        """The legacy :class:`RunConfig` projection of this deployment."""
+        from repro.harness.config import RunConfig
+
+        return RunConfig(
+            check_every=self.check_every,
+            strict=self.strict,
+            label=label,
+            replay_mode=self.replay_mode,
+            batch_size=self.batch_size,
+        )
+
+    def with_checking(self, check_every: int, strict: bool = False):
+        """A copy with a different checking cadence."""
+        return replace(self, check_every=check_every, strict=strict)
+
+    def describe(self) -> str:
+        """Human-readable topology tag for reports."""
+        if self.topology == "single":
+            return "single"
+        return f"sharded({self.n_shards})"

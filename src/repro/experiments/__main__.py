@@ -6,6 +6,7 @@ import argparse
 import sys
 import time
 
+from repro.api import Deployment
 from repro.experiments.base import Profile
 from repro.experiments.registry import REGISTRY, run_all
 
@@ -41,7 +42,21 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="with 'all': run the figures concurrently on all cores",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run on a sharded topology with N shard servers "
+        "(ledgers are identical to the single server; default: 1)",
+    )
     args = parser.parse_args(argv)
+
+    deployment = None
+    if args.shards > 1:
+        deployment = Deployment.sharded(
+            args.shards, replay_mode=args.replay_mode
+        )
 
     if args.experiment == "all":
         started = time.perf_counter()
@@ -50,6 +65,7 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             replay_mode=args.replay_mode,
             parallel=args.parallel,
+            deployment=deployment,
         )
         for name, result in results.items():
             print(result.format())
@@ -59,9 +75,11 @@ def main(argv: list[str] | None = None) -> int:
 
     runner, _ = REGISTRY[args.experiment]
     started = time.perf_counter()
-    result = runner(
-        profile=args.profile, seed=args.seed, replay_mode=args.replay_mode
-    )
+    kwargs = {"profile": args.profile, "seed": args.seed,
+              "replay_mode": args.replay_mode}
+    if deployment is not None:
+        kwargs["deployment"] = deployment
+    result = runner(**kwargs)
     print(result.format())
     print(f"(ran in {time.perf_counter() - started:.1f}s)")
     return 0

@@ -10,11 +10,18 @@ from repro.harness.reporting import format_series
 
 
 class Profile(str, enum.Enum):
-    """Workload scale of an experiment run."""
+    """Workload scale of an experiment run.
+
+    ``SCALE`` is the ROADMAP's larger-n sweep tier: every figure defines
+    a variant with n >= 10,000 streams (figure 11 sweeps n in {10k,
+    100k}), sized for benchmarking the sharded deployment rather than
+    for CI.
+    """
 
     SMOKE = "smoke"
     DEFAULT = "default"
     FULL = "full"
+    SCALE = "scale"
 
     @classmethod
     def coerce(cls, value: "Profile | str") -> "Profile":

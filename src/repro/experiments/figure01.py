@@ -20,14 +20,10 @@ matches RTP's (cost, guaranteed-rank) point.
 
 from __future__ import annotations
 
+from repro.api import Deployment, Engine, QuerySpec, Workload
 from repro.experiments.base import FigureResult, Profile
-from repro.harness.config import RunConfig
-from repro.harness.runner import run_protocol
-from repro.protocols.rtp import RankToleranceProtocol
 from repro.queries.knn import TopKQuery
-from repro.streams.synthetic import SyntheticConfig, generate_synthetic_trace
 from repro.tolerance.rank_tolerance import RankTolerance
-from repro.valuebased.protocol import run_value_tolerance
 
 _PROFILES = {
     Profile.SMOKE: {
@@ -54,6 +50,14 @@ _PROFILES = {
         "eps_values": [2.0, 10.0, 50.0, 150.0, 400.0, 800.0],
         "check_every": 20,
     },
+    Profile.SCALE: {
+        "n_streams": 10_000,
+        "horizon": 300.0,
+        "k": 10,
+        "r": 5,
+        "eps_values": [2.0, 10.0, 50.0, 150.0, 400.0, 800.0],
+        "check_every": 50,
+    },
 }
 
 
@@ -61,39 +65,41 @@ def run(
     profile: Profile | str = Profile.DEFAULT,
     seed: int = 0,
     replay_mode: str = "auto",
+    deployment: Deployment | None = None,
 ) -> FigureResult:
     """Quantify Figure 1: cost and rank quality across eps, vs. RTP."""
     profile = Profile.coerce(profile)
     params = _PROFILES[profile]
-    trace = generate_synthetic_trace(
-        SyntheticConfig(
-            n_streams=params["n_streams"],
-            horizon=params["horizon"],
-            seed=seed,
-        )
+    deployment = deployment or Deployment.single(replay_mode=replay_mode)
+    engine = Engine(deployment)
+    workload = Workload.synthetic(
+        n_streams=params["n_streams"],
+        horizon=params["horizon"],
+        seed=seed,
     )
     k, r = params["k"], params["r"]
-    query_factory = lambda: TopKQuery(k=k)
 
     eps_values = list(params["eps_values"])
     messages, worst_ranks = [], []
+    checked = deployment.with_checking(params["check_every"])
     for eps in eps_values:
-        result = run_value_tolerance(
-            trace,
-            query_factory(),
-            eps,
-            check_every=params["check_every"],
-            replay_mode=replay_mode,
+        report = engine.run(
+            QuerySpec(
+                protocol="value-eps",
+                query=TopKQuery(k=k),
+                options={"eps": eps},
+            ),
+            workload,
+            checked,
+            label=f"eps={eps}",
         )
-        messages.append(result.maintenance_messages)
-        worst_ranks.append(result.worst_rank)
+        messages.append(report.maintenance_messages)
+        worst_ranks.append(report.extras["worst_rank"])
 
     tolerance = RankTolerance(k=k, r=r)
-    rtp = run_protocol(
-        trace,
-        RankToleranceProtocol(query_factory(), tolerance),
-        tolerance=tolerance,
-        config=RunConfig(replay_mode=replay_mode),
+    rtp = engine.run(
+        QuerySpec(protocol="rtp", query=TopKQuery(k=k), tolerance=tolerance),
+        workload,
     )
 
     return FigureResult(
@@ -108,5 +114,11 @@ def run(
             f"RTP(r={r}) rank bound": [k + r] * len(eps_values),
         },
         profile=profile,
-        meta={"k": k, "r": r, "workload": trace.metadata, "seed": seed},
+        meta={
+            "k": k,
+            "r": r,
+            "workload": workload.materialize().metadata,
+            "seed": seed,
+            "topology": deployment.describe(),
+        },
     )

@@ -11,13 +11,9 @@ re-broadcast constantly.
 
 from __future__ import annotations
 
+from repro.api import Deployment, Engine, QuerySpec, Workload
 from repro.experiments.base import FigureResult, Profile
-from repro.harness.config import RunConfig
-from repro.harness.runner import run_protocol
-from repro.protocols.no_filter import NoFilterProtocol
-from repro.protocols.rtp import RankToleranceProtocol
 from repro.queries.knn import TopKQuery
-from repro.streams.tcp import TcpTraceConfig, generate_tcp_trace
 from repro.tolerance.rank_tolerance import RankTolerance
 
 _PROFILES = {
@@ -42,6 +38,13 @@ _PROFILES = {
         "k_values": [15, 20, 25, 30],
         "r_values": list(range(0, 21, 2)),
     },
+    Profile.SCALE: {
+        "n_subnets": 10_000,
+        "n_connections": 150_000,
+        "days": 30.0,
+        "k_values": [15, 30],
+        "r_values": [0, 4, 8, 16],
+    },
 }
 
 
@@ -49,41 +52,44 @@ def run(
     profile: Profile | str = Profile.DEFAULT,
     seed: int = 0,
     replay_mode: str = "auto",
+    deployment: Deployment | None = None,
 ) -> FigureResult:
     """Reproduce Figure 9; returns one curve per k plus the baseline."""
     profile = Profile.coerce(profile)
     params = _PROFILES[profile]
-    trace = generate_tcp_trace(
-        TcpTraceConfig(
-            n_subnets=params["n_subnets"],
-            n_connections=params["n_connections"],
-            days=params["days"],
-            seed=seed,
-        )
+    deployment = deployment or Deployment.single(replay_mode=replay_mode)
+    engine = Engine(deployment)
+    workload = Workload.tcp(
+        n_subnets=params["n_subnets"],
+        n_connections=params["n_connections"],
+        days=params["days"],
+        seed=seed,
     )
 
     r_values = list(params["r_values"])
     series: dict[str, list[int]] = {}
 
-    baseline = run_protocol(
-        trace,
-        NoFilterProtocol(TopKQuery(k=params["k_values"][0])),
-        config=RunConfig(replay_mode=replay_mode),
+    baseline = engine.run(
+        QuerySpec(
+            protocol="no-filter", query=TopKQuery(k=params["k_values"][0])
+        ),
+        workload,
     )
     series["no filter"] = [baseline.maintenance_messages] * len(r_values)
 
     for k in params["k_values"]:
         curve = []
         for r in r_values:
-            query = TopKQuery(k=k)
-            tolerance = RankTolerance(k=k, r=r)
-            result = run_protocol(
-                trace,
-                RankToleranceProtocol(query, tolerance),
-                tolerance=tolerance,
-                config=RunConfig(label=f"k={k},r={r}", replay_mode=replay_mode),
+            report = engine.run(
+                QuerySpec(
+                    protocol="rtp",
+                    query=TopKQuery(k=k),
+                    tolerance=RankTolerance(k=k, r=r),
+                ),
+                workload,
+                label=f"k={k},r={r}",
             )
-            curve.append(result.maintenance_messages)
+            curve.append(report.maintenance_messages)
         series[f"k={k}"] = curve
 
     return FigureResult(
@@ -93,5 +99,9 @@ def run(
         x_values=r_values,
         series=series,
         profile=profile,
-        meta={"workload": trace.metadata, "seed": seed},
+        meta={
+            "workload": workload.materialize().metadata,
+            "seed": seed,
+            "topology": deployment.describe(),
+        },
     )

@@ -10,12 +10,9 @@ tolerances; the (0, 0) corner equals ZT-NRP's cost.
 
 from __future__ import annotations
 
+from repro.api import Deployment, Engine, QuerySpec, Workload
 from repro.experiments.base import FigureResult, Profile
-from repro.harness.config import RunConfig
-from repro.harness.runner import run_protocol
-from repro.protocols.ft_nrp import FractionToleranceRangeProtocol
 from repro.queries.range_query import RangeQuery
-from repro.streams.tcp import TcpTraceConfig, generate_tcp_trace
 from repro.tolerance.fraction_tolerance import FractionTolerance
 
 #: The paper's range query for the TCP experiments.
@@ -40,6 +37,12 @@ _PROFILES = {
         "days": 30.0,
         "eps_values": [0.0, 0.1, 0.2, 0.3, 0.4, 0.49],
     },
+    Profile.SCALE: {
+        "n_subnets": 10_000,
+        "n_connections": 150_000,
+        "days": 30.0,
+        "eps_values": [0.0, 0.2, 0.4],
+    },
 }
 
 
@@ -47,17 +50,18 @@ def run(
     profile: Profile | str = Profile.DEFAULT,
     seed: int = 0,
     replay_mode: str = "auto",
+    deployment: Deployment | None = None,
 ) -> FigureResult:
     """Reproduce Figure 10: the eps+/eps- grid on TCP data."""
     profile = Profile.coerce(profile)
     params = _PROFILES[profile]
-    trace = generate_tcp_trace(
-        TcpTraceConfig(
-            n_subnets=params["n_subnets"],
-            n_connections=params["n_connections"],
-            days=params["days"],
-            seed=seed,
-        )
+    deployment = deployment or Deployment.single(replay_mode=replay_mode)
+    engine = Engine(deployment)
+    workload = Workload.tcp(
+        n_subnets=params["n_subnets"],
+        n_connections=params["n_connections"],
+        days=params["days"],
+        seed=seed,
     )
     query = RangeQuery(*TCP_RANGE)
     eps_values = list(params["eps_values"])
@@ -66,14 +70,16 @@ def run(
     for eps_minus in eps_values:
         curve = []
         for eps_plus in eps_values:
-            tolerance = FractionTolerance(eps_plus, eps_minus)
-            result = run_protocol(
-                trace,
-                FractionToleranceRangeProtocol(query, tolerance),
-                tolerance=tolerance,
-                config=RunConfig(label=f"e+={eps_plus},e-={eps_minus}", replay_mode=replay_mode),
+            report = engine.run(
+                QuerySpec(
+                    protocol="ft-nrp",
+                    query=query,
+                    tolerance=FractionTolerance(eps_plus, eps_minus),
+                ),
+                workload,
+                label=f"e+={eps_plus},e-={eps_minus}",
             )
-            curve.append(result.maintenance_messages)
+            curve.append(report.maintenance_messages)
         series[f"eps-={eps_minus}"] = curve
 
     return FigureResult(
@@ -83,5 +89,10 @@ def run(
         x_values=eps_values,
         series=series,
         profile=profile,
-        meta={"workload": trace.metadata, "range": TCP_RANGE, "seed": seed},
+        meta={
+            "workload": workload.materialize().metadata,
+            "range": TCP_RANGE,
+            "seed": seed,
+            "topology": deployment.describe(),
+        },
     )

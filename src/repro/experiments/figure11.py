@@ -11,13 +11,9 @@ tolerance; higher tolerance gives larger absolute savings at larger n.
 
 from __future__ import annotations
 
+from repro.api import Deployment, Engine, QuerySpec, Workload
 from repro.experiments.base import FigureResult, Profile
-from repro.harness.config import RunConfig
-from repro.harness.runner import run_protocol
-from repro.protocols.ft_nrp import FractionToleranceRangeProtocol
-from repro.protocols.zt_nrp import ZeroToleranceRangeProtocol
 from repro.queries.range_query import RangeQuery
-from repro.streams.tcp import TcpTraceConfig, generate_tcp_trace
 from repro.tolerance.fraction_tolerance import FractionTolerance
 
 TCP_RANGE = (400.0, 600.0)
@@ -41,6 +37,13 @@ _PROFILES = {
         "days": 30.0,
         "eps_values": [0.0, 0.2, 0.3, 0.4, 0.49],
     },
+    # The ROADMAP's larger-n sweep: n in {10k, 100k}.
+    Profile.SCALE: {
+        "stream_counts": [10_000, 100_000],
+        "connections_per_stream": 10,
+        "days": 30.0,
+        "eps_values": [0.0, 0.3],
+    },
 }
 
 
@@ -48,40 +51,38 @@ def run(
     profile: Profile | str = Profile.DEFAULT,
     seed: int = 0,
     replay_mode: str = "auto",
+    deployment: Deployment | None = None,
 ) -> FigureResult:
     """Reproduce Figure 11: message cost versus number of streams."""
     profile = Profile.coerce(profile)
     params = _PROFILES[profile]
+    deployment = deployment or Deployment.single(replay_mode=replay_mode)
+    engine = Engine(deployment)
     counts = list(params["stream_counts"])
     n_max = max(counts)
-    master = generate_tcp_trace(
-        TcpTraceConfig(
-            n_subnets=n_max,
-            n_connections=n_max * params["connections_per_stream"],
-            days=params["days"],
-            seed=seed,
-        )
-    )
+    master = Workload.tcp(
+        n_subnets=n_max,
+        n_connections=n_max * params["connections_per_stream"],
+        days=params["days"],
+        seed=seed,
+    ).materialize()
     query = RangeQuery(*TCP_RANGE)
 
     series: dict[str, list[int]] = {}
     for eps in params["eps_values"]:
         curve = []
         for n in counts:
-            trace = master.restrict_streams(n)
+            workload = Workload.from_trace(master.restrict_streams(n))
             if eps == 0.0:
-                protocol = ZeroToleranceRangeProtocol(query)
-                tolerance = None
+                spec = QuerySpec(protocol="zt-nrp", query=query)
             else:
-                tolerance = FractionTolerance(eps, eps)
-                protocol = FractionToleranceRangeProtocol(query, tolerance)
-            result = run_protocol(
-                trace,
-                protocol,
-                tolerance=tolerance,
-                config=RunConfig(label=f"n={n},eps={eps}", replay_mode=replay_mode),
-            )
-            curve.append(result.maintenance_messages)
+                spec = QuerySpec(
+                    protocol="ft-nrp",
+                    query=query,
+                    tolerance=FractionTolerance(eps, eps),
+                )
+            report = engine.run(spec, workload, label=f"n={n},eps={eps}")
+            curve.append(report.maintenance_messages)
         series[f"eps+=eps-={eps}"] = curve
 
     return FigureResult(
@@ -91,5 +92,10 @@ def run(
         x_values=counts,
         series=series,
         profile=profile,
-        meta={"workload": master.metadata, "range": TCP_RANGE, "seed": seed},
+        meta={
+            "workload": master.metadata,
+            "range": TCP_RANGE,
+            "seed": seed,
+            "topology": deployment.describe(),
+        },
     )

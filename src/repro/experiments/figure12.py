@@ -7,12 +7,9 @@ the paper's range query [400, 600].
 
 from __future__ import annotations
 
+from repro.api import Deployment, Engine, QuerySpec, Workload
 from repro.experiments.base import FigureResult, Profile
-from repro.harness.config import RunConfig
-from repro.harness.runner import run_protocol
-from repro.protocols.ft_nrp import FractionToleranceRangeProtocol
 from repro.queries.range_query import RangeQuery
-from repro.streams.synthetic import SyntheticConfig, generate_synthetic_trace
 from repro.tolerance.fraction_tolerance import FractionTolerance
 
 SYNTHETIC_RANGE = (400.0, 600.0)
@@ -33,6 +30,11 @@ _PROFILES = {
         "horizon": 2000.0,
         "eps_values": [0.0, 0.1, 0.2, 0.3, 0.4, 0.49],
     },
+    Profile.SCALE: {
+        "n_streams": 10_000,
+        "horizon": 400.0,
+        "eps_values": [0.0, 0.2, 0.4],
+    },
 }
 
 
@@ -40,16 +42,17 @@ def run(
     profile: Profile | str = Profile.DEFAULT,
     seed: int = 0,
     replay_mode: str = "auto",
+    deployment: Deployment | None = None,
 ) -> FigureResult:
     """Reproduce Figure 12: the eps+/eps- grid on synthetic data."""
     profile = Profile.coerce(profile)
     params = _PROFILES[profile]
-    trace = generate_synthetic_trace(
-        SyntheticConfig(
-            n_streams=params["n_streams"],
-            horizon=params["horizon"],
-            seed=seed,
-        )
+    deployment = deployment or Deployment.single(replay_mode=replay_mode)
+    engine = Engine(deployment)
+    workload = Workload.synthetic(
+        n_streams=params["n_streams"],
+        horizon=params["horizon"],
+        seed=seed,
     )
     query = RangeQuery(*SYNTHETIC_RANGE)
     eps_values = list(params["eps_values"])
@@ -58,14 +61,16 @@ def run(
     for eps_minus in eps_values:
         curve = []
         for eps_plus in eps_values:
-            tolerance = FractionTolerance(eps_plus, eps_minus)
-            result = run_protocol(
-                trace,
-                FractionToleranceRangeProtocol(query, tolerance),
-                tolerance=tolerance,
-                config=RunConfig(label=f"e+={eps_plus},e-={eps_minus}", replay_mode=replay_mode),
+            report = engine.run(
+                QuerySpec(
+                    protocol="ft-nrp",
+                    query=query,
+                    tolerance=FractionTolerance(eps_plus, eps_minus),
+                ),
+                workload,
+                label=f"e+={eps_plus},e-={eps_minus}",
             )
-            curve.append(result.maintenance_messages)
+            curve.append(report.maintenance_messages)
         series[f"eps-={eps_minus}"] = curve
 
     return FigureResult(
@@ -76,8 +81,9 @@ def run(
         series=series,
         profile=profile,
         meta={
-            "workload": trace.metadata,
+            "workload": workload.materialize().metadata,
             "range": SYNTHETIC_RANGE,
             "seed": seed,
+            "topology": deployment.describe(),
         },
     )

@@ -9,13 +9,9 @@ at every tolerance level; curves are vertically ordered by sigma.
 
 from __future__ import annotations
 
+from repro.api import Deployment, Engine, QuerySpec, Workload
 from repro.experiments.base import FigureResult, Profile
-from repro.harness.config import RunConfig
-from repro.harness.runner import run_protocol
-from repro.protocols.ft_nrp import FractionToleranceRangeProtocol
-from repro.protocols.zt_nrp import ZeroToleranceRangeProtocol
 from repro.queries.range_query import RangeQuery
-from repro.streams.synthetic import SyntheticConfig, generate_synthetic_trace
 from repro.tolerance.fraction_tolerance import FractionTolerance
 
 SYNTHETIC_RANGE = (400.0, 600.0)
@@ -39,6 +35,12 @@ _PROFILES = {
         "sigma_values": [20.0, 40.0, 60.0, 80.0, 100.0],
         "eps_values": [0.0, 0.1, 0.2, 0.3, 0.4, 0.49],
     },
+    Profile.SCALE: {
+        "n_streams": 10_000,
+        "horizon": 300.0,
+        "sigma_values": [20.0, 80.0],
+        "eps_values": [0.0, 0.3],
+    },
 }
 
 
@@ -46,38 +48,38 @@ def run(
     profile: Profile | str = Profile.DEFAULT,
     seed: int = 0,
     replay_mode: str = "auto",
+    deployment: Deployment | None = None,
 ) -> FigureResult:
     """Reproduce Figure 13: message cost versus data fluctuation."""
     profile = Profile.coerce(profile)
     params = _PROFILES[profile]
+    deployment = deployment or Deployment.single(replay_mode=replay_mode)
+    engine = Engine(deployment)
     query = RangeQuery(*SYNTHETIC_RANGE)
     eps_values = list(params["eps_values"])
 
     series: dict[str, list[int]] = {}
     for sigma in params["sigma_values"]:
-        trace = generate_synthetic_trace(
-            SyntheticConfig(
-                n_streams=params["n_streams"],
-                horizon=params["horizon"],
-                sigma=sigma,
-                seed=seed,
-            )
+        workload = Workload.synthetic(
+            n_streams=params["n_streams"],
+            horizon=params["horizon"],
+            sigma=sigma,
+            seed=seed,
         )
         curve = []
         for eps in eps_values:
             if eps == 0.0:
-                protocol = ZeroToleranceRangeProtocol(query)
-                tolerance = None
+                spec = QuerySpec(protocol="zt-nrp", query=query)
             else:
-                tolerance = FractionTolerance(eps, eps)
-                protocol = FractionToleranceRangeProtocol(query, tolerance)
-            result = run_protocol(
-                trace,
-                protocol,
-                tolerance=tolerance,
-                config=RunConfig(label=f"sigma={sigma},eps={eps}", replay_mode=replay_mode),
+                spec = QuerySpec(
+                    protocol="ft-nrp",
+                    query=query,
+                    tolerance=FractionTolerance(eps, eps),
+                )
+            report = engine.run(
+                spec, workload, label=f"sigma={sigma},eps={eps}"
             )
-            curve.append(result.maintenance_messages)
+            curve.append(report.maintenance_messages)
         series[f"sigma={sigma:g}"] = curve
 
     return FigureResult(
@@ -92,5 +94,6 @@ def run(
             "horizon": params["horizon"],
             "range": SYNTHETIC_RANGE,
             "seed": seed,
+            "topology": deployment.describe(),
         },
     )

@@ -10,13 +10,10 @@ grows.
 
 from __future__ import annotations
 
+from repro.api import Deployment, Engine, QuerySpec, Workload
 from repro.experiments.base import FigureResult, Profile
-from repro.harness.config import RunConfig
-from repro.harness.runner import run_protocol
-from repro.protocols.ft_nrp import FractionToleranceRangeProtocol
 from repro.protocols.selection import BoundaryNearestSelection, RandomSelection
 from repro.queries.range_query import RangeQuery
-from repro.streams.synthetic import SyntheticConfig, generate_synthetic_trace
 from repro.tolerance.fraction_tolerance import FractionTolerance
 
 SYNTHETIC_RANGE = (400.0, 600.0)
@@ -37,6 +34,11 @@ _PROFILES = {
         "horizon": 2000.0,
         "eps_values": [0.0, 0.1, 0.2, 0.3, 0.4, 0.49],
     },
+    Profile.SCALE: {
+        "n_streams": 10_000,
+        "horizon": 400.0,
+        "eps_values": [0.1, 0.4],
+    },
 }
 
 
@@ -44,16 +46,17 @@ def run(
     profile: Profile | str = Profile.DEFAULT,
     seed: int = 0,
     replay_mode: str = "auto",
+    deployment: Deployment | None = None,
 ) -> FigureResult:
     """Reproduce Figure 14: random vs boundary-nearest selection."""
     profile = Profile.coerce(profile)
     params = _PROFILES[profile]
-    trace = generate_synthetic_trace(
-        SyntheticConfig(
-            n_streams=params["n_streams"],
-            horizon=params["horizon"],
-            seed=seed,
-        )
+    deployment = deployment or Deployment.single(replay_mode=replay_mode)
+    engine = Engine(deployment)
+    workload = Workload.synthetic(
+        n_streams=params["n_streams"],
+        horizon=params["horizon"],
+        seed=seed,
     )
     query = RangeQuery(*SYNTHETIC_RANGE)
     eps_values = list(params["eps_values"])
@@ -66,17 +69,17 @@ def run(
     for name, make_heuristic in heuristics.items():
         curve = []
         for eps in eps_values:
-            tolerance = FractionTolerance(eps, eps)
-            protocol = FractionToleranceRangeProtocol(
-                query, tolerance, selection=make_heuristic()
+            report = engine.run(
+                QuerySpec(
+                    protocol="ft-nrp",
+                    query=query,
+                    tolerance=FractionTolerance(eps, eps),
+                    options={"selection": make_heuristic()},
+                ),
+                workload,
+                label=f"{name},eps={eps}",
             )
-            result = run_protocol(
-                trace,
-                protocol,
-                tolerance=tolerance,
-                config=RunConfig(label=f"{name},eps={eps}", replay_mode=replay_mode),
-            )
-            curve.append(result.maintenance_messages)
+            curve.append(report.maintenance_messages)
         series[name] = curve
 
     return FigureResult(
@@ -86,5 +89,10 @@ def run(
         x_values=eps_values,
         series=series,
         profile=profile,
-        meta={"workload": trace.metadata, "range": SYNTHETIC_RANGE, "seed": seed},
+        meta={
+            "workload": workload.materialize().metadata,
+            "range": SYNTHETIC_RANGE,
+            "seed": seed,
+            "topology": deployment.describe(),
+        },
     )

@@ -13,13 +13,9 @@ not suitable in this situation" regime.
 
 from __future__ import annotations
 
+from repro.api import Deployment, Engine, QuerySpec, Workload
 from repro.experiments.base import FigureResult, Profile
-from repro.harness.config import RunConfig
-from repro.harness.runner import run_protocol
-from repro.protocols.ft_rp import FractionToleranceKnnProtocol
-from repro.protocols.zt_rp import ZeroToleranceKnnProtocol
 from repro.queries.knn import KnnQuery
-from repro.streams.synthetic import SyntheticConfig, generate_synthetic_trace
 from repro.tolerance.fraction_tolerance import FractionTolerance
 
 #: Query point of the k-NN query (centre of the initial value range).
@@ -44,6 +40,12 @@ _PROFILES = {
         "k_values": [20, 60, 100],
         "eps_values": [0.0, 0.1, 0.2, 0.3, 0.4, 0.49],
     },
+    Profile.SCALE: {
+        "n_streams": 10_000,
+        "horizon": 200.0,
+        "k_values": [20, 100],
+        "eps_values": [0.0, 0.2, 0.4],
+    },
 }
 
 
@@ -51,16 +53,17 @@ def run(
     profile: Profile | str = Profile.DEFAULT,
     seed: int = 0,
     replay_mode: str = "auto",
+    deployment: Deployment | None = None,
 ) -> FigureResult:
     """Reproduce Figure 15: ZT-RP (eps=0) and FT-RP over the eps sweep."""
     profile = Profile.coerce(profile)
     params = _PROFILES[profile]
-    trace = generate_synthetic_trace(
-        SyntheticConfig(
-            n_streams=params["n_streams"],
-            horizon=params["horizon"],
-            seed=seed,
-        )
+    deployment = deployment or Deployment.single(replay_mode=replay_mode)
+    engine = Engine(deployment)
+    workload = Workload.synthetic(
+        n_streams=params["n_streams"],
+        horizon=params["horizon"],
+        seed=seed,
     )
     eps_values = list(params["eps_values"])
 
@@ -70,18 +73,15 @@ def run(
         curve = []
         for eps in eps_values:
             if eps == 0.0:
-                protocol = ZeroToleranceKnnProtocol(query)
-                tolerance = None
+                spec = QuerySpec(protocol="zt-rp", query=query)
             else:
-                tolerance = FractionTolerance(eps, eps)
-                protocol = FractionToleranceKnnProtocol(query, tolerance)
-            result = run_protocol(
-                trace,
-                protocol,
-                tolerance=tolerance,
-                config=RunConfig(label=f"k={k},eps={eps}", replay_mode=replay_mode),
-            )
-            curve.append(result.maintenance_messages)
+                spec = QuerySpec(
+                    protocol="ft-rp",
+                    query=query,
+                    tolerance=FractionTolerance(eps, eps),
+                )
+            report = engine.run(spec, workload, label=f"k={k},eps={eps}")
+            curve.append(report.maintenance_messages)
         series[f"k={k}"] = curve
 
     return FigureResult(
@@ -92,8 +92,9 @@ def run(
         series=series,
         profile=profile,
         meta={
-            "workload": trace.metadata,
+            "workload": workload.materialize().metadata,
             "query_point": QUERY_POINT,
             "seed": seed,
+            "topology": deployment.describe(),
         },
     )

@@ -1,9 +1,16 @@
-"""Registry of the reproducible figures."""
+"""Registry of the reproducible figures.
+
+Every runner is a pure function of ``(profile, seed, replay_mode,
+deployment)``; passing ``deployment=Deployment.sharded(n)`` re-runs a
+figure on the sharded topology (ledgers byte-identical to single-server
+— the sharded coordinator's contract).
+"""
 
 from __future__ import annotations
 
 from typing import Callable
 
+from repro.api import Deployment
 from repro.experiments import (
     figure01,
     figure09,
@@ -51,25 +58,27 @@ def run_all(
     replay_mode: str = "auto",
     parallel: bool = False,
     max_workers: int | None = None,
+    deployment: Deployment | None = None,
 ) -> dict[str, FigureResult]:
     """Run every experiment; returns id -> result.
 
     With ``parallel=True`` the figures run concurrently on a process
     pool (each experiment is already a deterministic, self-contained
-    function), in registry order.
+    function), in registry order.  *deployment* overrides
+    ``replay_mode`` and selects the topology for every figure.
     """
+    kwargs = {"profile": profile, "seed": seed, "replay_mode": replay_mode}
+    if deployment is not None:
+        kwargs["deployment"] = deployment
     if not parallel:
         return {
-            name: runner(profile=profile, seed=seed, replay_mode=replay_mode)
-            for name, (runner, _) in REGISTRY.items()
+            name: runner(**kwargs) for name, (runner, _) in REGISTRY.items()
         }
     from concurrent.futures import ProcessPoolExecutor
 
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
         futures = {
-            name: pool.submit(
-                runner, profile=profile, seed=seed, replay_mode=replay_mode
-            )
+            name: pool.submit(runner, **kwargs)
             for name, (runner, _) in REGISTRY.items()
         }
         return {name: future.result() for name, future in futures.items()}

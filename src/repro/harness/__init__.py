@@ -1,11 +1,13 @@
-"""Experiment harness: wiring, execution, sweeps, and reporting.
+"""Experiment harness: run config, results, reporting — and legacy shims.
 
-:func:`~repro.harness.runner.run_protocol` is the single entry point that
-turns (trace, query, protocol, tolerance) into a
-:class:`~repro.harness.results.RunResult` with the paper's message-count
-metric and a correctness report.  :mod:`~repro.harness.sweep` iterates it
-over parameter grids; :mod:`~repro.harness.reporting` renders the rows the
-paper's figures plot.
+Execution entry moved to the declarative facade :mod:`repro.api`
+(``Engine.run(QuerySpec, Workload, Deployment)``); this package keeps
+the run configuration (:class:`~repro.harness.config.RunConfig`), the
+scalar result shape (:class:`~repro.harness.results.RunResult`), the
+table/series renderers the figures use, and thin deprecation shims for
+the old entrypoints (:func:`~repro.harness.runner.run_protocol`,
+:mod:`~repro.harness.sweep`) that delegate to the engine with
+ledger-identical results.
 """
 
 from repro.harness.config import RunConfig

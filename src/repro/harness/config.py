@@ -42,12 +42,39 @@ class RunConfig:
     batch_size: int = DEFAULT_BATCH_SIZE
 
     def __post_init__(self) -> None:
+        # Reject wrong shapes eagerly and loudly: a malformed knob that
+        # slips through here surfaces far downstream as a silently wrong
+        # replay path or an opaque numpy error mid-replay.
+        if isinstance(self.check_every, bool) or not isinstance(
+            self.check_every, int
+        ):
+            raise TypeError(
+                f"check_every must be an int, got "
+                f"{type(self.check_every).__name__}"
+            )
         if self.check_every < 0:
-            raise ValueError("check_every must be >= 0")
+            raise ValueError(
+                f"check_every must be >= 0 (0 disables checking), "
+                f"got {self.check_every}"
+            )
+        if not isinstance(self.replay_mode, str):
+            raise TypeError(
+                f"replay_mode must be a str, got "
+                f"{type(self.replay_mode).__name__}"
+            )
         if self.replay_mode not in REPLAY_MODES:
             raise ValueError(
                 f"replay_mode must be one of {REPLAY_MODES}, "
                 f"got {self.replay_mode!r}"
             )
+        if isinstance(self.batch_size, bool) or not isinstance(
+            self.batch_size, int
+        ):
+            raise TypeError(
+                f"batch_size must be an int, got "
+                f"{type(self.batch_size).__name__}"
+            )
         if self.batch_size < 1:
-            raise ValueError("batch_size must be >= 1")
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )

@@ -1,23 +1,30 @@
-"""The run loop: trace in, message counts out.
+"""Deprecated entry point: the scalar run loop moved to ``repro.api``.
 
-``run_protocol`` assembles the Figure-3 system through the runtime
-kernel — an :class:`~repro.runtime.session.ExecutionSession` owning the
-sources with adaptive filters, the channel with its ledger, and the
-server hosting one protocol — replays a trace, and (optionally)
-validates the tolerance constraint against the ground-truth oracle after
-every applied record.  With checking disabled the session's batched
-replay fast path is used automatically; it produces identical ledgers.
+``run_protocol`` predates the declarative facade; its body now lives in
+:func:`repro.api.engine._execute_streams` (single-server deployment).
+The shim keeps the exact signature and returns the identical
+:class:`RunResult` — only a :class:`DeprecationWarning` is new.  New
+code should describe runs declaratively::
+
+    from repro.api import Deployment, Engine, QuerySpec, Workload
+
+    report = Engine().run(
+        QuerySpec(protocol="rtp", query=query, tolerance=tolerance),
+        Workload.from_trace(trace),
+        Deployment.single(check_every=1),
+    )
+
+or, with a pre-built protocol instance, ``Engine().run_protocol(...)``.
 """
 
 from __future__ import annotations
 
-from repro.correctness.checker import ToleranceChecker
-from repro.correctness.oracle import Oracle
+import warnings
+
 from repro.harness.config import RunConfig
 from repro.harness.results import RunResult
 from repro.protocols.base import FilterProtocol
 from repro.queries.base import EntityQuery
-from repro.runtime.session import ExecutionSession
 from repro.streams.trace import StreamTrace
 from repro.tolerance.fraction_tolerance import FractionTolerance
 from repro.tolerance.rank_tolerance import RankTolerance
@@ -30,82 +37,29 @@ def run_protocol(
     tolerance: RankTolerance | FractionTolerance | None = None,
     config: RunConfig | None = None,
 ) -> RunResult:
-    """Replay *trace* against *protocol* and report message costs.
+    """Deprecated: use :class:`repro.api.Engine` (see module docstring).
 
-    Parameters
-    ----------
-    trace:
-        The workload; all protocols in a comparison should receive the
-        *same* trace object (or a deterministic regeneration of it).
-    protocol:
-        A fresh protocol instance (protocols are single-use: they carry
-        per-run state).
-    query:
-        The standing query, needed only when correctness checking is on;
-        defaults to ``protocol.query`` when the protocol exposes one.
-    tolerance:
-        The tolerance to validate against; ``None`` validates exactness.
-    config:
-        Execution knobs; see :class:`RunConfig`.
+    Replays *trace* against *protocol* on a single server, exactly as
+    before — the shim delegates to the engine's streams executor with a
+    ``Deployment.single()`` lifted from *config*.
     """
+    warnings.warn(
+        "repro.harness.runner.run_protocol is deprecated; use "
+        "repro.api.Engine().run(QuerySpec(...), Workload.from_trace(trace), "
+        "Deployment.single(...)) — or Engine().run_protocol(...) for a "
+        "pre-built protocol instance",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api.engine import _execute_streams
+    from repro.api.spec import Deployment
+
     config = config or RunConfig()
-    session = ExecutionSession.for_streams(trace, protocol)
-
-    checker: ToleranceChecker | None = None
-    oracle: Oracle | None = None
-    if config.check_every > 0:
-        if query is None:
-            query = getattr(protocol, "query", None)
-        if query is None:
-            raise ValueError("checking requires a query")
-        oracle = Oracle(trace.initial_values)
-        oracle.register_query(query)
-        checker = ToleranceChecker(
-            oracle=oracle,
-            query=query,
-            tolerance=tolerance,
-            answer_of=lambda: protocol.answer,
-            every=config.check_every,
-            strict=config.strict,
-        )
-
-    session.initialize(time=0.0)
-    if checker is not None:
-        checker.check_now(0.0)
-
-    session.replay_trace(
+    return _execute_streams(
         trace,
-        oracle_apply=oracle.apply if oracle is not None else None,
-        after_apply=checker.check if checker is not None else None,
-        mode=config.replay_mode,
-        batch_size=config.batch_size,
-    )
-
-    extras = _collect_extras(protocol)
-    return RunResult(
-        protocol=protocol.name,
-        ledger=session.snapshot(),
-        checker=checker.report if checker is not None else None,
-        n_streams=trace.n_streams,
-        n_records=trace.n_records,
-        final_answer=protocol.answer,
+        protocol,
+        query=query,
+        tolerance=tolerance,
+        deployment=Deployment.from_run_config(config),
         label=config.label,
-        extras=extras,
     )
-
-
-def _collect_extras(protocol: FilterProtocol) -> dict:
-    """Harvest optional protocol-specific counters for the result row."""
-    extras: dict = {}
-    for attr in (
-        "reinitializations",
-        "recomputations",
-        "expansions",
-        "n_plus",
-        "n_minus",
-        "count",
-    ):
-        value = getattr(protocol, attr, None)
-        if isinstance(value, (int, float)):
-            extras[attr] = value
-    return extras

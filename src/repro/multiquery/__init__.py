@@ -14,14 +14,21 @@ untouched), while the ledger records the shared physical cost.
 Control-plane messages (probes, constraint deployments) remain
 per-query.
 
-Use :func:`~repro.multiquery.runner.run_multi_query` to replay a trace
-against several (protocol, tolerance) pairs at once;
+Run shared deployments through the facade —
+:meth:`repro.api.Engine.run_queries` with one :class:`~repro.api.
+QuerySpec` per standing query — or, with pre-built protocol instances,
+:func:`~repro.multiquery.runner.execute_multi_query` (the deprecated
+:func:`~repro.multiquery.runner.run_multi_query` shim delegates to it);
 ``benchmarks/bench_extension_multiquery.py`` quantifies the sharing
 gain against independent deployments.
 """
 
 from repro.multiquery.coordinator import MultiQueryCoordinator, QueryContext
-from repro.multiquery.runner import MultiQueryResult, run_multi_query
+from repro.multiquery.runner import (
+    MultiQueryResult,
+    execute_multi_query,
+    run_multi_query,
+)
 from repro.multiquery.source import MultiQuerySource
 
 __all__ = [
@@ -29,5 +36,6 @@ __all__ = [
     "MultiQueryResult",
     "MultiQuerySource",
     "QueryContext",
+    "execute_multi_query",
     "run_multi_query",
 ]

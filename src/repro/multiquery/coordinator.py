@@ -45,6 +45,13 @@ class QueryContext:
         """This query's columnar state table (Server-compatible)."""
         return self._coordinator.state_for(self.query_id)
 
+    def rank_view(self, distance_array):
+        """An incremental rank order over :attr:`state` (see
+        :meth:`repro.server.server.Server.rank_view`)."""
+        from repro.state.rank import RankView
+
+        return RankView(self.state, distance_array)
+
     @property
     def stream_ids(self) -> list[int]:
         return list(range(len(self._coordinator.sources)))

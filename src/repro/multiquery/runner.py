@@ -4,10 +4,15 @@ Assembly and replay are the runtime kernel's
 :class:`~repro.runtime.session.ExecutionSession` (the multi-query
 coordinator is the session host); with checking disabled the batched
 fast path pre-scans records against every query's slot bounds at once.
+:func:`execute_multi_query` is the mechanism
+:meth:`repro.api.Engine.run_queries` compiles onto; the old
+:func:`run_multi_query` name survives as a deprecation shim returning
+identical results.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.correctness.oracle import Oracle
@@ -51,6 +56,22 @@ class MultiQueryResult:
 
 
 def run_multi_query(
+    trace: StreamTrace,
+    queries: dict[str, tuple[FilterProtocol, EntityQuery, Tolerance]],
+    config: RunConfig | None = None,
+) -> MultiQueryResult:
+    """Deprecated: use :meth:`repro.api.Engine.run_queries`."""
+    warnings.warn(
+        "repro.multiquery.runner.run_multi_query is deprecated; use "
+        "repro.api.Engine().run_queries({'q1': QuerySpec(...), ...}, "
+        "Workload.from_trace(trace))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return execute_multi_query(trace, queries, config=config)
+
+
+def execute_multi_query(
     trace: StreamTrace,
     queries: dict[str, tuple[FilterProtocol, EntityQuery, Tolerance]],
     config: RunConfig | None = None,

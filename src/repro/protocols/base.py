@@ -24,6 +24,17 @@ class FilterProtocol(ABC):
     #: Short name used in results tables (e.g. "RTP", "FT-NRP").
     name: str = "abstract"
 
+    #: True when the maintenance phase needs no server-to-source feedback
+    #: and no cross-stream state (no probes, deployments, rank lookups,
+    #: or shared pools): each stream's message sequence then depends only
+    #: on its own records.  A sharded deployment can replay such a
+    #: protocol's shards on independent workers and merge the ledgers —
+    #: counts are additive and per-stream decisions identical, so the
+    #: merged ledger equals the single-server one.  Exact range answering
+    #: qualifies (ZT-NRP, the no-filter baseline over a range query);
+    #: anything that probes, silences, or ranks does not.
+    decomposable_maintenance: bool = False
+
     @abstractmethod
     def initialize(self, server: "Server") -> None:
         """Initialization phase: collect values, deploy constraints."""

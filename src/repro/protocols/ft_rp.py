@@ -116,7 +116,7 @@ class FractionToleranceKnnProtocol(FilterProtocol):
             )
         if self._state is not server.state:
             self._state = server.state
-            self._rank = RankView(self._state, self.query.distance_array)
+            self._rank = server.rank_view(self.query.distance_array)
             self._pools.bind(self._state)
         server.probe_all()
         self._resolve(server)

@@ -36,6 +36,10 @@ class NoFilterProtocol(FilterProtocol):
         self.query = query
         self._state: "StreamStateTable | None" = None
         self._is_range = isinstance(query, NonRankBasedQuery)
+        # Range answering is a per-stream membership flip, so shards
+        # replay independently; a rank-based answer reads the *global*
+        # value order and must stay on one coordinator.
+        self.decomposable_maintenance = self._is_range
         self._rank_cache: frozenset[int] | None = None
 
     def initialize(self, server: "Server") -> None:

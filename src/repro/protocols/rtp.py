@@ -120,7 +120,7 @@ class RankToleranceProtocol(FilterProtocol):
             )
         if self._state is not server.state:
             self._state = server.state
-            self._rank = RankView(self._state, self.query.distance_array)
+            self._rank = server.rank_view(self.query.distance_array)
         server.probe_all()
         order = self._ranked_known()
         self._state.answer_replace(order[: self.query.k])

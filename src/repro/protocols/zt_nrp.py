@@ -26,6 +26,9 @@ class ZeroToleranceRangeProtocol(FilterProtocol):
     """Deploy ``[l, u]`` everywhere; track membership flips."""
 
     name = "ZT-NRP"
+    # Maintenance is a pure per-stream membership flip: no probes, no
+    # redeployments, no cross-stream state — shards replay independently.
+    decomposable_maintenance = True
 
     def __init__(self, query: RangeQuery) -> None:
         self.query = query

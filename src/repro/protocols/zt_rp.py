@@ -43,7 +43,7 @@ class ZeroToleranceKnnProtocol(FilterProtocol):
     def _bind(self, server: "Server") -> None:
         if self._state is not server.state:
             self._state = server.state
-            self._rank = RankView(self._state, self.query.distance_array)
+            self._rank = server.rank_view(self.query.distance_array)
 
     def initialize(self, server: "Server") -> None:
         if server.n_streams <= self.query.k:

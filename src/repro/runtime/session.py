@@ -70,12 +70,20 @@ class ExecutionSession:
         ledger: MessageLedger | None = None,
         engine: SimulationEngine | None = None,
         channel: Channel | None = None,
+        channels: Sequence[Channel] | None = None,
         host=None,
         initialize: Callable[[float], None] | None = None,
     ) -> None:
         self.engine = engine or SimulationEngine()
         self.ledger = ledger or MessageLedger()
         self.channel = channel
+        #: Every channel in the assembly: one for single-server
+        #: topologies, one per shard for sharded ones.  The batched
+        #: replay taps each of them for deferred-write flushing.
+        if channels is not None:
+            self.channels = list(channels)
+        else:
+            self.channels = [channel] if channel is not None else []
         self.sources = sources
         self.host = host
         if initialize is None and host is not None:
@@ -135,6 +143,53 @@ class ExecutionSession:
             sources=sources, ledger=ledger, channel=channel, host=server
         )
 
+    @staticmethod
+    def _sharded_parts(trace, n_shards: int, make_source):
+        """Shared sharded assembly: ranges, per-shard channels (one
+        ledger), and sources built by ``make_source(stream_id, value,
+        channel)`` in global id order."""
+        from repro.state.sharding import shard_ranges
+
+        ranges = shard_ranges(trace.n_streams, n_shards)
+        ledger = MessageLedger()
+        channels = [Channel(ledger) for _ in ranges]
+        sources = [
+            make_source(
+                stream_id, trace.initial_values[stream_id], channel
+            )
+            for channel, (lo, hi) in zip(channels, ranges)
+            for stream_id in range(lo, hi)
+        ]
+        return ranges, ledger, channels, sources
+
+    @classmethod
+    def for_streams_sharded(
+        cls, trace, protocol, n_shards: int
+    ) -> "ExecutionSession":
+        """Scalar stack over a sharded topology.
+
+        The population is partitioned into contiguous id ranges, one
+        ``Channel`` + :class:`~repro.server.sharded.ShardServer` per
+        shard (every channel charging the *same* ledger), coordinated by
+        a :class:`~repro.server.sharded.ShardedServer` hosting the
+        protocol.  Message ledgers are byte-identical to
+        :meth:`for_streams` — see ``repro.server.sharded``.
+        """
+        from repro.server.sharded import ShardedServer
+        from repro.streams.source import StreamSource
+
+        ranges, ledger, channels, sources = cls._sharded_parts(
+            trace, n_shards, StreamSource
+        )
+        coordinator = ShardedServer(channels, protocol, ranges)
+        return cls(
+            sources=sources,
+            ledger=ledger,
+            channel=None,
+            channels=channels,
+            host=coordinator,
+        )
+
     @classmethod
     def for_spatial(cls, trace, protocol) -> "ExecutionSession":
         """Spatial stack: ``SpatialStreamSource`` + ``SpatialServer``."""
@@ -170,6 +225,31 @@ class ExecutionSession:
             for stream_id, value in enumerate(trace.initial_values)
         ]
         return cls(sources=sources, ledger=ledger, channel=channel)
+
+    @classmethod
+    def for_windows_sharded(
+        cls, trace, width: float, n_shards: int
+    ) -> "ExecutionSession":
+        """Value-window stack over per-shard channels (shared ledger).
+
+        The window scheme has no server-to-source maintenance traffic,
+        so sharding it is pure channel partitioning; the caller binds
+        its handler on every channel in ``.channels``.  Ledgers are
+        byte-identical to :meth:`for_windows` because each source's
+        report decisions are purely local.
+        """
+        from repro.valuebased.source import WindowFilterSource
+
+        _, ledger, channels, sources = cls._sharded_parts(
+            trace,
+            n_shards,
+            lambda stream_id, value, channel: WindowFilterSource(
+                stream_id, value, channel, width=width
+            ),
+        )
+        return cls(
+            sources=sources, ledger=ledger, channel=None, channels=channels
+        )
 
     @classmethod
     def for_multiquery(cls, initial_values) -> "ExecutionSession":
@@ -341,7 +421,7 @@ class ExecutionSession:
             raise ValueError("batch_size must be >= 1")
         n = len(times)
         prescan = _StatePrescan(self._state_tables())
-        deferred = _DeferredAssignments(self.sources, self.channel)
+        deferred = _DeferredAssignments(self.sources, self.channels)
         dispatches = 0
         # Adaptive chunk: track the typical quiescent run length so a
         # lively stretch rescans small windows, a calm one big ones.
@@ -407,22 +487,25 @@ class _DeferredAssignments:
     * the source itself is about to dispatch a record per-event;
     * the replay ends (or bails out to the per-event path).
 
-    Without a channel (the multi-query coordinator talks to its sources
-    directly) every staged write is flushed before each dispatch.
+    Sharded assemblies have one channel per shard; the tap is attached
+    to every one, so a server-to-source message on any shard flushes its
+    target.  Without channels (the multi-query coordinator talks to its
+    sources directly) every staged write is flushed before each
+    dispatch.
     """
 
-    def __init__(self, sources, channel: Channel | None) -> None:
+    def __init__(self, sources, channels: Sequence[Channel]) -> None:
         self._sources = sources
-        self._channel = channel
+        self._channels = list(channels)
         self._values = np.empty(len(sources), dtype=np.float64)
         self._touched = np.zeros(len(sources), dtype=bool)
-        if channel is not None:
+        for channel in self._channels:
             channel.add_tap(self._tap)
 
     def close(self) -> None:
         self.flush_all()
-        if self._channel is not None:
-            self._channel.remove_tap(self._tap)
+        for channel in self._channels:
+            channel.remove_tap(self._tap)
 
     def _tap(self, message) -> None:
         if not message.kind.is_uplink:
@@ -440,8 +523,8 @@ class _DeferredAssignments:
 
     def flush_for_dispatch(self, stream_id: int) -> None:
         """Make values readable before a record dispatches per-event."""
-        if self._channel is not None:
-            # Other sources' reads are flushed by the channel tap.
+        if self._channels:
+            # Other sources' reads are flushed by the channel taps.
             self.flush_one(stream_id)
         else:
             self.flush_all()

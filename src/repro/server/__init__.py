@@ -9,5 +9,6 @@ resolve constraints.
 
 from repro.server.answers import AnswerSet
 from repro.server.server import Server
+from repro.server.sharded import ShardedServer, ShardServer
 
-__all__ = ["AnswerSet", "Server"]
+__all__ = ["AnswerSet", "Server", "ShardServer", "ShardedServer"]

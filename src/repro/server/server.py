@@ -16,6 +16,8 @@ spatial server and the multi-query coordinator.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.network.channel import Channel
 from repro.network.messages import (
     ConstraintMessage,
@@ -28,6 +30,9 @@ from repro.network.messages import (
 from repro.protocols.base import FilterProtocol
 from repro.runtime.dispatch import DeferredDeliveryMixin
 from repro.state.table import StreamStateTable
+
+if TYPE_CHECKING:
+    from repro.state.rank import RankView
 
 
 class Server(DeferredDeliveryMixin):
@@ -74,6 +79,19 @@ class Server(DeferredDeliveryMixin):
         if self._state is None:
             self._state = StreamStateTable(len(self.channel.source_ids))
         return self._state
+
+    def rank_view(self, distance_array) -> "RankView":
+        """An incremental rank order over :attr:`state`.
+
+        Protocols must obtain their rank views here rather than
+        constructing :class:`~repro.state.rank.RankView` directly: the
+        hosting topology decides the implementation (a sharded
+        coordinator returns a k-way-merged per-shard view with the same
+        read API and the identical order).
+        """
+        from repro.state.rank import RankView
+
+        return RankView(self.state, distance_array)
 
     def initialize(self, time: float = 0.0) -> None:
         """Run the protocol's initialization phase at virtual *time*."""

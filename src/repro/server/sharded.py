@@ -1,0 +1,275 @@
+"""The sharded topology: per-shard servers behind one coordinator.
+
+A :class:`ShardedServer` hosts one protocol over a population
+partitioned into contiguous shards.  It exposes the *exact* control
+plane of :class:`repro.server.server.Server` (``probe``, ``probe_all``,
+``deploy``, ``broadcast``, ``state``, ``rank_view``, ``stream_ids``,
+``n_streams``, ``now``), so single-server protocols run on it
+unmodified; each per-stream operation is routed to the
+:class:`ShardServer` owning that stream.
+
+Why the message ledger is byte-identical to a single server:
+
+* **Storage.**  Every shard's :class:`~repro.state.sharding.
+  StateShardView` aliases a slice of the coordinator's global
+  :class:`~repro.state.table.StreamStateTable`, so the protocol reads
+  exactly the values/bounds/masks it would read on one server.
+* **Rank order.**  ``rank_view`` returns a :class:`~repro.state.
+  sharding.ShardedRankView` — per-shard incremental maintenance plus a
+  k-way ``(key, id)`` heap merge — proven order-identical to the
+  unsharded ``RankView`` (tests/state/test_sharding.py).
+* **Message multiset.**  Probes, deployments and updates are per-stream
+  messages; routing them through per-shard channels that share one
+  :class:`~repro.network.accounting.MessageLedger` charges the same
+  kinds in the same phases.  ``broadcast``/``probe_all`` iterate global
+  ids ascending, matching the single server's iteration order.
+* **Delivery order.**  The deferred-delivery re-entrancy discipline
+  lives at the *coordinator*: a stale-belief self-correction arriving at
+  any shard while the protocol is mid-step is queued in one global FIFO
+  and drained after the step, exactly as one server queues it.  (Had
+  each shard queued independently, an update on shard B could re-enter
+  the protocol while shard A's delivery is still on the stack.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.network.channel import Channel
+from repro.network.messages import (
+    ConstraintMessage,
+    Message,
+    MessageKind,
+    ProbeReplyMessage,
+    ProbeRequestMessage,
+    UpdateMessage,
+)
+from repro.protocols.base import FilterProtocol
+from repro.runtime.dispatch import DeferredDeliveryMixin
+from repro.state.sharding import (
+    ShardedRankView,
+    StateShardView,
+    validate_shard_alignment,
+)
+from repro.state.table import StreamStateTable
+
+
+class ShardServer:
+    """One shard's message endpoint: a channel plus a state-shard view.
+
+    Handles the mechanical half of the server role for its id range
+    ``[lo, hi)`` — the probe round-trip and constraint transmission,
+    recording into the shard table (local rows, which keeps per-shard
+    rank views incremental) — and forwards protocol-facing update
+    deliveries to the coordinator, which owns ordering and the protocol.
+    """
+
+    def __init__(
+        self,
+        coordinator: "ShardedServer",
+        channel: Channel,
+        state: StateShardView,
+    ) -> None:
+        self._coordinator = coordinator
+        self.channel = channel
+        self.state = state
+        self.lo = state.lo
+        self.hi = state.hi
+        self._probe_reply: ProbeReplyMessage | None = None
+        self._awaiting_probe = False
+        channel.bind_server(self._handle_message)
+
+    def probe(self, stream_id: int, time: float) -> float:
+        """One probe round-trip to a source this shard owns."""
+        self._awaiting_probe = True
+        self._probe_reply = None
+        self.channel.send_to_source(
+            ProbeRequestMessage(stream_id=stream_id, time=time)
+        )
+        self._awaiting_probe = False
+        if self._probe_reply is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"source {stream_id} did not reply to probe")
+        reply = self._probe_reply
+        self.state.record_report(
+            reply.stream_id - self.lo, reply.value, reply.time
+        )
+        return reply.value
+
+    def deploy(
+        self,
+        stream_id: int,
+        lower: float,
+        upper: float,
+        assumed_inside: bool | None,
+        time: float,
+    ) -> None:
+        """Install a constraint at a source this shard owns."""
+        self.state.record_deploy(stream_id - self.lo, lower, upper)
+        self.channel.send_to_source(
+            ConstraintMessage(
+                stream_id=stream_id,
+                time=time,
+                lower=lower,
+                upper=upper,
+                assumed_inside=assumed_inside,
+            )
+        )
+
+    def _handle_message(self, message: Message) -> None:
+        if message.kind is MessageKind.PROBE_REPLY:
+            if not self._awaiting_probe:  # pragma: no cover - defensive
+                raise RuntimeError("unsolicited probe reply")
+            assert isinstance(message, ProbeReplyMessage)
+            self._probe_reply = message
+            return
+        if message.kind is MessageKind.UPDATE:
+            assert isinstance(message, UpdateMessage)
+            self._coordinator._receive_update(message)
+            return
+        raise RuntimeError(  # pragma: no cover - defensive
+            f"shard server received unexpected {message.kind}"
+        )
+
+
+class ShardedServer(DeferredDeliveryMixin):
+    """Coordinator over N shard servers; Server-compatible control plane.
+
+    Parameters
+    ----------
+    channels:
+        One :class:`Channel` per shard (all sharing one ledger); the
+        shard's sources must already be bound to it with *global*
+        stream ids.
+    protocol:
+        The hosted protocol (runs once, at the coordinator).
+    ranges:
+        Contiguous ``(lo, hi)`` id ranges, one per channel, covering
+        ``range(n_streams)`` in order (see
+        :func:`repro.state.sharding.shard_ranges`).
+    """
+
+    def __init__(
+        self,
+        channels: Sequence[Channel],
+        protocol: FilterProtocol,
+        ranges: Sequence[tuple[int, int]],
+    ) -> None:
+        if len(channels) != len(ranges):
+            raise ValueError("need exactly one channel per shard range")
+        if not ranges:
+            raise ValueError("need at least one shard")
+        self.protocol = protocol
+        self._now = 0.0
+        n = ranges[-1][1]
+        self._state = StreamStateTable(n)
+        self.shards = [
+            ShardServer(self, channel, StateShardView(self._state, lo, hi))
+            for channel, (lo, hi) in zip(channels, ranges)
+        ]
+        validate_shard_alignment(
+            self._state, [shard.state for shard in self.shards]
+        )
+        self._shard_of = np.empty(n, dtype=np.int64)
+        for index, (lo, hi) in enumerate(ranges):
+            self._shard_of[lo:hi] = index
+        self._init_delivery()
+
+    # ------------------------------------------------------------------
+    # Lifecycle (Server-compatible surface)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Virtual time of the most recent activity."""
+        return self._now
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def n_streams(self) -> int:
+        return self._state.n_streams
+
+    @property
+    def stream_ids(self) -> list[int]:
+        """All source identifiers, ascending (matches ``Channel.source_ids``)."""
+        return list(range(self._state.n_streams))
+
+    @property
+    def state(self) -> StreamStateTable:
+        """The *global* columnar table every shard view aliases into."""
+        return self._state
+
+    def rank_view(self, distance_array: Callable) -> ShardedRankView:
+        """A merged rank order: per-shard views + k-way heap merge."""
+        return ShardedRankView(
+            [shard.state for shard in self.shards], distance_array
+        )
+
+    def initialize(self, time: float = 0.0) -> None:
+        """Run the protocol's initialization phase at virtual *time*."""
+        self._now = time
+        self._guarded_call(self.protocol.initialize, self)
+
+    # ------------------------------------------------------------------
+    # Control-plane API used by protocols
+    # ------------------------------------------------------------------
+    def _shard_for(self, stream_id: int) -> ShardServer:
+        return self.shards[int(self._shard_of[int(stream_id)])]
+
+    def probe(self, stream_id: int) -> float:
+        """Probe one source via its owning shard (2 messages)."""
+        return self._shard_for(stream_id).probe(stream_id, self._now)
+
+    def probe_all(
+        self, stream_ids: list[int] | None = None
+    ) -> dict[int, float]:
+        """Probe several (default: all) sources; returns id -> value."""
+        targets = self.stream_ids if stream_ids is None else stream_ids
+        return {stream_id: self.probe(stream_id) for stream_id in targets}
+
+    def deploy(
+        self,
+        stream_id: int,
+        lower: float,
+        upper: float,
+        assumed_inside: bool | None = None,
+    ) -> None:
+        """Install ``[lower, upper]`` at one source (one message)."""
+        self._shard_for(stream_id).deploy(
+            stream_id, lower, upper, assumed_inside, self._now
+        )
+
+    def broadcast(
+        self,
+        lower: float,
+        upper: float,
+        assumed_inside: dict[int, bool] | None = None,
+    ) -> None:
+        """Install ``[lower, upper]`` everywhere, ascending id order."""
+        for stream_id in self.stream_ids:
+            belief = None
+            if assumed_inside is not None:
+                belief = assumed_inside.get(stream_id)
+            self.deploy(stream_id, lower, upper, assumed_inside=belief)
+
+    # ------------------------------------------------------------------
+    # Update delivery (single global FIFO)
+    # ------------------------------------------------------------------
+    def _receive_update(self, message: UpdateMessage) -> None:
+        self._now = max(self._now, message.time)
+        self._deliver(message)
+
+    def _handle_delivery(self, message: UpdateMessage) -> None:
+        # Value plane refreshed at *delivery* time through the owning
+        # shard view (dirtying only that shard's rank listeners), then
+        # the protocol sees the update exactly as on one server.
+        shard = self._shard_for(message.stream_id)
+        shard.state.record_report(
+            message.stream_id - shard.lo, message.value, message.time
+        )
+        self.protocol.on_update(
+            self, message.stream_id, message.value, message.time
+        )

@@ -16,8 +16,11 @@ This subpackage provides that extension end to end:
   moving-object workloads;
 * :mod:`repro.spatial.protocols` — spatial counterparts of ZT-NRP,
   FT-NRP, RTP, ZT-RP and FT-RP;
-* :mod:`repro.spatial.runner` — the harness entry point,
-  :func:`~repro.spatial.runner.run_spatial_protocol`.
+* :mod:`repro.spatial.runner` — the execution mechanism,
+  :func:`~repro.spatial.runner.execute_spatial`, which the
+  :class:`repro.api.Engine` compiles ``-2d`` specs onto (the deprecated
+  :func:`~repro.spatial.runner.run_spatial_protocol` shim delegates to
+  it).
 
 The 1-D implementation in the parent package follows the paper line by
 line; this package re-derives the same logic over regions so the 1-D
@@ -40,7 +43,7 @@ from repro.spatial.protocols import (
     SpatialZeroKnnProtocol,
     SpatialZeroRangeProtocol,
 )
-from repro.spatial.runner import run_spatial_protocol
+from repro.spatial.runner import execute_spatial, run_spatial_protocol
 from repro.spatial.trace import SpatialTrace
 from repro.spatial.workloads import (
     MovingObjectsConfig,
@@ -63,6 +66,7 @@ __all__ = [
     "SpatialTrace",
     "SpatialZeroKnnProtocol",
     "SpatialZeroRangeProtocol",
+    "execute_spatial",
     "generate_moving_objects_trace",
     "run_spatial_protocol",
 ]

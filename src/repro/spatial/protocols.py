@@ -327,8 +327,8 @@ class SpatialRankToleranceProtocol(SpatialProtocol):
             )
         if self._state is not server.state:
             self._state = server.state
-            self._rank = RankView(
-                self._state, _elementwise_distance_keys(self.query)
+            self._rank = server.rank_view(
+                _elementwise_distance_keys(self.query)
             )
         server.probe_all()
         order = self._ranked_known()
@@ -466,8 +466,8 @@ class SpatialZeroKnnProtocol(SpatialProtocol):
             )
         if self._state is not server.state:
             self._state = server.state
-            self._rank = RankView(
-                self._state, _elementwise_distance_keys(self.query)
+            self._rank = server.rank_view(
+                _elementwise_distance_keys(self.query)
             )
         server.probe_all()
         self._resolve(server)
@@ -530,8 +530,8 @@ class SpatialFractionKnnProtocol(SpatialProtocol):
             )
         if self._state is not server.state:
             self._state = server.state
-            self._rank = RankView(
-                self._state, _elementwise_distance_keys(self.query)
+            self._rank = server.rank_view(
+                _elementwise_distance_keys(self.query)
             )
             self._pools.bind(self._state)
         server.probe_all()

@@ -2,11 +2,15 @@
 
 Assembly and replay are the runtime kernel's
 :class:`~repro.runtime.session.ExecutionSession`; this module only keeps
-the spatial-specific correctness evaluation.
+the spatial-specific correctness evaluation.  :func:`execute_spatial` is
+the mechanism the :class:`repro.api.Engine` compiles spatial specs onto;
+the old :func:`run_spatial_protocol` name survives as a deprecation
+shim returning identical results.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.harness.config import RunConfig
@@ -52,8 +56,28 @@ def run_spatial_protocol(
     tolerance: RankTolerance | FractionTolerance | None = None,
     config: RunConfig | None = None,
 ) -> SpatialRunResult:
-    """Replay *trace* against a spatial *protocol*; mirror of
-    :func:`repro.harness.runner.run_protocol`."""
+    """Deprecated: use :class:`repro.api.Engine` with a ``-2d`` spec."""
+    warnings.warn(
+        "repro.spatial.runner.run_spatial_protocol is deprecated; use "
+        "repro.api.Engine().run(QuerySpec(protocol='...-2d', ...), "
+        "Workload.from_trace(trace))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return execute_spatial(
+        trace, protocol, query=query, tolerance=tolerance, config=config
+    )
+
+
+def execute_spatial(
+    trace: SpatialTrace,
+    protocol: SpatialProtocol,
+    query: SpatialRangeQuery | SpatialKnnQuery | None = None,
+    tolerance: RankTolerance | FractionTolerance | None = None,
+    config: RunConfig | None = None,
+) -> SpatialRunResult:
+    """Replay *trace* against a spatial *protocol*; spatial mirror of
+    the engine's scalar streams executor."""
     config = config or RunConfig()
     session = ExecutionSession.for_spatial(trace, protocol)
 

@@ -67,6 +67,13 @@ class SpatialServer(DeferredDeliveryMixin):
             self._state = StreamStateTable(len(self.channel.source_ids))
         return self._state
 
+    def rank_view(self, distance_array):
+        """An incremental rank order over :attr:`state` (see
+        :meth:`repro.server.server.Server.rank_view`)."""
+        from repro.state.rank import RankView
+
+        return RankView(self.state, distance_array)
+
     def initialize(self, time: float = 0.0) -> None:
         self._now = time
         self._guarded_call(self.protocol.initialize, self)

@@ -27,6 +27,12 @@ batched replay fast path reads those columns directly
 
 from repro.state.pools import SilencerPools
 from repro.state.rank import RankView
+from repro.state.sharding import (
+    ShardedRankView,
+    StateShardView,
+    merge_pair_lists,
+    shard_ranges,
+)
 from repro.state.table import (
     SILENCER_FN,
     SILENCER_FP,
@@ -39,6 +45,10 @@ __all__ = [
     "SILENCER_FN",
     "SILENCER_FP",
     "SILENCER_NONE",
+    "ShardedRankView",
     "SilencerPools",
+    "StateShardView",
     "StreamStateTable",
+    "merge_pair_lists",
+    "shard_ranges",
 ]

@@ -100,7 +100,38 @@ class RankView:
             self._repair()
             assert self._ids is not None
             return [int(i) for i in self._ids[:count]]
-        return self._partial_leaders(count)
+        ids, _ = self._partial_selection(count)
+        return [int(i) for i in ids]
+
+    def leader_pairs(self, count: int) -> list[tuple[float, int]]:
+        """The *count* best ``(key, id)`` pairs, best-first.
+
+        The pair form feeds the sharded coordinator's k-way merge
+        (:class:`~repro.state.sharding.ShardedRankView`): tuples from
+        several shards compare by ``(key, id)``, which is exactly the
+        library-wide tie rule, so a heap merge of per-shard pair lists
+        reproduces the unsharded order.
+        """
+        count = int(count)
+        if count <= 0:
+            return []
+        if self.is_synced or self._dirty:
+            self._repair()
+            assert self._ids is not None and self._keys is not None
+            return [
+                (float(k), int(i))
+                for k, i in zip(self._keys[:count], self._ids[:count])
+            ]
+        ids, keys = self._partial_selection(count)
+        return [(float(k), int(i)) for k, i in zip(keys, ids)]
+
+    def order_pairs(self) -> list[tuple[float, int]]:
+        """All known ``(key, id)`` pairs, best-first."""
+        self._repair()
+        assert self._ids is not None and self._keys is not None
+        return [
+            (float(k), int(i)) for k, i in zip(self._keys, self._ids)
+        ]
 
     def key_of(self, stream_id: int) -> float:
         """The current ranking key of one stream (recomputed, not cached)."""
@@ -175,7 +206,10 @@ class RankView:
         self._keys = np.insert(kept_keys, positions, b_keys)
         self._dirty.clear()
 
-    def _partial_leaders(self, count: int) -> list[int]:
+    def _partial_selection(
+        self, count: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The *count* best rows as ``(ids, keys)`` without a full order."""
         base = self._known_base()
         keys = self._keys_for(base)
         n = len(keys)
@@ -191,6 +225,8 @@ class RankView:
             order = candidates[
                 np.argsort(keys[candidates], kind="stable")
             ][:count]
+        order = order[:count]
+        best_keys = keys[order]
         if base is not None:
             order = base[order]
-        return [int(i) for i in order[:count]]
+        return order, best_keys

@@ -1,0 +1,256 @@
+"""Population sharding over the columnar state engine.
+
+A sharded deployment partitions the stream population into contiguous
+id ranges, one :class:`StreamStateTable` per shard, behind per-shard
+servers.  Three pieces make that mechanically cheap:
+
+* :func:`shard_ranges` — the balanced contiguous partition.  Contiguity
+  matters twice: a shard table's columns can then be *numpy views* into
+  one coordinator-level table (zero copies, and protocols that index the
+  global columns directly keep working unchanged), and local row order
+  equals global id order, so per-shard tie-breaking agrees with the
+  library-wide ``(key, id)`` rule.
+* :class:`StateShardView` — a :class:`StreamStateTable` whose columns
+  alias a slice ``[lo, hi)`` of a parent table.  Shard servers write
+  their probe replies and update deliveries through the view (local
+  rows), which notifies only that shard's rank listeners; the
+  coordinator and the protocols read the parent's global columns, which
+  are the same memory.
+* :class:`ShardedRankView` — the coordinator's rank order: per-shard
+  :class:`~repro.state.rank.RankView` maintenance plus a k-way heap
+  merge (:func:`merge_pair_lists`) of per-shard ``(key, id)`` leader
+  lists.  Because every shard breaks ties by ascending id and the merge
+  compares ``(key, global id)`` tuples, the merged order is *identical*
+  to the unsharded ``RankView`` order over the full population — which
+  is why sharding preserves rank-query ledger semantics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.state.rank import RankView
+from repro.state.table import StreamStateTable
+
+
+def shard_ranges(n_streams: int, n_shards: int) -> list[tuple[int, int]]:
+    """Balanced contiguous partition of ``range(n_streams)``.
+
+    The first ``n_streams % n_shards`` shards get one extra stream, so
+    shard sizes differ by at most one.  Every stream belongs to exactly
+    one shard and shard order follows id order.
+    """
+    n_streams = int(n_streams)
+    n_shards = int(n_shards)
+    if n_streams < 1:
+        raise ValueError("n_streams must be >= 1")
+    if not 1 <= n_shards <= n_streams:
+        raise ValueError(
+            f"n_shards must be in [1, {n_streams}], got {n_shards}"
+        )
+    base, extra = divmod(n_streams, n_shards)
+    ranges = []
+    lo = 0
+    for shard in range(n_shards):
+        hi = lo + base + (1 if shard < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+class StateShardView(StreamStateTable):
+    """A shard's dense state table, aliasing ``parent[lo:hi]``.
+
+    Every column is a numpy basic-slice view of the parent table, so a
+    write through either object is visible to both instantly.  Row
+    indices are *local* (0-based within the shard); callers translate
+    with ``global_id - lo``.  Listeners registered on the view observe
+    only this shard's value-plane writes — the basis of per-shard
+    incremental rank maintenance.
+
+    The parent's scalar counters (``known_count`` etc.) are *not*
+    maintained by writes through a view; in a sharded deployment the
+    value plane is written exclusively through the views and the
+    membership planes exclusively through the parent, so each counter
+    has exactly one consistent owner.
+    """
+
+    def __init__(self, parent: StreamStateTable, lo: int, hi: int) -> None:
+        lo, hi = int(lo), int(hi)
+        if not 0 <= lo < hi <= parent.n_streams:
+            raise ValueError(
+                f"shard range [{lo}, {hi}) outside [0, {parent.n_streams})"
+            )
+        if parent.points is not None:
+            raise NotImplementedError(
+                "sharding vector-payload (spatial) tables is not supported"
+            )
+        self.parent = parent
+        self.lo = lo
+        self.hi = hi
+        self.n_streams = hi - lo
+        # Value plane.
+        self.values = parent.values[lo:hi]
+        self.report_time = parent.report_time[lo:hi]
+        self.known = parent.known[lo:hi]
+        self.points = None
+        # Constraint plane.
+        self.lower = parent.lower[lo:hi]
+        self.upper = parent.upper[lo:hi]
+        self.inside = parent.inside[lo:hi]
+        self.scannable = parent.scannable[lo:hi]
+        self.containers = None
+        # Membership planes (owned by the parent; aliased for reads).
+        self.answer_mask = parent.answer_mask[lo:hi]
+        self.tracked_mask = parent.tracked_mask[lo:hi]
+        self.silencer = parent.silencer[lo:hi]
+        self._answer_count = 0
+        self._tracked_count = 0
+        self._known_count = int(np.count_nonzero(self.known))
+        self._listeners = []
+
+    def _ensure_points(self, dimension: int) -> np.ndarray:
+        raise NotImplementedError(
+            "sharding vector-payload (spatial) tables is not supported"
+        )
+
+    def to_global(self, local_id: int) -> int:
+        return self.lo + int(local_id)
+
+    def to_local(self, stream_id: int) -> int:
+        local = int(stream_id) - self.lo
+        if not 0 <= local < self.n_streams:
+            raise IndexError(
+                f"stream {stream_id} outside shard [{self.lo}, {self.hi})"
+            )
+        return local
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"StateShardView([{self.lo}, {self.hi}) of "
+            f"n={self.parent.n_streams}, known={self._known_count})"
+        )
+
+
+def merge_pair_lists(
+    pair_lists: Sequence[Sequence[tuple[float, int]]],
+    count: int | None = None,
+) -> list[int]:
+    """K-way heap merge of best-first ``(key, id)`` lists; ids only.
+
+    Each input list must be sorted ascending by ``(key, id)`` (the
+    output contract of :meth:`RankView.leader_pairs` /
+    :meth:`RankView.order_pairs`).  Tuple comparison breaks key ties by
+    id, so the merged prefix equals the unsharded order's prefix.
+    """
+    merged = heapq.merge(*pair_lists)
+    if count is not None:
+        merged = itertools.islice(merged, int(count))
+    return [stream_id for _, stream_id in merged]
+
+
+class ShardedRankView:
+    """The coordinator's total order over per-shard :class:`RankView`\\ s.
+
+    Duck-types the :class:`RankView` read API (``order``, ``leaders``,
+    ``key_of``, ``invalidate``), so protocols built against
+    ``server.rank_view(...)`` run unchanged on a sharded topology.  Each
+    read asks every shard for its (incrementally maintained) local
+    prefix and heap-merges: ``leaders(c)`` costs each shard a partial
+    selection of at most ``c`` rows plus an ``O(S · c log S)`` merge,
+    never a global sort — the scale-out primitive the ROADMAP targets
+    (per-shard ``leaders(k+1)`` + k-way merge at the coordinator).
+    """
+
+    def __init__(
+        self,
+        shard_tables: Sequence[StateShardView],
+        distance_array: Callable[[np.ndarray], np.ndarray],
+    ) -> None:
+        self._views = [
+            RankView(table, distance_array) for table in shard_tables
+        ]
+        self._offsets = [table.lo for table in shard_tables]
+        self._tables = list(shard_tables)
+        self._distance_array = distance_array
+
+    def _shifted(self, view_index: int, pairs) -> list[tuple[float, int]]:
+        offset = self._offsets[view_index]
+        if offset == 0:
+            return pairs
+        return [(key, offset + stream_id) for key, stream_id in pairs]
+
+    def order(self) -> list[int]:
+        """All known stream ids, best-first under ``(distance, id)``."""
+        return merge_pair_lists(
+            [
+                self._shifted(i, view.order_pairs())
+                for i, view in enumerate(self._views)
+            ]
+        )
+
+    def leaders(self, count: int) -> list[int]:
+        """The *count* globally best ids via per-shard partial selection."""
+        count = int(count)
+        if count <= 0:
+            return []
+        return merge_pair_lists(
+            [
+                self._shifted(i, view.leader_pairs(count))
+                for i, view in enumerate(self._views)
+            ],
+            count,
+        )
+
+    def key_of(self, stream_id: int) -> float:
+        """The current ranking key of one stream (recomputed)."""
+        stream_id = int(stream_id)
+        for table, view in zip(self._tables, self._views):
+            if table.lo <= stream_id < table.hi:
+                return view.key_of(stream_id - table.lo)
+        raise IndexError(f"stream {stream_id} not in any shard")
+
+    def invalidate(self) -> None:
+        for view in self._views:
+            view.invalidate()
+
+    @property
+    def is_synced(self) -> bool:
+        return all(view.is_synced for view in self._views)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._views)
+
+
+def validate_shard_alignment(
+    parent: StreamStateTable, shards: Sequence[StateShardView]
+) -> None:
+    """Sanity check: the shard views tile the parent exactly once.
+
+    Cheap (pure metadata) and called once per sharded assembly; guards
+    against a future refactor silently breaking the aliasing invariant
+    every ledger-identity argument rests on.
+    """
+    covered = 0
+    expected_lo = 0
+    for shard in shards:
+        if shard.parent is not parent:
+            raise ValueError("shard view bound to a different parent table")
+        if shard.lo != expected_lo:
+            raise ValueError(
+                f"shard ranges must be contiguous: expected lo={expected_lo}, "
+                f"got {shard.lo}"
+            )
+        if shard.values.base is not parent.values:
+            raise ValueError("shard values column does not alias the parent")
+        covered += shard.n_streams
+        expected_lo = shard.hi
+    if covered != parent.n_streams:
+        raise ValueError(
+            f"shards cover {covered} of {parent.n_streams} streams"
+        )

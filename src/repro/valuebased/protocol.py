@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.correctness.oracle import Oracle
+from repro.network.accounting import LedgerSnapshot
 from repro.queries.base import RankBasedQuery
 from repro.queries.rank import ranked_ids
 from repro.runtime.session import ExecutionSession
@@ -69,6 +70,8 @@ class ValueToleranceResult:
     value_guarantee_held: bool
     rank_samples: int = 0
     extras: dict = field(default_factory=dict)
+    #: Full message-ledger snapshot (for the unified RunReport).
+    ledger: "LedgerSnapshot | None" = None
 
 
 def run_value_tolerance(
@@ -77,6 +80,7 @@ def run_value_tolerance(
     eps: float,
     check_every: int = 1,
     replay_mode: str = "auto",
+    n_shards: int = 1,
 ) -> ValueToleranceResult:
     """Replay *trace* under value tolerance *eps*; measure rank quality.
 
@@ -85,13 +89,22 @@ def run_value_tolerance(
     all sampled answer members.  ``value_guarantee_held`` verifies the
     scheme's own contract: every known value within ``eps/2`` of truth.
     With ``check_every=0`` no rank quality is sampled and the batched
-    replay fast path applies.
+    replay fast path applies.  ``n_shards > 1`` partitions the sources
+    over per-shard channels (one ledger); window reports are purely
+    local decisions, so the ledger is identical to the single-channel
+    run.
     """
-    session = ExecutionSession.for_windows(trace, width=eps)
+    if n_shards > 1:
+        session = ExecutionSession.for_windows_sharded(
+            trace, width=eps, n_shards=n_shards
+        )
+    else:
+        session = ExecutionSession.for_windows(trace, width=eps)
     protocol = ValueToleranceTopKProtocol(query, eps)
-    session.channel.bind_server(
-        lambda message: protocol.on_update(message.stream_id, message.value)
-    )
+    for channel in session.channels:
+        channel.bind_server(
+            lambda message: protocol.on_update(message.stream_id, message.value)
+        )
 
     # Initialization: one snapshot of every value (charged separately).
     session.initialize(
@@ -144,4 +157,5 @@ def run_value_tolerance(
         mean_rank_error=rank_error.mean if rank_error.count else 0.0,
         value_guarantee_held=guarantee_held,
         rank_samples=rank_error.count,
+        ledger=session.snapshot(),
     )

@@ -1,0 +1,163 @@
+"""Engine behaviour across stacks, topologies and schedules."""
+
+import pytest
+
+from repro.api import Deployment, Engine, QuerySpec, Workload, run
+from repro.queries.knn import TopKQuery
+from repro.queries.range_query import RangeQuery
+from repro.tolerance.fraction_tolerance import FractionTolerance
+from repro.tolerance.rank_tolerance import RankTolerance
+
+WORKLOAD = Workload.synthetic(n_streams=80, horizon=120.0, seed=3)
+RANGE_SPEC = QuerySpec(protocol="zt-nrp", query=RangeQuery(400.0, 600.0))
+
+
+def test_run_report_shape_and_metrics():
+    report = Engine().run(RANGE_SPEC, WORKLOAD, label="demo")
+    assert report.protocol == "ZT-NRP"
+    assert report.stack == "streams"
+    assert report.topology == "single"
+    assert report.label == "demo"
+    assert report.n_streams == 80
+    assert report.maintenance_messages == report.ledger.maintenance_total
+    assert report.wall_seconds > 0
+    assert report.tolerance_ok
+    assert report.row()["messages"] == report.maintenance_messages
+
+
+def test_engine_accepts_bare_trace_as_workload():
+    trace = WORKLOAD.materialize()
+    by_value = Engine().run(RANGE_SPEC, WORKLOAD)
+    by_trace = Engine().run(RANGE_SPEC, trace)
+    assert by_value.ledger == by_trace.ledger
+
+
+def test_module_level_run_matches_engine():
+    assert (
+        run(RANGE_SPEC, WORKLOAD).ledger
+        == Engine().run(RANGE_SPEC, WORKLOAD).ledger
+    )
+
+
+def test_default_deployment_is_engine_level():
+    engine = Engine(Deployment.sharded(2))
+    assert engine.run(RANGE_SPEC, WORKLOAD).topology == "sharded(2)"
+    # Per-run override wins.
+    assert (
+        engine.run(RANGE_SPEC, WORKLOAD, Deployment.single()).topology
+        == "single"
+    )
+
+
+def test_checking_populates_checks_and_violations():
+    spec = QuerySpec(
+        protocol="ft-nrp",
+        query=RangeQuery(400.0, 600.0),
+        tolerance=FractionTolerance(0.2, 0.2),
+    )
+    report = Engine().run(spec, WORKLOAD, Deployment.single(check_every=1))
+    assert report.checks > 0
+    assert report.tolerance_ok
+    assert report.violations == ()
+
+
+def test_checking_works_under_sharded_topology():
+    spec = QuerySpec(
+        protocol="rtp",
+        query=TopKQuery(k=4),
+        tolerance=RankTolerance(k=4, r=2),
+    )
+    single = Engine().run(spec, WORKLOAD, Deployment.single(check_every=5))
+    sharded = Engine().run(
+        spec, WORKLOAD, Deployment.sharded(3, check_every=5)
+    )
+    assert single.checks == sharded.checks > 0
+    assert single.ledger == sharded.ledger
+
+
+def test_value_eps_report_carries_rank_quality():
+    spec = QuerySpec(
+        protocol="value-eps", query=TopKQuery(k=4), options={"eps": 25.0}
+    )
+    report = Engine().run(spec, WORKLOAD, Deployment.single(check_every=5))
+    assert report.stack == "valuebased"
+    assert report.extras["worst_rank"] >= 4
+    assert report.extras["value_guarantee_held"] is True
+
+
+def test_spatial_spec_runs_and_rejects_sharding():
+    from repro.spatial.queries import SpatialKnnQuery
+
+    spec = QuerySpec(
+        protocol="rtp-2d",
+        query=SpatialKnnQuery(q=(500.0, 500.0), k=3),
+        tolerance=RankTolerance(k=3, r=2),
+    )
+    workload = Workload.moving_objects(n_objects=30, horizon=50.0, seed=2)
+    report = Engine().run(spec, workload)
+    assert report.stack == "spatial"
+    assert report.maintenance_messages > 0
+    with pytest.raises(ValueError, match="single"):
+        Engine().run(spec, workload, Deployment.sharded(2))
+
+
+def test_run_queries_shared_deployment():
+    specs = {
+        "warn": QuerySpec(
+            protocol="ft-nrp",
+            query=RangeQuery(600.0, 1000.0),
+            tolerance=FractionTolerance(0.2, 0.2),
+        ),
+        "hot": QuerySpec(
+            protocol="rtp",
+            query=TopKQuery(k=3),
+            tolerance=RankTolerance(k=3, r=2),
+        ),
+    }
+    report = Engine().run_queries(specs, WORKLOAD)
+    assert report.stack == "multiquery"
+    assert set(report.answers) == {"warn", "hot"}
+    assert report.extras["sharing_factor"] >= 1.0
+    with pytest.raises(ValueError, match="single"):
+        Engine().run_queries(specs, WORKLOAD, Deployment.sharded(2))
+
+
+# ----------------------------------------------------------------------
+# Sharded + parallel fan-out (decomposable protocols)
+# ----------------------------------------------------------------------
+def test_fanout_matches_sequential_for_decomposable_protocol():
+    sequential = Engine().run(RANGE_SPEC, WORKLOAD)
+    fanned = Engine().run(
+        RANGE_SPEC, WORKLOAD, Deployment.sharded(3, parallel=True)
+    )
+    assert fanned.ledger == sequential.ledger
+    assert fanned.final_answer == sequential.final_answer
+
+
+def test_fanout_not_used_for_coupled_protocols():
+    # RTP ranks globally: parallel=True must fall back to the sequential
+    # coordinator and still match the single server exactly.
+    spec = QuerySpec(
+        protocol="rtp",
+        query=TopKQuery(k=4),
+        tolerance=RankTolerance(k=4, r=2),
+    )
+    single = Engine().run(spec, WORKLOAD)
+    sharded = Engine().run(
+        spec, WORKLOAD, Deployment.sharded(3, parallel=True)
+    )
+    assert sharded.ledger == single.ledger
+    assert sharded.final_answer == single.final_answer
+
+
+def test_decomposability_flags():
+    from repro.protocols.no_filter import NoFilterProtocol
+    from repro.protocols.rtp import RankToleranceProtocol
+    from repro.protocols.zt_nrp import ZeroToleranceRangeProtocol
+
+    assert ZeroToleranceRangeProtocol(RangeQuery(0.0, 1.0)).decomposable_maintenance
+    assert NoFilterProtocol(RangeQuery(0.0, 1.0)).decomposable_maintenance
+    assert not NoFilterProtocol(TopKQuery(k=2)).decomposable_maintenance
+    assert not RankToleranceProtocol(
+        TopKQuery(k=2), RankTolerance(k=2, r=1)
+    ).decomposable_maintenance

@@ -9,24 +9,35 @@ def test_all_names_resolve():
 
 
 def test_version():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
 
 
 def test_quickstart_docstring_flow():
     """The module docstring's quickstart must actually work."""
-    trace = repro.generate_synthetic_trace(
-        n_streams=100, horizon=200.0, seed=7
+    report = repro.Engine().run(
+        repro.QuerySpec(
+            protocol="ft-nrp",
+            query=repro.RangeQuery(400.0, 600.0),
+            tolerance=repro.FractionTolerance(eps_plus=0.2, eps_minus=0.2),
+        ),
+        repro.Workload.synthetic(n_streams=100, horizon=200.0, seed=7),
+        repro.Deployment.single(check_every=1),
     )
-    query = repro.RangeQuery(400.0, 600.0)
-    tolerance = repro.FractionTolerance(eps_plus=0.2, eps_minus=0.2)
-    protocol = repro.FractionToleranceRangeProtocol(query, tolerance)
-    result = repro.run_protocol(
-        trace,
-        protocol,
-        tolerance=tolerance,
-        config=repro.RunConfig(check_every=1),
+    assert report.tolerance_ok
+
+
+def test_quickstart_sharded_is_one_argument_change():
+    """The docstring's scale-out claim: sharding changes one argument."""
+    spec = repro.QuerySpec(
+        protocol="ft-nrp",
+        query=repro.RangeQuery(400.0, 600.0),
+        tolerance=repro.FractionTolerance(eps_plus=0.2, eps_minus=0.2),
     )
-    assert result.tolerance_ok
+    workload = repro.Workload.synthetic(n_streams=100, horizon=200.0, seed=7)
+    single = repro.Engine().run(spec, workload)
+    sharded = repro.Engine().run(spec, workload, repro.Deployment.sharded(4))
+    assert single.ledger == sharded.ledger
+    assert single.final_answer == sharded.final_answer
 
 
 def test_protocol_names_are_paper_names():
