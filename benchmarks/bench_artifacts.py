@@ -12,8 +12,25 @@ from __future__ import annotations
 
 import json
 import os
+import time
 
 SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+
+def best_of(fn, repeats: int):
+    """Run *fn* ``repeats`` times; return ``(last result, best wall)``.
+
+    The shared timing loop of the perf benches — one definition so a
+    methodology change (warm-up, median-of-N) cannot skew one bench's
+    trajectory against the others'.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(int(repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
 
 
 def write_artifact(name: str, results) -> None:

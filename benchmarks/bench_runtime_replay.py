@@ -23,9 +23,7 @@ the sweep for CI.
 
 from __future__ import annotations
 
-import time
-
-from bench_artifacts import SMOKE, write_artifact
+from bench_artifacts import SMOKE, best_of, write_artifact
 
 from repro.api import Deployment, Engine
 from repro.protocols.rtp import RankToleranceProtocol
@@ -55,13 +53,7 @@ def _trace():
 
 
 def _best_of(fn):
-    best = float("inf")
-    result = None
-    for _ in range(REPEATS):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return result, best
+    return best_of(fn, REPEATS)
 
 
 def test_bench_value_window_replay():

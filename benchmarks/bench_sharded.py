@@ -32,9 +32,7 @@ the CI bench-smoke job); ``BENCH_SMOKE=1`` shrinks horizons for CI.
 
 from __future__ import annotations
 
-import time
-
-from bench_artifacts import SMOKE, write_artifact
+from bench_artifacts import SMOKE, best_of, write_artifact
 
 from repro.api import Deployment, Engine, QuerySpec, Workload
 # This bench deliberately times the engine's own shard-replay worker in
@@ -74,13 +72,7 @@ def _spec() -> QuerySpec:
 
 
 def _best_of(fn):
-    best = float("inf")
-    result = None
-    for _ in range(REPEATS):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return result, best
+    return best_of(fn, REPEATS)
 
 
 def test_bench_sharded_replay_throughput():

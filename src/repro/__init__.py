@@ -117,7 +117,7 @@ from repro.tolerance import (
     derive_rho,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BoundaryNearestSelection",

@@ -232,15 +232,27 @@ def _execute_spatial(
     tolerance=None,
     deployment: Deployment | None = None,
 ):
-    """Replay a spatial *trace*; single topology only (regions have no
-    scalar-interval shard merge yet — see ROADMAP)."""
+    """Replay a spatial *trace* under any topology.
+
+    ``Deployment.sharded(n)`` runs the sharded spatial coordinator
+    (ledger byte-identical to single-server; see
+    ``repro.server.sharded.ShardedSpatialServer``).  Process fan-out is
+    the one genuinely unsupported combination: every spatial protocol's
+    maintenance is coupled through the coordinator (probes, bound
+    redeployments, silencer rotation), so shards cannot replay
+    independently and ``parallel=True`` raises instead of silently
+    running sequentially.
+    """
     from repro.spatial.runner import execute_spatial
 
     deployment = deployment or Deployment.single()
-    if deployment.topology != "single":
+    if deployment.topology == "sharded" and deployment.parallel:
         raise ValueError(
-            "the spatial stack supports only Deployment.single() "
-            "(regions have no per-shard rank merge yet)"
+            "parallel=True is not supported for spatial protocols: their "
+            "maintenance is coupled through the coordinator (probes and "
+            "region redeployments reach across shards), so shards cannot "
+            "replay on independent workers; use Deployment.sharded("
+            f"{deployment.n_shards}) without parallel"
         )
     return execute_spatial(
         trace,
@@ -248,6 +260,7 @@ def _execute_spatial(
         query=query,
         tolerance=tolerance,
         config=deployment.run_config(),
+        n_shards=deployment.n_shards,
     )
 
 

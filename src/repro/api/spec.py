@@ -281,7 +281,9 @@ class Deployment:
         ``"sharded"`` — the population partitioned into ``n_shards``
         contiguous ranges behind per-shard servers with a k-way-merge
         coordinator (rank-query ledger semantics unchanged; see
-        ``repro.server.sharded``).
+        ``repro.server.sharded``).  Every stack shards: the scalar
+        protocols, the value-window scheme, and — via the geometric
+        quiescence planes — the spatial ``-2d`` protocols.
     n_shards:
         Shard count (``>= 1``; must be ``>= 2`` for ``sharded``).
     replay_mode, batch_size:
@@ -293,7 +295,10 @@ class Deployment:
         Process parallelism.  Under ``sharded``, protocols whose
         maintenance needs no server feedback (``decomposable_maintenance``)
         replay their shards concurrently on a process pool; sweeps fan
-        combinations out regardless of topology.
+        combinations out regardless of topology.  Spatial protocols are
+        all coupled (coordinator-side probes and redeployments), so
+        ``sharded(n, parallel=True)`` raises for them rather than
+        silently degrading.
     """
 
     topology: str = "single"

@@ -73,11 +73,11 @@ class MembershipStrategy(ABC):
     def bind_state(self, table, stream_id: int) -> None:
         """Attach a :class:`~repro.state.table.StreamStateTable` row.
 
-        Bound strategies *write through* their scalar filter state —
-        bounds and believed membership — to the table's constraint
-        columns, making the table the single source of truth the batched
-        replay pre-scan reads.  The default is a no-op: strategies whose
-        state has no scalar-interval form (regions) stay unbound, and
+        Bound strategies *write through* their filter state — scalar
+        bounds (or region quiescence boxes) and believed membership — to
+        the table's constraint columns, making the table the single
+        source of truth the batched replay pre-scan reads.  The default
+        is a no-op: strategies with no columnar form stay unbound, and
         their sources always dispatch per-event.
         """
 
@@ -205,7 +205,59 @@ class IntervalMembership(ContainmentMembership):
 
 
 class RegionMembership(ContainmentMembership):
-    """d-dimensional region membership; not scalar, so never batched."""
+    """d-dimensional region membership, batched via quiescence boxes.
+
+    When bound to a state table the installed region's axis-aligned
+    quiescence boxes (:meth:`repro.spatial.geometry.Region.
+    quiescence_bboxes`) and the believed membership are written through
+    to the table's *geometric plane* on every mutation — the spatial
+    mirror of :class:`IntervalMembership`'s scalar write-through.  The
+    batched replay pre-scan then decides quiescence columnar-side with
+    one vectorized AABB test; regions that cannot bound themselves with
+    boxes (``quiescence_bboxes`` returning ``None``) leave the row
+    unscannable and their sources dispatch per-event as before.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._table = None
+        self._row = -1
+        self._dimension: int | None = None
+
+    def bind_state(self, table, stream_id: int) -> None:
+        self._table = table
+        self._row = int(stream_id)
+        self._write_through()
+
+    def _write_through(self) -> None:
+        if self._table is None:
+            return
+        if self.container is None or self._dimension is None:
+            self._table.clear_region_filter(self._row)
+            return
+        boxes = self.container.quiescence_bboxes(self._dimension)
+        if boxes is None:
+            self._table.clear_region_filter(self._row)
+        else:
+            self._table.record_region_deploy(self._row, *boxes)
+        self._table.set_inside(self._row, self.reported_inside)
+
+    def evaluate(self, payload):
+        result = super().evaluate(payload)
+        if result is not None and self._table is not None:
+            self._table.set_inside(self._row, self.reported_inside)
+        return result
+
+    def resync(self, payload) -> None:
+        super().resync(payload)
+        if self._table is not None and self.container is not None:
+            self._table.set_inside(self._row, self.reported_inside)
+
+    def install(self, container, assumed_inside: bool | None, payload) -> bool:
+        must_report = super().install(container, assumed_inside, payload)
+        self._dimension = len(payload)
+        self._write_through()
+        return must_report
 
 
 class RecenteringWindowMembership(MembershipStrategy):

@@ -26,8 +26,17 @@ filter state through to the table (:meth:`~repro.runtime.membership.
 MembershipStrategy.bind_state`), so the columns *are* the live filter
 state — no per-source polling, no dirty-tracking, no rebuilds.
 
+Scalar payloads are tested against the scalar interval columns; vector
+payloads (the spatial stack) against the table's *geometric plane* —
+the deployed regions' inscribed/circumscribed bboxes — via
+:meth:`~repro.state.table.StreamStateTable.geometric_quiescence_mask`.
+The geometric test is conservative: a record the boxes cannot decide is
+treated as a potential violation and dispatches per-event, so ledger
+byte-identity holds exactly as in the scalar case.
+
 ``mode="auto"`` picks batch exactly when it is both safe (no callbacks)
-and useful (at least one stream has a scalar filter installed).
+and useful (at least one stream has a scalar or geometric filter
+installed).
 """
 
 from __future__ import annotations
@@ -144,19 +153,21 @@ class ExecutionSession:
         )
 
     @staticmethod
-    def _sharded_parts(trace, n_shards: int, make_source):
+    def _sharded_parts(trace, n_shards: int, make_source, initials=None):
         """Shared sharded assembly: ranges, per-shard channels (one
-        ledger), and sources built by ``make_source(stream_id, value,
-        channel)`` in global id order."""
+        ledger), and sources built by ``make_source(stream_id, initial,
+        channel)`` in global id order.  ``initials`` defaults to the
+        trace's ``initial_values`` (scalar stacks); spatial builders
+        pass ``initial_points``."""
         from repro.state.sharding import shard_ranges
 
+        if initials is None:
+            initials = trace.initial_values
         ranges = shard_ranges(trace.n_streams, n_shards)
         ledger = MessageLedger()
         channels = [Channel(ledger) for _ in ranges]
         sources = [
-            make_source(
-                stream_id, trace.initial_values[stream_id], channel
-            )
+            make_source(stream_id, initials[stream_id], channel)
             for channel, (lo, hi) in zip(channels, ranges)
             for stream_id in range(lo, hi)
         ]
@@ -207,6 +218,40 @@ class ExecutionSession:
         server = SpatialServer(channel, protocol)
         return cls(
             sources=sources, ledger=ledger, channel=channel, host=server
+        )
+
+    @classmethod
+    def for_spatial_sharded(
+        cls, trace, protocol, n_shards: int
+    ) -> "ExecutionSession":
+        """Spatial stack over a sharded topology.
+
+        The point population is partitioned exactly as
+        :meth:`for_streams_sharded` partitions scalar streams: one
+        ``Channel`` + :class:`~repro.server.sharded.SpatialShardServer`
+        per contiguous id range (every channel charging the *same*
+        ledger), coordinated by a :class:`~repro.server.sharded.
+        ShardedSpatialServer` hosting the protocol.  Message ledgers are
+        byte-identical to :meth:`for_spatial` — the geometric plane of
+        the coordinator's table is aliased by every shard view, so the
+        batched AABB pre-scan works unchanged.
+        """
+        from repro.server.sharded import ShardedSpatialServer
+        from repro.spatial.source import SpatialStreamSource
+
+        ranges, ledger, channels, sources = cls._sharded_parts(
+            trace,
+            n_shards,
+            SpatialStreamSource,
+            initials=trace.initial_points,
+        )
+        coordinator = ShardedSpatialServer(channels, protocol, ranges)
+        return cls(
+            sources=sources,
+            ledger=ledger,
+            channel=None,
+            channels=channels,
+            host=coordinator,
         )
 
     @classmethod
@@ -354,16 +399,21 @@ class ExecutionSession:
         if mode == "event":
             return "event"
         # Batching is *sound* only without per-record callbacks (they
-        # must observe every record) and with scalar payloads.
+        # must observe every record).
         if oracle_apply is not None or after_apply is not None:
             return "event"
-        if np.ndim(payloads) != 1:
+        ndim = np.ndim(payloads)
+        if ndim not in (1, 2):
             return "event"
-        if mode == "auto" and not any(
-            table.scannable.any() for table in self._state_tables()
-        ):
-            # No scalar filter anywhere: pre-scanning cannot pay off.
-            return "event"
+        if mode == "auto":
+            # Pre-scanning pays off only when some stream carries a
+            # columnar filter: scalar intervals for 1-D payloads, the
+            # geometric plane's region bboxes for 2-D (spatial) ones.
+            tables = self._state_tables()
+            if ndim == 1 and not any(t.scannable.any() for t in tables):
+                return "event"
+            if ndim == 2 and not any(t.geo_scannable.any() for t in tables):
+                return "event"
         return "batch"
 
     # ------------------------------------------------------------------
@@ -421,7 +471,7 @@ class ExecutionSession:
             raise ValueError("batch_size must be >= 1")
         n = len(times)
         prescan = _StatePrescan(self._state_tables())
-        deferred = _DeferredAssignments(self.sources, self.channels)
+        deferred = _DeferredAssignments(self.sources, self.channels, payloads)
         dispatches = 0
         # Adaptive chunk: track the typical quiescent run length so a
         # lively stretch rescans small windows, a calm one big ones.
@@ -494,10 +544,18 @@ class _DeferredAssignments:
     dispatch.
     """
 
-    def __init__(self, sources, channels: Sequence[Channel]) -> None:
+    def __init__(
+        self, sources, channels: Sequence[Channel], payloads=None
+    ) -> None:
         self._sources = sources
         self._channels = list(channels)
-        self._values = np.empty(len(sources), dtype=np.float64)
+        # Scalar stacks stage into a vector; spatial ones into an (n, d)
+        # matrix shaped like the trace's payload rows.
+        shape: tuple[int, ...] = (len(sources),)
+        self._vector = payloads is not None and np.ndim(payloads) == 2
+        if self._vector:
+            shape = (len(sources), np.shape(payloads)[1])
+        self._values = np.empty(shape, dtype=np.float64)
         self._touched = np.zeros(len(sources), dtype=bool)
         for channel in self._channels:
             channel.add_tap(self._tap)
@@ -516,10 +574,17 @@ class _DeferredAssignments:
         self._values[ids_chunk] = vals_chunk
         self._touched[ids_chunk] = True
 
+    def _staged_payload(self, stream_id: int):
+        # Vector rows must be copied out: the staging matrix keeps being
+        # scattered into, and spatial sources adopt ndarray payloads
+        # without copying.
+        value = self._values[stream_id]
+        return value.copy() if self._vector else value
+
     def flush_one(self, stream_id: int) -> None:
         if self._touched[stream_id]:
             self._touched[stream_id] = False
-            self._sources[stream_id].assign(self._values[stream_id])
+            self._sources[stream_id].assign(self._staged_payload(stream_id))
 
     def flush_for_dispatch(self, stream_id: int) -> None:
         """Make values readable before a record dispatches per-event."""
@@ -532,7 +597,7 @@ class _DeferredAssignments:
     def flush_all(self) -> None:
         for stream_id in np.nonzero(self._touched)[0].tolist():
             self._touched[stream_id] = False
-            self._sources[stream_id].assign(self._values[stream_id])
+            self._sources[stream_id].assign(self._staged_payload(stream_id))
 
 
 class _StatePrescan:
@@ -545,10 +610,15 @@ class _StatePrescan:
     columns *are* the filter state at every instant.
 
     A record is quiescent iff, for every table, either the stream has no
-    scalar filter in that table (``scannable`` false: that query cannot
-    flip) or the payload's containment equals the believed membership.
-    Streams with no scalar filter in *any* table always dispatch — with
-    no filters installed a source reports every change.
+    columnar filter in that table (that query cannot be proven to flip)
+    or the filter provably keeps its believed membership: for scalar
+    payloads an interval containment equal to the believed side, for
+    vector payloads the table's conservative AABB quiescence mask
+    (:meth:`~repro.state.table.StreamStateTable.
+    geometric_quiescence_mask`).  Streams with no columnar filter in
+    *any* table always dispatch — with no filters installed a source
+    reports every change, and an undecidable region record must run
+    exact geometry per-event.
     """
 
     def __init__(self, tables: Sequence[StreamStateTable]) -> None:
@@ -556,14 +626,22 @@ class _StatePrescan:
 
     def first_potential(self, ids_chunk, vals_chunk) -> int | None:
         """Index of the first record that might flip a filter, if any."""
+        geometric = vals_chunk.ndim == 2
         potential: np.ndarray | None = None
         guarded: np.ndarray | None = None
         for table in self._tables:
-            scan = table.scannable[ids_chunk]
-            new_inside = (table.lower[ids_chunk] <= vals_chunk) & (
-                vals_chunk <= table.upper[ids_chunk]
-            )
-            flips = scan & (new_inside != table.inside[ids_chunk])
+            if geometric:
+                scan = table.geo_scannable[ids_chunk]
+                quiescent = table.geometric_quiescence_mask(
+                    vals_chunk, ids_chunk
+                )
+                flips = scan & ~quiescent
+            else:
+                scan = table.scannable[ids_chunk]
+                new_inside = (table.lower[ids_chunk] <= vals_chunk) & (
+                    vals_chunk <= table.upper[ids_chunk]
+                )
+                flips = scan & (new_inside != table.inside[ids_chunk])
             potential = flips if potential is None else potential | flips
             guarded = scan if guarded is None else guarded | scan
         if potential is None or guarded is None:

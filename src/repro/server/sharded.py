@@ -29,6 +29,16 @@ Why the message ledger is byte-identical to a single server:
   and drained after the step, exactly as one server queues it.  (Had
   each shard queued independently, an update on shard B could re-enter
   the protocol while shard A's delivery is still on the stack.)
+
+The spatial stack shards by the same four invariants:
+:class:`SpatialShardServer` / :class:`ShardedSpatialServer` mirror the
+scalar pair with the point/region message vocabulary and the exact
+control plane of :class:`repro.spatial.server.SpatialServer` (``probe``,
+``probe_all``, ``deploy(stream_id, region)``, ``state``, ``rank_view``).
+Shard views alias the coordinator table's point matrix, container
+column, and geometric bbox planes (all lazily allocated on the parent),
+so spatial protocols — and the batched AABB quiescence pre-scan — read
+the same memory they would on one server.
 """
 
 from __future__ import annotations
@@ -48,6 +58,12 @@ from repro.network.messages import (
 )
 from repro.protocols.base import FilterProtocol
 from repro.runtime.dispatch import DeferredDeliveryMixin
+from repro.spatial.messages import (
+    PointProbeReplyMessage,
+    PointProbeRequestMessage,
+    PointUpdateMessage,
+    RegionConstraintMessage,
+)
 from repro.state.sharding import (
     ShardedRankView,
     StateShardView,
@@ -272,4 +288,201 @@ class ShardedServer(DeferredDeliveryMixin):
         )
         self.protocol.on_update(
             self, message.stream_id, message.value, message.time
+        )
+
+
+# ----------------------------------------------------------------------
+# The spatial stack's sharded topology
+# ----------------------------------------------------------------------
+class SpatialShardServer:
+    """One spatial shard's message endpoint: the vector-payload mirror
+    of :class:`ShardServer`.
+
+    Handles the probe round-trip and region-constraint transmission for
+    its id range ``[lo, hi)``, recording points through the shard view
+    (local rows — per-shard rank maintenance stays incremental) and
+    forwarding update deliveries to the coordinator, which owns ordering
+    and the protocol.
+    """
+
+    def __init__(
+        self,
+        coordinator: "ShardedSpatialServer",
+        channel: Channel,
+        state: StateShardView,
+    ) -> None:
+        self._coordinator = coordinator
+        self.channel = channel
+        self.state = state
+        self.lo = state.lo
+        self.hi = state.hi
+        self._probe_reply: PointProbeReplyMessage | None = None
+        self._awaiting_probe = False
+        channel.bind_server(self._handle_message)
+
+    def probe(self, stream_id: int, time: float) -> np.ndarray:
+        """One probe round-trip to a source this shard owns."""
+        self._awaiting_probe = True
+        self._probe_reply = None
+        self.channel.send_to_source(
+            PointProbeRequestMessage(stream_id=stream_id, time=time)
+        )
+        self._awaiting_probe = False
+        if self._probe_reply is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"source {stream_id} did not reply to probe")
+        reply = self._probe_reply
+        self.state.record_report(
+            reply.stream_id - self.lo, reply.point, reply.time
+        )
+        return reply.point
+
+    def deploy(
+        self,
+        stream_id: int,
+        region,
+        assumed_inside: bool | None,
+        time: float,
+    ) -> None:
+        """Install *region* at a source this shard owns (one message)."""
+        self.state.record_container_deploy(stream_id - self.lo, region)
+        self.channel.send_to_source(
+            RegionConstraintMessage(
+                stream_id=stream_id,
+                time=time,
+                region=region,
+                assumed_inside=assumed_inside,
+            )
+        )
+
+    def _handle_message(self, message: Message) -> None:
+        if message.kind is MessageKind.PROBE_REPLY:
+            if not self._awaiting_probe:  # pragma: no cover - defensive
+                raise RuntimeError("unsolicited probe reply")
+            assert isinstance(message, PointProbeReplyMessage)
+            self._probe_reply = message
+            return
+        if message.kind is MessageKind.UPDATE:
+            assert isinstance(message, PointUpdateMessage)
+            self._coordinator._receive_update(message)
+            return
+        raise RuntimeError(  # pragma: no cover - defensive
+            f"spatial shard server received unexpected {message.kind}"
+        )
+
+
+class ShardedSpatialServer(DeferredDeliveryMixin):
+    """Coordinator over N spatial shards; SpatialServer-compatible.
+
+    The ledger-identity argument is the scalar :class:`ShardedServer`'s,
+    unchanged: shard views alias one coordinator table (now including
+    the point matrix, container column, and geometric bbox planes),
+    ``rank_view`` serves the merged per-shard order, per-stream messages
+    route through per-shard channels charging one ledger in ascending-id
+    iteration order, and update delivery runs through one global
+    coordinator FIFO.
+    """
+
+    def __init__(
+        self,
+        channels: Sequence[Channel],
+        protocol,
+        ranges: Sequence[tuple[int, int]],
+    ) -> None:
+        if len(channels) != len(ranges):
+            raise ValueError("need exactly one channel per shard range")
+        if not ranges:
+            raise ValueError("need at least one shard")
+        self.protocol = protocol
+        self._now = 0.0
+        n = ranges[-1][1]
+        self._state = StreamStateTable(n)
+        self.shards = [
+            SpatialShardServer(
+                self, channel, StateShardView(self._state, lo, hi)
+            )
+            for channel, (lo, hi) in zip(channels, ranges)
+        ]
+        validate_shard_alignment(
+            self._state, [shard.state for shard in self.shards]
+        )
+        self._shard_of = np.empty(n, dtype=np.int64)
+        for index, (lo, hi) in enumerate(ranges):
+            self._shard_of[lo:hi] = index
+        self._init_delivery()
+
+    # ------------------------------------------------------------------
+    # Lifecycle (SpatialServer-compatible surface)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def n_streams(self) -> int:
+        return self._state.n_streams
+
+    @property
+    def stream_ids(self) -> list[int]:
+        return list(range(self._state.n_streams))
+
+    @property
+    def state(self) -> StreamStateTable:
+        """The *global* columnar table every shard view aliases into."""
+        return self._state
+
+    def rank_view(self, distance_array: Callable) -> ShardedRankView:
+        """A merged rank order: per-shard views + k-way heap merge."""
+        return ShardedRankView(
+            [shard.state for shard in self.shards], distance_array
+        )
+
+    def initialize(self, time: float = 0.0) -> None:
+        self._now = time
+        self._guarded_call(self.protocol.initialize, self)
+
+    # ------------------------------------------------------------------
+    # Control-plane API used by spatial protocols
+    # ------------------------------------------------------------------
+    def _shard_for(self, stream_id: int) -> SpatialShardServer:
+        return self.shards[int(self._shard_of[int(stream_id)])]
+
+    def probe(self, stream_id: int) -> np.ndarray:
+        """Probe one source via its owning shard (2 messages)."""
+        return self._shard_for(stream_id).probe(stream_id, self._now)
+
+    def probe_all(
+        self, stream_ids: list[int] | None = None
+    ) -> dict[int, np.ndarray]:
+        targets = self.stream_ids if stream_ids is None else stream_ids
+        return {stream_id: self.probe(stream_id) for stream_id in targets}
+
+    def deploy(
+        self,
+        stream_id: int,
+        region,
+        assumed_inside: bool | None = None,
+    ) -> None:
+        """Install *region* at one source (one message)."""
+        self._shard_for(stream_id).deploy(
+            stream_id, region, assumed_inside, self._now
+        )
+
+    # ------------------------------------------------------------------
+    # Update delivery (single global FIFO)
+    # ------------------------------------------------------------------
+    def _receive_update(self, message: PointUpdateMessage) -> None:
+        self._now = max(self._now, message.time)
+        self._deliver(message)
+
+    def _handle_delivery(self, message: PointUpdateMessage) -> None:
+        shard = self._shard_for(message.stream_id)
+        shard.state.record_report(
+            message.stream_id - shard.lo, message.point, message.time
+        )
+        self.protocol.on_update(
+            self, message.stream_id, message.point, message.time
         )

@@ -33,6 +33,7 @@ from repro.spatial.geometry import (
     BallRegion,
     BoxRegion,
     Region,
+    UnionRegion,
 )
 from repro.spatial.queries import SpatialKnnQuery, SpatialRangeQuery
 from repro.spatial.protocols import (
@@ -66,6 +67,7 @@ __all__ = [
     "SpatialTrace",
     "SpatialZeroKnnProtocol",
     "SpatialZeroRangeProtocol",
+    "UnionRegion",
     "execute_spatial",
     "generate_moving_objects_trace",
     "run_spatial_protocol",

@@ -5,6 +5,18 @@ violation semantics — report iff membership flips — carry over verbatim.
 Two degenerate regions generalize the shut-down filters: ``ALL_SPACE``
 (everything inside; the false-positive silencer) and ``EMPTY_REGION``
 (nothing inside; the false-negative silencer).
+
+Every region can additionally describe itself as a pair of axis-aligned
+*quiescence boxes* (:meth:`Region.quiescence_bboxes`): an inscribed
+(inner) box fully contained in the region and a circumscribed (outer)
+box fully containing it.  For rectangular regions both are the box
+itself, so the columnar AABB test is *exact*; for balls and composites
+they are conservative — the inner box is shrunk and the outer inflated
+by :data:`BBOX_SAFETY` so floating-point round-off in the exact
+``contains`` norm can never contradict a box-side claim.  These boxes
+feed :meth:`repro.state.table.StreamStateTable.record_region_deploy`,
+which is what lets the batched replay pre-scan and the sharded topology
+treat region filters like scalar intervals.
 """
 
 from __future__ import annotations
@@ -13,6 +25,18 @@ import math
 from abc import ABC, abstractmethod
 
 import numpy as np
+
+
+#: Relative safety margin applied to conservative (non-exact) quiescence
+#: boxes: inner boxes shrink and outer boxes inflate by this factor, so a
+#: box-side claim survives the few-ulp error of the exact ``contains``
+#: norm.  Exact boxes (rectangles) use no margin — their AABB test runs
+#: the very comparisons ``contains`` runs.
+BBOX_SAFETY = 1e-9
+
+#: ``quiescence_bboxes`` return type: (inner_lo, inner_hi, outer_lo,
+#: outer_hi), each a length-d vector.
+QuiescenceBoxes = tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 
 
 def as_point(value) -> np.ndarray:
@@ -46,6 +70,17 @@ class Region(ABC):
     def violated_by(self, last_reported: np.ndarray, current: np.ndarray) -> bool:
         """The Section 3.1 rule: membership of the two points differs."""
         return self.contains(last_reported) != self.contains(current)
+
+    def quiescence_bboxes(self, dimension: int) -> QuiescenceBoxes | None:
+        """Axis-aligned quiescence boxes, or ``None`` when unavailable.
+
+        The contract is one-sided containment: every point inside the
+        *inner* box is inside the region; every point outside the
+        *outer* box is outside it.  ``None`` means this region cannot
+        bound itself with boxes — its sources stay off the columnar
+        pre-scan and dispatch per-event, which is always correct.
+        """
+        return None
 
 
 class BoxRegion(Region):
@@ -85,6 +120,24 @@ class BoxRegion(Region):
         clamped = np.clip(point, self.lows, self.highs)
         return float(np.linalg.norm(point - clamped))
 
+    def quiescence_bboxes(self, dimension: int) -> QuiescenceBoxes:
+        """Exact: a box is its own inscribed and circumscribed bbox.
+
+        The AABB test then performs the identical closed comparisons
+        ``contains`` performs, so box-guarded streams are decided
+        columnar-side with no conservative shell at all.
+        """
+        if int(dimension) != self.dimension:
+            raise ValueError(
+                f"region dimension {self.dimension} != table {dimension}"
+            )
+        return (
+            self.lows.copy(),
+            self.highs.copy(),
+            self.lows.copy(),
+            self.highs.copy(),
+        )
+
     def __repr__(self) -> str:
         return f"BoxRegion({self.lows.tolist()}, {self.highs.tolist()})"
 
@@ -114,8 +167,86 @@ class BallRegion(Region):
         point = np.asarray(point, dtype=np.float64)
         return abs(float(np.linalg.norm(point - self.center)) - self.radius)
 
+    def quiescence_bboxes(self, dimension: int) -> QuiescenceBoxes:
+        """Conservative: inscribed cube shrunk, bounding box inflated.
+
+        The inscribed cube has half-width ``r / sqrt(d)``; the bounding
+        box half-width ``r``.  Both are pushed :data:`BBOX_SAFETY` of
+        the radius toward the safe side so the few-ulp error of the
+        exact Euclidean-norm ``contains`` can never disagree with a
+        box-side verdict — the shell between the boxes simply falls
+        back to exact per-event geometry.
+        """
+        if int(dimension) != self.dimension:
+            raise ValueError(
+                f"region dimension {self.dimension} != table {dimension}"
+            )
+        inner_half = self.radius / math.sqrt(self.dimension)
+        inner_half *= 1.0 - BBOX_SAFETY
+        outer_half = self.radius * (1.0 + BBOX_SAFETY)
+        return (
+            self.center - inner_half,
+            self.center + inner_half,
+            self.center - outer_half,
+            self.center + outer_half,
+        )
+
     def __repr__(self) -> str:
         return f"BallRegion(center={self.center.tolist()}, radius={self.radius})"
+
+
+class UnionRegion(Region):
+    """The union of several member regions — a composite filter.
+
+    Membership is "inside any member"; the boundary distance is the
+    minimum over members (a lower bound — tight when members are
+    disjoint, conservative where they overlap, which only makes the
+    boundary-nearest silencer heuristic more cautious).
+    """
+
+    def __init__(self, members) -> None:
+        self.members: tuple[Region, ...] = tuple(members)
+        if not self.members:
+            raise ValueError("a union needs at least one member region")
+
+    def contains(self, point: np.ndarray) -> bool:
+        return any(member.contains(point) for member in self.members)
+
+    def boundary_distance(self, point: np.ndarray) -> float:
+        return min(
+            member.boundary_distance(point) for member in self.members
+        )
+
+    def quiescence_bboxes(self, dimension: int) -> QuiescenceBoxes | None:
+        """Conservative composite boxes.
+
+        The union's outer box is the AABB hull of the members' outer
+        boxes (outside all of them implies outside the union).  For the
+        inner box any single member's inner box is valid — it is fully
+        inside that member, hence inside the union — so the widest one
+        (largest minimum extent) is chosen.  Any member without boxes
+        makes the union unscannable.
+        """
+        boxes = [
+            member.quiescence_bboxes(dimension) for member in self.members
+        ]
+        if any(box is None for box in boxes):
+            return None
+        inner_lo, inner_hi = max(
+            ((lo, hi) for lo, hi, _, _ in boxes),
+            key=lambda box: float(np.min(box[1] - box[0])),
+        )
+        outer_lo = np.min([lo for _, _, lo, _ in boxes], axis=0)
+        outer_hi = np.max([hi for _, _, _, hi in boxes], axis=0)
+        return (
+            np.array(inner_lo, dtype=np.float64),
+            np.array(inner_hi, dtype=np.float64),
+            outer_lo,
+            outer_hi,
+        )
+
+    def __repr__(self) -> str:
+        return f"UnionRegion({list(self.members)!r})"
 
 
 class _AllSpace(Region):
@@ -130,6 +261,17 @@ class _AllSpace(Region):
     @property
     def is_silencing(self) -> bool:
         return True
+
+    def quiescence_bboxes(self, dimension: int) -> QuiescenceBoxes:
+        """Exact: the whole space is its own inscribed box, so every
+        finite point is provably inside — silenced sources batch."""
+        d = int(dimension)
+        return (
+            np.full(d, -math.inf),
+            np.full(d, math.inf),
+            np.full(d, -math.inf),
+            np.full(d, math.inf),
+        )
 
     def __repr__(self) -> str:
         return "ALL_SPACE"
@@ -147,6 +289,17 @@ class _EmptyRegion(Region):
     @property
     def is_silencing(self) -> bool:
         return True
+
+    def quiescence_bboxes(self, dimension: int) -> QuiescenceBoxes:
+        """Exact: both boxes are empty, so every finite point is
+        provably outside — silenced sources batch."""
+        d = int(dimension)
+        return (
+            np.full(d, math.inf),
+            np.full(d, -math.inf),
+            np.full(d, math.inf),
+            np.full(d, -math.inf),
+        )
 
     def __repr__(self) -> str:
         return "EMPTY_REGION"

@@ -20,6 +20,17 @@ column, and rank order is maintained by a :class:`~repro.state.rank.
 RankView`.  The rank key is computed per element with the query's scalar
 ``distance`` (not a vectorized norm) so the (distance, id) order is
 bitwise-identical to the legacy ``sorted()`` order.
+
+Every region these protocols deploy (query boxes, k-NN bound balls, and
+the two silencers) registers its axis-aligned quiescence boxes in the
+table's geometric plane via the sources' bound
+:class:`~repro.runtime.membership.RegionMembership`, so the batched
+replay pre-scan and the sharded topology serve the spatial stack
+exactly as they serve the scalar one: protocols obtain their rank order
+through ``server.rank_view(...)`` (a plain :class:`RankView` on one
+server, a :class:`~repro.state.sharding.ShardedRankView` k-way merge on
+:class:`~repro.server.sharded.ShardedSpatialServer`) and never assume a
+topology.
 """
 
 from __future__ import annotations

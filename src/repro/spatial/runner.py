@@ -75,11 +75,23 @@ def execute_spatial(
     query: SpatialRangeQuery | SpatialKnnQuery | None = None,
     tolerance: RankTolerance | FractionTolerance | None = None,
     config: RunConfig | None = None,
+    n_shards: int = 1,
 ) -> SpatialRunResult:
     """Replay *trace* against a spatial *protocol*; spatial mirror of
-    the engine's scalar streams executor."""
+    the engine's scalar streams executor.
+
+    ``n_shards > 1`` assembles the sharded spatial topology
+    (:meth:`ExecutionSession.for_spatial_sharded`) — per-shard channels
+    and servers behind a merging coordinator, ledger byte-identical to
+    the single-server assembly.
+    """
     config = config or RunConfig()
-    session = ExecutionSession.for_spatial(trace, protocol)
+    if int(n_shards) > 1:
+        session = ExecutionSession.for_spatial_sharded(
+            trace, protocol, int(n_shards)
+        )
+    else:
+        session = ExecutionSession.for_spatial(trace, protocol)
 
     oracle: SpatialOracle | None = None
     if config.check_every > 0:

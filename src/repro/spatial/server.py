@@ -59,9 +59,12 @@ class SpatialServer(DeferredDeliveryMixin):
 
         Mirrors :attr:`repro.server.server.Server.state`: probe replies
         and update deliveries refresh the point column; deployed regions
-        land in the object container column.  Spatial constraints have no
-        scalar-interval form, so the table's pre-scan columns stay
-        unscannable and spatial replays run per-event.
+        land in the object container column, and their axis-aligned
+        quiescence boxes land in the *geometric plane* — written through
+        by the sources' bound :class:`~repro.runtime.membership.
+        RegionMembership` at install time — so the batched replay
+        pre-scan decides quiescence columnar-side with one vectorized
+        AABB test (see :meth:`StreamStateTable.geometric_quiescence_mask`).
         """
         if self._state is None:
             self._state = StreamStateTable(len(self.channel.source_ids))

@@ -77,6 +77,15 @@ class StateShardView(StreamStateTable):
     value plane is written exclusively through the views and the
     membership planes exclusively through the parent, so each counter
     has exactly one consistent owner.
+
+    The lazily-allocated planes — ``points`` (vector payloads), the
+    ``containers`` object column, and the geometric bbox matrices — are
+    exposed as *properties* that slice the parent on each access: the
+    parent may allocate them after the views are built (the first point
+    probe reply, the first region deploy), and a stored slice taken
+    before allocation would alias nothing.  Allocation always happens on
+    the parent (the ``_ensure_*`` overrides delegate up), so every
+    sibling view sees the same memory.
     """
 
     def __init__(self, parent: StreamStateTable, lo: int, hi: int) -> None:
@@ -84,10 +93,6 @@ class StateShardView(StreamStateTable):
         if not 0 <= lo < hi <= parent.n_streams:
             raise ValueError(
                 f"shard range [{lo}, {hi}) outside [0, {parent.n_streams})"
-            )
-        if parent.points is not None:
-            raise NotImplementedError(
-                "sharding vector-payload (spatial) tables is not supported"
             )
         self.parent = parent
         self.lo = lo
@@ -97,13 +102,12 @@ class StateShardView(StreamStateTable):
         self.values = parent.values[lo:hi]
         self.report_time = parent.report_time[lo:hi]
         self.known = parent.known[lo:hi]
-        self.points = None
         # Constraint plane.
         self.lower = parent.lower[lo:hi]
         self.upper = parent.upper[lo:hi]
         self.inside = parent.inside[lo:hi]
         self.scannable = parent.scannable[lo:hi]
-        self.containers = None
+        self.geo_scannable = parent.geo_scannable[lo:hi]
         # Membership planes (owned by the parent; aliased for reads).
         self.answer_mask = parent.answer_mask[lo:hi]
         self.tracked_mask = parent.tracked_mask[lo:hi]
@@ -113,10 +117,48 @@ class StateShardView(StreamStateTable):
         self._known_count = int(np.count_nonzero(self.known))
         self._listeners = []
 
+    # -- lazily-allocated planes: slice the parent on each access ------
+    def _parent_slice(self, column: np.ndarray | None) -> np.ndarray | None:
+        return None if column is None else column[self.lo : self.hi]
+
+    @property
+    def points(self) -> np.ndarray | None:
+        return self._parent_slice(self.parent.points)
+
+    @property
+    def containers(self) -> np.ndarray | None:
+        return self._parent_slice(self.parent.containers)
+
+    @property
+    def geo_lower(self) -> np.ndarray | None:
+        return self._parent_slice(self.parent.geo_lower)
+
+    @property
+    def geo_upper(self) -> np.ndarray | None:
+        return self._parent_slice(self.parent.geo_upper)
+
+    @property
+    def geo_outer_lower(self) -> np.ndarray | None:
+        return self._parent_slice(self.parent.geo_outer_lower)
+
+    @property
+    def geo_outer_upper(self) -> np.ndarray | None:
+        return self._parent_slice(self.parent.geo_outer_upper)
+
     def _ensure_points(self, dimension: int) -> np.ndarray:
-        raise NotImplementedError(
-            "sharding vector-payload (spatial) tables is not supported"
-        )
+        self.parent._ensure_points(dimension)
+        points = self.points
+        assert points is not None
+        return points
+
+    def _ensure_containers(self) -> np.ndarray:
+        self.parent._ensure_containers()
+        containers = self.containers
+        assert containers is not None
+        return containers
+
+    def _ensure_geometry(self, dimension: int) -> None:
+        self.parent._ensure_geometry(dimension)
 
     def to_global(self, local_id: int) -> int:
         return self.lo + int(local_id)

@@ -3,19 +3,22 @@
 One :class:`StreamStateTable` holds, column-wise, everything one query's
 server-side protocol knows about the stream population:
 
-========================  =====================================================
-column                    meaning
-========================  =====================================================
-``values`` / ``points``   last payload the server learned (update or probe)
-``report_time``           virtual time of that last refresh
-``known``                 whether any payload has been learned yet
-``lower`` / ``upper``     bounds of the deployed filter constraint
-``inside``                membership the server believes the source reported
-``scannable``             a scalar filter is installed (pre-scan eligible)
-``answer_mask``           ``A(t)`` — the answer reported to the user
-``tracked_mask``          ``X(t)`` — RTP's objects believed inside ``R``
-``silencer``              silencer flag (none / false-positive / false-negative)
-========================  =====================================================
+=========================  ====================================================
+column                     meaning
+=========================  ====================================================
+``values`` / ``points``    last payload the server learned (update or probe)
+``report_time``            virtual time of that last refresh
+``known``                  whether any payload has been learned yet
+``lower`` / ``upper``      bounds of the deployed filter constraint
+``inside``                 membership the server believes the source reported
+``scannable``              a scalar filter is installed (pre-scan eligible)
+``geo_lower``/``geo_upper``  inscribed (inner) bbox of the deployed region
+``geo_outer_lower``/``..._upper``  circumscribed (outer) bbox of the region
+``geo_scannable``          a region filter with usable bboxes is installed
+``answer_mask``            ``A(t)`` — the answer reported to the user
+``tracked_mask``           ``X(t)`` — RTP's objects believed inside ``R``
+``silencer``               silencer flag (none / false-positive / -negative)
+=========================  ====================================================
 
 Ownership convention: the *value plane* (``values``, ``report_time``,
 ``known``) is written by the server on probe replies and update
@@ -26,6 +29,20 @@ write the same bounds — the deployment message carries them end to end);
 party that knows the post-deployment belief; the *membership planes* by
 the protocol.  Scalar payloads live in ``values``; vector payloads
 (the spatial stack) in the lazily-allocated ``points`` matrix.
+
+The *geometric plane* (``geo_*``) is the spatial stack's counterpart of
+the scalar constraint plane: per-dimension axis-aligned bounds of the
+deployed :class:`~repro.spatial.geometry.Region`.  Its single writer is
+the source-side :class:`~repro.runtime.membership.RegionMembership` at
+install time (the spatial servers record only the region object, in
+``containers``) — so the plane engages exactly when sources are bound
+to the table via ``bind_state``, as every ``ExecutionSession`` assembly
+does.  Containment semantics are one-sided and conservative: a point inside the *inner* (inscribed) bbox is provably
+inside the region; a point outside the *outer* (circumscribed) bbox is
+provably outside; anything in the shell between them is undecidable from
+the boxes alone and must fall back to exact per-event geometry.
+:meth:`geometric_quiescence_mask` turns that into the vectorized AABB
+test the batched replay pre-scan uses.
 
 :class:`RankView` instances register as listeners so every value-plane
 write marks the touched row dirty for incremental rank repair.
@@ -63,6 +80,15 @@ class StreamStateTable:
         self.inside = np.zeros(n, dtype=bool)
         self.scannable = np.zeros(n, dtype=bool)
         self.containers: np.ndarray | None = None  # object column, spatial
+        # Geometric plane (deployed regions' bboxes; lazily allocated
+        # (n, d) like ``points``).  Defaults are claim-free: an empty
+        # inner box (+inf, -inf) proves nothing inside, an infinite
+        # outer box proves nothing outside.
+        self.geo_lower: np.ndarray | None = None
+        self.geo_upper: np.ndarray | None = None
+        self.geo_outer_lower: np.ndarray | None = None
+        self.geo_outer_upper: np.ndarray | None = None
+        self.geo_scannable = np.zeros(n, dtype=bool)
         # Membership planes.
         self.answer_mask = np.zeros(n, dtype=bool)
         self.tracked_mask = np.zeros(n, dtype=bool)
@@ -136,11 +162,112 @@ class StreamStateTable:
         self.upper[stream_id] = upper
         self.scannable[stream_id] = True
 
-    def record_container_deploy(self, stream_id: int, container) -> None:
-        """Record a non-scalar deployed constraint (spatial regions)."""
+    def _ensure_containers(self) -> np.ndarray:
         if self.containers is None:
             self.containers = np.empty(self.n_streams, dtype=object)
-        self.containers[int(stream_id)] = container
+        return self.containers
+
+    def record_container_deploy(self, stream_id: int, container) -> None:
+        """Record a non-scalar deployed constraint (spatial regions)."""
+        self._ensure_containers()[int(stream_id)] = container
+
+    # ------------------------------------------------------------------
+    # Geometric plane (regions' axis-aligned quiescence boxes)
+    # ------------------------------------------------------------------
+    def _ensure_geometry(self, dimension: int) -> None:
+        """Allocate the four ``(n, d)`` bbox matrices, claim-free."""
+        if self.geo_lower is None:
+            n, d = self.n_streams, int(dimension)
+            self.geo_lower = np.full((n, d), math.inf)
+            self.geo_upper = np.full((n, d), -math.inf)
+            self.geo_outer_lower = np.full((n, d), -math.inf)
+            self.geo_outer_upper = np.full((n, d), math.inf)
+
+    def record_region_deploy(
+        self,
+        stream_id: int,
+        bbox_lo,
+        bbox_hi,
+        outer_lo=None,
+        outer_hi=None,
+    ) -> None:
+        """Record the axis-aligned bounds of a deployed region filter.
+
+        ``bbox_lo``/``bbox_hi`` is the *inscribed* (inner) box — every
+        point inside it is provably inside the region; an empty box
+        (``lo > hi``) makes no inside claims.  ``outer_lo``/``outer_hi``
+        is the *circumscribed* (outer) box — every point outside it is
+        provably outside the region; omitted means infinite (no outside
+        claims).  Marks the row ``geo_scannable``.
+        """
+        bbox_lo = np.asarray(bbox_lo, dtype=np.float64)
+        bbox_hi = np.asarray(bbox_hi, dtype=np.float64)
+        if bbox_lo.shape != bbox_hi.shape or bbox_lo.ndim != 1:
+            raise ValueError("bbox_lo and bbox_hi must be 1-D and congruent")
+        self._ensure_geometry(len(bbox_lo))
+        row = int(stream_id)
+        assert self.geo_lower is not None
+        if len(bbox_lo) != self.geo_lower.shape[1]:
+            raise ValueError(
+                f"bbox dimension {len(bbox_lo)} does not match the "
+                f"table's geometric plane ({self.geo_lower.shape[1]})"
+            )
+        self.geo_lower[row] = bbox_lo
+        self.geo_upper[row] = bbox_hi
+        self.geo_outer_lower[row] = (
+            -math.inf if outer_lo is None else outer_lo
+        )
+        self.geo_outer_upper[row] = (
+            math.inf if outer_hi is None else outer_hi
+        )
+        self.geo_scannable[row] = True
+
+    def clear_region_filter(self, stream_id: int) -> None:
+        """Drop a row's region filter from the geometric plane."""
+        row = int(stream_id)
+        self.geo_scannable[row] = False
+        self.inside[row] = False
+        if self.geo_lower is not None:
+            self.geo_lower[row] = math.inf
+            self.geo_upper[row] = -math.inf
+            self.geo_outer_lower[row] = -math.inf
+            self.geo_outer_upper[row] = math.inf
+
+    def geometric_quiescence_mask(
+        self, points: np.ndarray, stream_ids: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Vectorized AABB containment test: which *points* are provably
+        quiescent for their streams' deployed regions?
+
+        ``points`` is ``(m, d)``; ``stream_ids`` maps each row to its
+        stream (defaults to ``arange(m)``, i.e. one point per stream).
+        A row is quiescent iff the stream is ``geo_scannable`` and either
+        the point is inside the inner bbox while the believed membership
+        is *inside* (containment provably still ``True``), or the point
+        is outside the outer bbox while believed *outside* (provably
+        still ``False``).  Everything else — including the conservative
+        shell between the boxes — is *not* claimed, so the mask never
+        asserts quiescence that exact geometry would deny.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError("points must be an (m, d) matrix")
+        if self.geo_lower is None:
+            return np.zeros(len(points), dtype=bool)
+        if stream_ids is None:
+            rows = np.arange(len(points))
+        else:
+            rows = np.asarray(stream_ids, dtype=np.int64)
+        inner_ok = np.all(points >= self.geo_lower[rows], axis=1) & np.all(
+            points <= self.geo_upper[rows], axis=1
+        )
+        outer_out = np.any(
+            points < self.geo_outer_lower[rows], axis=1
+        ) | np.any(points > self.geo_outer_upper[rows], axis=1)
+        believed = self.inside[rows]
+        return self.geo_scannable[rows] & (
+            (inner_ok & believed) | (outer_out & ~believed)
+        )
 
     def set_filter(
         self, stream_id: int, lower: float, upper: float, inside: bool

@@ -85,7 +85,7 @@ def test_value_eps_report_carries_rank_quality():
     assert report.extras["value_guarantee_held"] is True
 
 
-def test_spatial_spec_runs_and_rejects_sharding():
+def test_spatial_spec_runs_under_both_topologies():
     from repro.spatial.queries import SpatialKnnQuery
 
     spec = QuerySpec(
@@ -97,8 +97,24 @@ def test_spatial_spec_runs_and_rejects_sharding():
     report = Engine().run(spec, workload)
     assert report.stack == "spatial"
     assert report.maintenance_messages > 0
-    with pytest.raises(ValueError, match="single"):
-        Engine().run(spec, workload, Deployment.sharded(2))
+    sharded = Engine().run(spec, workload, Deployment.sharded(2))
+    assert sharded.topology == "sharded(2)"
+    assert sharded.ledger == report.ledger
+    assert sharded.final_answer == report.final_answer
+
+
+def test_spatial_parallel_fanout_raises_a_clear_error():
+    """Coupled spatial maintenance cannot fan out to worker processes."""
+    from repro.spatial.queries import SpatialKnnQuery
+
+    spec = QuerySpec(
+        protocol="rtp-2d",
+        query=SpatialKnnQuery(q=(500.0, 500.0), k=3),
+        tolerance=RankTolerance(k=3, r=2),
+    )
+    workload = Workload.moving_objects(n_objects=30, horizon=50.0, seed=2)
+    with pytest.raises(ValueError, match="parallel=True is not supported"):
+        Engine().run(spec, workload, Deployment.sharded(2, parallel=True))
 
 
 def test_run_queries_shared_deployment():

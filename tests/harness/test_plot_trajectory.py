@@ -1,0 +1,96 @@
+"""Smoke tests for benchmarks/plot_trajectory.py (the perf-trajectory
+summarizer CI runs over the accumulated BENCH_*.json artifacts)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "plot_trajectory.py"
+)
+
+
+@pytest.fixture(scope="module")
+def trajectory():
+    spec = importlib.util.spec_from_file_location("plot_trajectory", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write_artifacts(root: Path, label: str, speedup: float) -> None:
+    commit = root / label
+    commit.mkdir(parents=True)
+    (commit / "BENCH_runtime_replay.json").write_text(
+        json.dumps({"value_window_speedup": speedup})
+    )
+    (commit / "BENCH_state_engine.json").write_text(
+        json.dumps(
+            {
+                "recompute": [
+                    {"n_streams": 1000, "speedup": 50.0},
+                    {"n_streams": 20000, "speedup": 99.0},
+                ],
+                "point_update": [],
+            }
+        )
+    )
+    (commit / "BENCH_spatial.json").write_text(
+        json.dumps({"batched_replay": {"speedup": 4.5}})
+    )
+
+
+def test_summarize_across_commits(trajectory, tmp_path):
+    _write_artifacts(tmp_path, "commit-a", 3.0)
+    _write_artifacts(tmp_path, "commit-b", 3.5)
+    runs = trajectory.discover([tmp_path])
+    assert sorted(runs) == ["commit-a", "commit-b"]
+    summary = trajectory.summarize(runs)
+    assert summary["metrics"]["replay_filtering_speedup"] == {
+        "commit-a": 3.0,
+        "commit-b": 3.5,
+    }
+    # Largest-n row wins for per-size sections; empty sections vanish.
+    assert summary["metrics"]["state_recompute_speedup"]["commit-a"] == 99.0
+    assert "state_point_update_speedup" not in summary["metrics"]
+    assert summary["metrics"]["spatial_batch_speedup"]["commit-b"] == 4.5
+    text = trajectory.format_summary(summary)
+    assert "commit-a" in text and "3.50x" in text
+
+
+def test_main_writes_json_and_handles_missing(trajectory, tmp_path, capsys):
+    _write_artifacts(tmp_path, "only", 2.0)
+    out = tmp_path / "summary.json"
+    code = trajectory.main([str(tmp_path), "--json", str(out)])
+    assert code == 0
+    written = json.loads(out.read_text())
+    assert written["runs"] == ["only"]
+    capsys.readouterr()
+
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert trajectory.main([str(empty)]) == 1
+
+
+def test_same_basename_roots_do_not_collapse(trajectory, tmp_path):
+    """Two commits' downloads as run1/bench-artifacts and
+    run2/bench-artifacts must stay two distinct runs."""
+    _write_artifacts(tmp_path / "run1", "bench-artifacts", 2.0)
+    _write_artifacts(tmp_path / "run2", "bench-artifacts", 9.0)
+    runs = trajectory.discover(
+        [tmp_path / "run1", tmp_path / "run2"]
+    )
+    assert len(runs) == 2
+    summary = trajectory.summarize(runs)
+    values = summary["metrics"]["replay_filtering_speedup"]
+    assert sorted(values.values()) == [2.0, 9.0]
+
+
+def test_corrupt_artifact_is_skipped(trajectory, tmp_path, capsys):
+    commit = tmp_path / "bad"
+    commit.mkdir()
+    (commit / "BENCH_sharded.json").write_text("{not json")
+    assert trajectory.discover([tmp_path]) == {}
+    assert "skipping" in capsys.readouterr().err

@@ -104,16 +104,58 @@ def test_shard_view_notifies_only_local_listeners():
     assert not right_view.is_synced
 
 
-def test_shard_view_rejects_bad_ranges_and_spatial_parents():
+def test_shard_view_rejects_bad_ranges():
     parent = StreamStateTable(4)
     with pytest.raises(ValueError):
         StateShardView(parent, 2, 2)
     with pytest.raises(ValueError):
         StateShardView(parent, 0, 5)
-    spatial_parent = StreamStateTable(4)
-    spatial_parent.record_report(0, np.array([1.0, 2.0]), 0.0)
-    with pytest.raises(NotImplementedError):
-        StateShardView(spatial_parent, 0, 2)
+
+
+def test_shard_view_vector_payloads_alias_parent_points():
+    """Vector-payload (spatial) tables shard like scalar ones."""
+    parent = StreamStateTable(6)
+    left = StateShardView(parent, 0, 3)
+    right = StateShardView(parent, 3, 6)
+    # Points allocated through a view after the views were built.
+    right.record_report(1, np.array([1.0, 2.0]), 0.5)  # global stream 4
+    assert parent.points is not None and parent.points.shape == (6, 2)
+    assert np.array_equal(parent.points[4], [1.0, 2.0])
+    assert right.known[1] and parent.known[4]
+    # Points allocated on the parent are visible through every view.
+    parent.record_report(0, np.array([9.0, 9.0]), 1.0)
+    assert np.array_equal(left.points[0], [9.0, 9.0])
+    assert left.payload_array().shape == (3, 2)
+
+
+def test_shard_view_geometric_plane_aliases_parent():
+    parent = StreamStateTable(6)
+    left = StateShardView(parent, 0, 3)
+    right = StateShardView(parent, 3, 6)
+    # Geometric plane allocated via a view write, visible everywhere.
+    right.record_region_deploy(
+        0, [1.0, 1.0], [2.0, 2.0], [0.0, 0.0], [3.0, 3.0]
+    )  # global stream 3
+    assert parent.geo_scannable[3] and right.geo_scannable[0]
+    assert np.array_equal(parent.geo_lower[3], [1.0, 1.0])
+    assert np.array_equal(left.geo_upper[2], [-np.inf, -np.inf])
+    parent.set_inside(3, True)
+    quiescent = parent.geometric_quiescence_mask(
+        np.array([[1.5, 1.5]]), np.array([3])
+    )
+    assert quiescent.tolist() == [True]
+    right.clear_region_filter(0)
+    assert not parent.geo_scannable[3]
+
+
+def test_shard_view_container_column_aliases_parent():
+    parent = StreamStateTable(4)
+    shard = StateShardView(parent, 2, 4)
+    marker = object()
+    shard.record_container_deploy(1, marker)  # global stream 3
+    assert parent.containers is not None
+    assert parent.containers[3] is marker
+    assert shard.containers[1] is marker
 
 
 def test_validate_shard_alignment_catches_gaps():

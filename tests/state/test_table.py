@@ -130,3 +130,78 @@ class TestListeners:
     def test_negative_size_rejected(self):
         with pytest.raises(ValueError):
             StreamStateTable(-1)
+
+
+class TestGeometricPlane:
+    def test_record_region_deploy_marks_scannable(self):
+        table = StreamStateTable(3)
+        assert table.geo_lower is None
+        table.record_region_deploy(
+            1, [0.0, 0.0], [2.0, 2.0], [-1.0, -1.0], [3.0, 3.0]
+        )
+        assert table.geo_scannable.tolist() == [False, True, False]
+        assert np.array_equal(table.geo_lower[1], [0.0, 0.0])
+        assert np.array_equal(table.geo_outer_lower[1], [-1.0, -1.0])
+        # Unset rows stay claim-free: empty inner, infinite outer.
+        assert np.all(np.isinf(table.geo_lower[0]))
+        assert table.geo_lower[0][0] > table.geo_upper[0][0]
+
+    def test_omitted_outer_box_defaults_to_infinite(self):
+        table = StreamStateTable(1)
+        table.record_region_deploy(0, [0.0], [1.0])
+        assert np.all(np.isneginf(table.geo_outer_lower[0]))
+        assert np.all(np.isposinf(table.geo_outer_upper[0]))
+        table.set_inside(0, False)
+        # Infinite outer box: no point is provably outside.
+        mask = table.geometric_quiescence_mask(np.array([[99.0]]), [0])
+        assert not mask[0]
+
+    def test_dimension_mismatch_rejected(self):
+        table = StreamStateTable(2)
+        table.record_region_deploy(0, [0.0, 0.0], [1.0, 1.0])
+        with pytest.raises(ValueError, match="dimension"):
+            table.record_region_deploy(1, [0.0], [1.0])
+        with pytest.raises(ValueError, match="congruent"):
+            table.record_region_deploy(1, [0.0, 0.0], [1.0])
+
+    def test_clear_region_filter(self):
+        table = StreamStateTable(2)
+        table.record_region_deploy(0, [0.0, 0.0], [4.0, 4.0])
+        table.set_inside(0, True)
+        assert table.geometric_quiescence_mask(
+            np.array([[1.0, 1.0]]), [0]
+        )[0]
+        table.clear_region_filter(0)
+        assert not table.geo_scannable[0]
+        assert not table.inside[0]
+        assert not table.geometric_quiescence_mask(
+            np.array([[1.0, 1.0]]), [0]
+        )[0]
+
+    def test_mask_without_geometry_is_all_false(self):
+        table = StreamStateTable(2)
+        mask = table.geometric_quiescence_mask(np.zeros((2, 3)))
+        assert mask.tolist() == [False, False]
+
+    def test_mask_requires_a_point_matrix(self):
+        table = StreamStateTable(2)
+        with pytest.raises(ValueError, match="matrix"):
+            table.geometric_quiescence_mask(np.zeros(2))
+
+    def test_mask_both_believed_sides(self):
+        table = StreamStateTable(2)
+        for row in (0, 1):
+            table.record_region_deploy(
+                row, [0.0, 0.0], [1.0, 1.0], [-1.0, -1.0], [2.0, 2.0]
+            )
+        table.set_inside(0, True)
+        table.set_inside(1, False)
+        inside_pt = np.array([[0.5, 0.5]])
+        outside_pt = np.array([[5.0, 5.0]])
+        shell_pt = np.array([[1.5, 1.5]])  # between inner and outer
+        assert table.geometric_quiescence_mask(inside_pt, [0])[0]
+        assert not table.geometric_quiescence_mask(outside_pt, [0])[0]
+        assert not table.geometric_quiescence_mask(shell_pt, [0])[0]
+        assert table.geometric_quiescence_mask(outside_pt, [1])[0]
+        assert not table.geometric_quiescence_mask(inside_pt, [1])[0]
+        assert not table.geometric_quiescence_mask(shell_pt, [1])[0]
