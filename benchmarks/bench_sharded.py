@@ -125,6 +125,7 @@ def test_bench_sharded_replay_throughput():
                 "auto",
                 4096,
                 lo,
+                None,
             )
             _, t_shard = _best_of(lambda j=job: _shard_replay_worker(j))
             shard_walls.append(t_shard)

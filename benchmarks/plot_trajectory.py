@@ -12,6 +12,8 @@ metrics the benches track:
 * ``runtime_replay`` — batched-replay filtering-regime speedup
 * ``sharded``        — per-shard capacity speedup at 4 shards
 * ``spatial``        — batched spatial replay speedup + message curves
+* ``latency``        — stale-belief violation rate and message overhead
+  at the largest modeled latency (requirement-2 degradation study)
 
 Usage::
 
@@ -54,6 +56,23 @@ def _path(*keys: str):
     return extract
 
 
+def _curve_tail(*keys: str):
+    """Last point of a per-latency curve list at the given path."""
+
+    def extract(payload: dict):
+        node = payload
+        for key in keys:
+            if not isinstance(node, dict) or key not in node:
+                return None
+            node = node[key]
+        if isinstance(node, list) and node:
+            tail = node[-1]
+            return tail if isinstance(tail, (int, float)) else None
+        return None
+
+    return extract
+
+
 #: metric label -> (bench name, extractor over that bench's artifact).
 HEADLINE_METRICS: dict[str, tuple[str, object]] = {
     "state_recompute_speedup": ("state_engine", _rows_speedup("recompute")),
@@ -74,6 +93,14 @@ HEADLINE_METRICS: dict[str, tuple[str, object]] = {
         _path("rtp_coordinator", "overhead"),
     ),
     "spatial_batch_speedup": ("spatial", _path("batched_replay", "speedup")),
+    "latency_max_violation_rate": (
+        "latency",
+        _curve_tail("profiles", "default", "rtp", "violation_rate"),
+    ),
+    "latency_max_message_overhead": (
+        "latency",
+        _curve_tail("profiles", "default", "rtp", "message_overhead"),
+    ),
 }
 
 

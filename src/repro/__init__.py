@@ -67,7 +67,15 @@ from repro.harness import (
     format_table,
     run_protocol,
 )
-from repro.network import MessageKind, MessageLedger
+from repro.network import (
+    ExponentialLatency,
+    FixedLatency,
+    LatencyChannel,
+    MessageKind,
+    MessageLedger,
+    SynchronousChannel,
+    UniformLatency,
+)
 from repro.protocols import (
     BoundaryNearestSelection,
     FilterProtocol,
@@ -117,21 +125,31 @@ from repro.tolerance import (
     derive_rho,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "__version__",
+    "answer_size_bounds",
     "BoundaryNearestSelection",
     "Deployment",
+    "derive_rho",
     "Engine",
     "ExecutionSession",
+    "ExponentialLatency",
     "FilterConstraint",
-    "FilterProtocol",
     "FilteredSource",
+    "FilterProtocol",
+    "FixedLatency",
+    "format_series",
+    "format_table",
     "FractionTolerance",
     "FractionToleranceKnnProtocol",
     "FractionToleranceRangeProtocol",
+    "generate_synthetic_trace",
+    "generate_tcp_trace",
     "KMinQuery",
     "KnnQuery",
+    "LatencyChannel",
     "MembershipStrategy",
     "MessageKind",
     "MessageLedger",
@@ -144,6 +162,8 @@ __all__ = [
     "RankToleranceProtocol",
     "RankView",
     "RhoPolicy",
+    "run_grid",
+    "run_protocol",
     "RunConfig",
     "RunReport",
     "RunResult",
@@ -156,22 +176,15 @@ __all__ = [
     "StreamSource",
     "StreamStateTable",
     "StreamTrace",
+    "sweep_values",
+    "SynchronousChannel",
     "SyntheticConfig",
     "TcpTraceConfig",
     "ToleranceChecker",
     "TopKQuery",
     "TraceRecord",
+    "UniformLatency",
     "Workload",
     "ZeroToleranceKnnProtocol",
     "ZeroToleranceRangeProtocol",
-    "answer_size_bounds",
-    "derive_rho",
-    "format_series",
-    "format_table",
-    "generate_synthetic_trace",
-    "generate_tcp_trace",
-    "run_grid",
-    "run_protocol",
-    "sweep_values",
-    "__version__",
 ]

@@ -38,6 +38,7 @@ from repro.api.spec import (
 )
 from repro.correctness.checker import ToleranceChecker
 from repro.correctness.oracle import Oracle
+from repro.correctness.staleness import StalenessWindow, tag_reason
 from repro.harness.results import RunResult
 from repro.network.accounting import LedgerSnapshot
 from repro.runtime.session import ExecutionSession
@@ -90,10 +91,12 @@ def _execute_streams(
 
     if deployment.topology == "sharded":
         session = ExecutionSession.for_streams_sharded(
-            trace, protocol, deployment.n_shards
+            trace, protocol, deployment.n_shards, latency=deployment.latency
         )
     else:
-        session = ExecutionSession.for_streams(trace, protocol)
+        session = ExecutionSession.for_streams(
+            trace, protocol, latency=deployment.latency
+        )
 
     checker: ToleranceChecker | None = None
     oracle: Oracle | None = None
@@ -104,6 +107,11 @@ def _execute_streams(
             raise ValueError("checking requires a query")
         oracle = Oracle(trace.initial_values)
         oracle.register_query(query)
+        staleness = None
+        if deployment.latency is not None:
+            # Latency-modeled run: classify each violation as inherent
+            # to the modeled staleness vs a genuine protocol bug.
+            staleness = StalenessWindow(session.latency_channels)
         checker = ToleranceChecker(
             oracle=oracle,
             query=query,
@@ -111,6 +119,7 @@ def _execute_streams(
             answer_of=lambda: protocol.answer,
             every=deployment.check_every,
             strict=deployment.strict,
+            staleness=staleness,
         )
 
     session.initialize(time=0.0)
@@ -158,10 +167,13 @@ def _shard_replay_worker(job):
     Valid only for decomposable protocols: maintenance sends nothing
     server-to-source, so the shard's message sequence depends only on
     its own records and the merged per-shard ledgers equal the
-    single-server ledger exactly.
+    single-server ledger exactly.  A latency model rides along (frozen
+    dataclasses pickle): each worker drains its own engine, and since
+    decomposable sources decide reports locally at record time, delivery
+    timing never changes which messages are sent.
     """
-    shard_trace, protocol, replay_mode, batch_size, lo = job
-    session = ExecutionSession.for_streams(shard_trace, protocol)
+    shard_trace, protocol, replay_mode, batch_size, lo, latency = job
+    session = ExecutionSession.for_streams(shard_trace, protocol, latency=latency)
     session.initialize(time=0.0)
     session.replay_trace(
         shard_trace, mode=replay_mode, batch_size=batch_size
@@ -197,6 +209,7 @@ def _execute_streams_fanout(
             deployment.replay_mode,
             deployment.batch_size,
             lo,
+            deployment.latency,
         )
         for lo, hi in ranges
     ]
@@ -261,6 +274,7 @@ def _execute_spatial(
         tolerance=tolerance,
         config=deployment.run_config(),
         n_shards=deployment.n_shards,
+        latency=deployment.latency,
     )
 
 
@@ -275,6 +289,14 @@ def _execute_multiquery(trace, queries, deployment: Deployment | None = None):
     if deployment.topology != "single":
         raise ValueError(
             "the multi-query stack supports only Deployment.single()"
+        )
+    if deployment.latency is not None:
+        raise ValueError(
+            "latency-modeled delivery is not supported for the multi-query "
+            "stack: its coordinator delivers shared updates to protocol "
+            "slots directly, bypassing the channel, so there is no wire "
+            "on which messages could fly; use the single-query stacks for "
+            "staleness studies"
         )
     return execute_multi_query(trace, queries, config=deployment.run_config())
 
@@ -295,6 +317,7 @@ def _execute_value_window(
         check_every=deployment.check_every,
         replay_mode=deployment.replay_mode,
         n_shards=deployment.n_shards,
+        latency=deployment.latency,
     )
 
 
@@ -358,6 +381,14 @@ class Engine:
                 tolerance=spec.tolerance,
                 deployment=deployment,
             )
+            extras: dict = {}
+            if result.classified:
+                extras["violations_inherent_latency"] = (
+                    result.violations_inherent_latency
+                )
+                extras["violations_protocol_bug"] = (
+                    result.violations_protocol_bug
+                )
             return RunReport(
                 protocol=result.protocol,
                 stack=STACK_SPATIAL,
@@ -370,6 +401,7 @@ class Engine:
                 checks=result.checks,
                 violations=tuple(result.violations),
                 label=label,
+                extras=extras,
                 raw=result,
             )
         assert spec.stack == STACK_VALUEBASED
@@ -480,16 +512,22 @@ class Engine:
         checker = result.checker
         violations: tuple[str, ...] = ()
         checks = 0
+        extras = dict(result.extras)
         if checker is not None:
             checks = checker.checks
             violations = tuple(
-                f"t={violation.time}: {violation.reason}"
+                f"t={violation.time}: "
+                + tag_reason(violation.reason, violation.classification)
                 for violation in checker.violations
             )
             if checker.violation_count > len(checker.violations):
                 violations += (
                     f"... and {checker.violation_count - len(checker.violations)} more",
                 )
+            if checker.classified:
+                # Staleness-window mode: surface the violation split.
+                extras["violations_inherent_latency"] = checker.inherent_count
+                extras["violations_protocol_bug"] = checker.protocol_bug_count
         return RunReport(
             protocol=result.protocol,
             stack=stack,
@@ -502,7 +540,7 @@ class Engine:
             checks=checks,
             violations=violations,
             label=label,
-            extras=dict(result.extras),
+            extras=extras,
             raw=result,
         )
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Mapping
 
+from repro.network.latency import as_latency_model
 from repro.runtime.session import DEFAULT_BATCH_SIZE
 
 #: Stack identifiers (which execution assembly a protocol runs on).
@@ -299,6 +300,23 @@ class Deployment:
         all coupled (coordinator-side probes and redeployments), so
         ``sharded(n, parallel=True)`` raises for them rather than
         silently degrading.
+    latency:
+        The channel delivery discipline.  ``None`` (default) is the
+        paper's synchronous channel; a non-negative number is a
+        symmetric fixed delay; a :class:`repro.network.latency.
+        LatencyModel` (``FixedLatency``, ``UniformLatency``,
+        ``ExponentialLatency``) gives per-direction / distributional
+        delays.  ``latency=0`` deliberately compiles to the
+        latency-modeled channel with inline delivery — the
+        differential-testing configuration proven byte-identical to the
+        synchronous channel.  With checking enabled, a latency-modeled
+        run classifies each violation as inherent-to-latency vs a
+        protocol bug (DESIGN.md §8) — on the scalar and spatial stacks
+        alike.  ``parallel=True`` fan-out rides along (each worker
+        drains its own engine; decomposable sources decide reports
+        locally, so delivery timing never changes the message multiset).
+        Unsupported only for the multi-query stack, whose coordinator
+        bypasses the channel.
     """
 
     topology: str = "single"
@@ -309,6 +327,7 @@ class Deployment:
     strict: bool = False
     parallel: bool = False
     max_workers: int | None = None
+    latency: Any = None
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGIES:
@@ -326,6 +345,10 @@ class Deployment:
                 "sharded topology needs n_shards >= 2 "
                 "(use Deployment.single() for one server)"
             )
+        # Normalize the latency knob to a model (or None) up front, so
+        # invalid values fail at construction and equal deployments
+        # compare equal whether built from a number or a model.
+        object.__setattr__(self, "latency", as_latency_model(self.latency))
         # Reuse RunConfig's validation for the shared knobs.
         self.run_config()
 
@@ -367,6 +390,11 @@ class Deployment:
 
     def describe(self) -> str:
         """Human-readable topology tag for reports."""
-        if self.topology == "single":
-            return "single"
-        return f"sharded({self.n_shards})"
+        base = (
+            "single"
+            if self.topology == "single"
+            else f"sharded({self.n_shards})"
+        )
+        if self.latency is not None:
+            return f"{base}+latency"
+        return base

@@ -7,10 +7,20 @@ The paper's Correctness Requirements (Section 3.5):
 2. immediately after a resolution completes, the constraint is satisfied
    (values assumed frozen during resolution).
 
-Our channel delivers messages synchronously, so "resolution" is atomic
-within a simulation event; checking right after each applied trace record
-therefore validates both requirements at every instant the paper quantifies
-over.
+Our default channel delivers messages synchronously, so "resolution" is
+atomic within a simulation event; checking right after each applied trace
+record therefore validates both requirements at every instant the paper
+quantifies over.
+
+Under a latency-modeled channel requirement 2 is deliberately relaxed, so
+the checker gains a *staleness-window mode*: pass a
+:class:`~repro.correctness.staleness.StalenessWindow` and every observed
+violation is classified as ``inherent-latency`` (the network was active —
+some data-plane message in flight or recently delivered, so belief and
+truth legitimately diverge) or ``protocol-bug`` (the network was quiet,
+the state is indistinguishable from a zero-latency quiescent instant, and
+the protocol's own guarantee should have held).  See
+``repro.correctness.staleness`` for why the split is network-level.
 """
 
 from __future__ import annotations
@@ -19,6 +29,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.correctness.oracle import Oracle
+from repro.correctness.staleness import (
+    INHERENT_LATENCY,
+    PROTOCOL_BUG,
+    StalenessWindow,
+    strict_should_raise,
+)
 from repro.queries.base import EntityQuery, RankBasedQuery
 from repro.tolerance.fraction_tolerance import FractionTolerance
 from repro.tolerance.rank_tolerance import RankTolerance
@@ -30,10 +46,15 @@ class ToleranceViolationError(AssertionError):
 
 @dataclass(frozen=True)
 class Violation:
-    """One observed tolerance breach."""
+    """One observed tolerance breach.
+
+    ``classification`` is empty outside staleness-window mode; in it,
+    either ``"inherent-latency"`` or ``"protocol-bug"``.
+    """
 
     time: float
     reason: str
+    classification: str = ""
 
 
 @dataclass
@@ -47,10 +68,19 @@ class CheckerReport:
     checks: int = 0
     violation_count: int = 0
     violations: list[Violation] = field(default_factory=list)
+    #: Staleness-window mode tallies; both stay zero outside it.
+    classified: bool = False
+    inherent_count: int = 0
+    protocol_bug_count: int = 0
 
     @property
     def ok(self) -> bool:
         return self.violation_count == 0
+
+    @property
+    def latency_clean(self) -> bool:
+        """In staleness-window mode: no violation blamed on the protocol."""
+        return self.protocol_bug_count == 0
 
     @property
     def violation_rate(self) -> float:
@@ -78,9 +108,17 @@ class ToleranceChecker:
         benchmark runs sample instead of paying O(n) per event.
     strict:
         Raise :class:`ToleranceViolationError` on the first breach instead
-        of accumulating it — the mode unit tests use.
+        of accumulating it — the mode unit tests use.  In
+        staleness-window mode only ``protocol-bug`` violations raise;
+        inherent-latency breaches are the phenomenon under study and are
+        accumulated even when strict.
     max_violations:
         Retain at most this many violation records (counters keep going).
+    staleness:
+        A :class:`~repro.correctness.staleness.StalenessWindow` enabling
+        classification of every violation; ``None`` (the default, and
+        the only sound choice under the synchronous channel) records
+        violations unclassified.
     """
 
     def __init__(
@@ -92,6 +130,7 @@ class ToleranceChecker:
         every: int = 1,
         strict: bool = False,
         max_violations: int = 100,
+        staleness: StalenessWindow | None = None,
     ) -> None:
         if every < 1:
             raise ValueError("every must be >= 1")
@@ -106,7 +145,8 @@ class ToleranceChecker:
         self.every = every
         self.strict = strict
         self.max_violations = max_violations
-        self.report = CheckerReport()
+        self.staleness = staleness
+        self.report = CheckerReport(classified=staleness is not None)
         self._tick = 0
 
     def check(self, time: float) -> Violation | None:
@@ -122,11 +162,21 @@ class ToleranceChecker:
         reason = self._evaluate()
         if reason is None:
             return None
-        violation = Violation(time=time, reason=reason)
+        classification = ""
+        if self.staleness is not None:
+            classification = self.staleness.classify(time)
+            if classification == INHERENT_LATENCY:
+                self.report.inherent_count += 1
+            else:
+                assert classification == PROTOCOL_BUG
+                self.report.protocol_bug_count += 1
+        violation = Violation(
+            time=time, reason=reason, classification=classification
+        )
         self.report.violation_count += 1
         if len(self.report.violations) < self.max_violations:
             self.report.violations.append(violation)
-        if self.strict:
+        if self.strict and strict_should_raise(classification):
             raise ToleranceViolationError(f"t={time}: {reason}")
         return violation
 

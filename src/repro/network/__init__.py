@@ -2,14 +2,24 @@
 
 The paper's cost metric is "the number of maintenance messages required
 during the lifetime of the query" (Section 6).  This subpackage provides
-the typed message vocabulary exchanged in Figure 3's architecture, a
-zero/fixed-latency channel abstraction, and the
+the typed message vocabulary exchanged in Figure 3's architecture, the
+pluggable delivery disciplines (:class:`SynchronousChannel` — the
+paper's atomic-resolution model — and the latency-modeled
+:class:`LatencyChannel` of DESIGN.md §8), and the
 :class:`~repro.network.accounting.MessageLedger` that tallies every
 message by kind and phase.
 """
 
 from repro.network.accounting import MessageLedger, Phase
-from repro.network.channel import Channel
+from repro.network.channel import Channel, SynchronousChannel
+from repro.network.latency import (
+    ExponentialLatency,
+    FixedLatency,
+    LatencyChannel,
+    LatencyModel,
+    UniformLatency,
+    as_latency_model,
+)
 from repro.network.messages import (
     ConstraintMessage,
     Message,
@@ -22,11 +32,18 @@ from repro.network.messages import (
 __all__ = [
     "Channel",
     "ConstraintMessage",
+    "ExponentialLatency",
+    "FixedLatency",
+    "LatencyChannel",
+    "LatencyModel",
     "Message",
     "MessageKind",
     "MessageLedger",
     "Phase",
     "ProbeReplyMessage",
     "ProbeRequestMessage",
+    "SynchronousChannel",
+    "UniformLatency",
     "UpdateMessage",
+    "as_latency_model",
 ]

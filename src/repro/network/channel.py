@@ -2,10 +2,17 @@
 
 The paper's correctness requirement 2 assumes "stream values do not change
 during resolution", i.e. constraint resolution is atomic with respect to
-the data.  We model this with synchronous, zero-virtual-latency delivery:
-a message is recorded in the ledger and handed to the recipient within the
-same simulation event.  (An optional fixed latency is supported for
-experimentation but not used by the paper's protocols.)
+the data.  :class:`SynchronousChannel` — the default delivery discipline —
+models exactly that: a message is recorded in the ledger and handed to the
+recipient within the same simulation event.
+
+Delivery is pluggable: :class:`~repro.network.latency.LatencyChannel`
+subclasses the channel and defers data-plane messages (updates and
+constraint deployments) through the simulation engine's event loop to
+study how stale beliefs degrade the correctness requirement (DESIGN.md
+§8).  Both disciplines share the binding/tap surface defined here, and
+taps always observe a message at *delivery* time — for the synchronous
+channel the two instants coincide.
 """
 
 from __future__ import annotations
@@ -44,36 +51,63 @@ class Channel:
 
         The batched-replay quiescence table uses a tap to learn which
         sources' filter state may have changed: every membership mutation
-        is caused by some message crossing the channel.
+        is caused by some message crossing the channel.  Taps fire at
+        *delivery* time — identical to send time on this channel, later
+        on a latency-modeled one.
         """
         self._taps.append(tap)
 
     def remove_tap(self, tap: Callable[[Message], None]) -> None:
-        """Detach a previously added tap."""
-        self._taps.remove(tap)
+        """Detach a previously added tap.
 
+        Idempotent: detaching a tap that is not (or no longer) attached
+        is a no-op, so a mid-drain bailout can always clean up
+        unconditionally.
+        """
+        try:
+            self._taps.remove(tap)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Sending (the delivery discipline; overridden by LatencyChannel)
+    # ------------------------------------------------------------------
     def send_to_server(self, message: Message) -> None:
         """Deliver a source-to-server message (update or probe reply)."""
         if self._server_handler is None:
             raise RuntimeError("no server bound to channel")
         self.ledger.record(message)
+        self._deliver_to_server(message)
+
+    def send_to_source(self, message: Message) -> None:
+        """Deliver a server-to-source message (probe request or constraint)."""
+        if message.stream_id not in self._source_handlers:
+            raise RuntimeError(f"no source {message.stream_id} bound to channel")
+        self.ledger.record(message)
+        self._deliver_to_source(message)
+
+    # ------------------------------------------------------------------
+    # Delivery (shared by every discipline; taps fire here)
+    # ------------------------------------------------------------------
+    def _deliver_to_server(self, message: Message) -> None:
         if self._taps:
             for tap in self._taps:
                 tap(message)
         self._server_handler(message)
 
-    def send_to_source(self, message: Message) -> None:
-        """Deliver a server-to-source message (probe request or constraint)."""
-        handler = self._source_handlers.get(message.stream_id)
-        if handler is None:
-            raise RuntimeError(f"no source {message.stream_id} bound to channel")
-        self.ledger.record(message)
+    def _deliver_to_source(self, message: Message) -> None:
         if self._taps:
             for tap in self._taps:
                 tap(message)
-        handler(message)
+        self._source_handlers[message.stream_id](message)
 
     @property
     def source_ids(self) -> list[int]:
         """Identifiers of all bound sources."""
         return sorted(self._source_handlers)
+
+
+#: The default delivery discipline under its explicit name: today's
+#: synchronous zero-virtual-latency channel.  ``Channel`` remains the
+#: historical alias used throughout the codebase.
+SynchronousChannel = Channel

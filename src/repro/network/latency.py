@@ -1,0 +1,368 @@
+"""Latency-modeled delivery: the channel discipline that relaxes
+correctness requirement 2.
+
+The paper assumes constraint resolution is atomic with respect to the
+data; :class:`~repro.network.channel.SynchronousChannel` models that with
+zero-virtual-latency delivery.  :class:`LatencyChannel` relaxes exactly
+the *data-propagation* half of the assumption: update reports (uplink)
+and constraint deployments (downlink) spend a modeled delay in flight,
+held in a deterministic priority queue keyed by ``(virtual delivery
+time, send sequence)`` and drained through the simulation engine's event
+loop.  Probe round-trips stay synchronous — they are the protocols'
+resolution RPC, and requirement 2 keeps *resolution* atomic; what goes
+stale under latency is the server's belief between resolutions
+(DESIGN.md §8).
+
+Determinism and ordering guarantees:
+
+* **Deterministic replay.**  Delays come from a :class:`LatencyModel` —
+  fixed, or a seeded distribution over
+  :class:`repro.sim.rng.RandomStreams` — so two runs with the same seed
+  deliver every message at the same virtual instant in the same order.
+* **Per-stream FIFO.**  Messages of one stream and direction never
+  overtake each other: a draw that would land earlier than a previously
+  scheduled delivery for the same ``(direction, stream)`` is clamped to
+  it (TCP-like ordering per flow).
+* **Exactly-once.**  Every sent message is delivered exactly once —
+  either by its engine event or by a forced
+  :meth:`LatencyChannel.drain_in_flight` at end of replay.
+* **Zero delay is synchronous.**  A message whose sampled delay is zero
+  is delivered inline, byte-for-byte the synchronous discipline — which
+  is what makes ``latency=0`` runs ledger-identical to
+  ``SynchronousChannel`` runs (tests/network/test_latency_equivalence).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.network.accounting import MessageLedger
+from repro.network.channel import Channel
+from repro.network.messages import Message
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RandomStreams
+
+#: Sampler signature: ``sample(is_uplink) -> non-negative delay``.
+Sampler = Callable[[bool], float]
+
+
+def _require_non_negative(name: str, value: float) -> float:
+    value = float(value)
+    if not value >= 0.0:  # also rejects NaN
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    if value == float("inf"):
+        raise ValueError(f"{name} must be finite")
+    return value
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Base class of delivery-delay models.
+
+    Models are frozen values so a :class:`repro.api.Deployment` carrying
+    one stays hashable and comparable; each channel materializes its own
+    sampler via :meth:`make_sampler`, passing its channel index so a
+    sharded assembly's shards draw from distinct (but per-run
+    deterministic) RNG streams instead of replaying one sequence.
+    """
+
+    def make_sampler(self, channel: int = 0) -> Sampler:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedLatency(LatencyModel):
+    """A constant per-direction delay (deterministic, no RNG).
+
+    ``FixedLatency(0.0, 0.0)`` is the degenerate model every message of
+    which is delivered synchronously.
+    """
+
+    uplink: float = 0.0
+    downlink: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require_non_negative("uplink latency", self.uplink)
+        _require_non_negative("downlink latency", self.downlink)
+
+    @classmethod
+    def symmetric(cls, delay: float) -> "FixedLatency":
+        """The same fixed *delay* in both directions."""
+        return cls(uplink=float(delay), downlink=float(delay))
+
+    def make_sampler(self, channel: int = 0) -> Sampler:
+        uplink, downlink = float(self.uplink), float(self.downlink)
+        return lambda is_uplink: uplink if is_uplink else downlink
+
+
+@dataclass(frozen=True)
+class UniformLatency(LatencyModel):
+    """Per-message delays drawn uniformly from ``[low, high]``.
+
+    Draws come from two named :class:`~repro.sim.rng.RandomStreams`
+    generators (one per direction), so uplink draw counts never perturb
+    downlink delays and runs are reproducible in *seed*.
+    """
+
+    low: float
+    high: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require_non_negative("low latency bound", self.low)
+        _require_non_negative("high latency bound", self.high)
+        if self.high < self.low:
+            raise ValueError(
+                f"high bound {self.high} below low bound {self.low}"
+            )
+
+    def make_sampler(self, channel: int = 0) -> Sampler:
+        streams = RandomStreams(seed=self.seed)
+        uplink = streams.get(f"latency-uplink-{channel}")
+        downlink = streams.get(f"latency-downlink-{channel}")
+        low, high = float(self.low), float(self.high)
+        return lambda is_uplink: float(
+            (uplink if is_uplink else downlink).uniform(low, high)
+        )
+
+
+@dataclass(frozen=True)
+class ExponentialLatency(LatencyModel):
+    """Per-message exponential delays with the given per-direction means.
+
+    The memoryless model of queueing-style network delay; seeded exactly
+    like :class:`UniformLatency`.
+    """
+
+    mean_uplink: float
+    mean_downlink: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require_non_negative("mean uplink latency", self.mean_uplink)
+        _require_non_negative("mean downlink latency", self.mean_downlink)
+
+    def make_sampler(self, channel: int = 0) -> Sampler:
+        streams = RandomStreams(seed=self.seed)
+        uplink = streams.get(f"latency-uplink-{channel}")
+        downlink = streams.get(f"latency-downlink-{channel}")
+        means = {True: float(self.mean_uplink), False: float(self.mean_downlink)}
+
+        def sample(is_uplink: bool) -> float:
+            mean = means[is_uplink]
+            if mean == 0.0:
+                return 0.0
+            generator = uplink if is_uplink else downlink
+            return float(generator.exponential(mean))
+
+        return sample
+
+
+def as_latency_model(latency) -> LatencyModel | None:
+    """Coerce a deployment's ``latency=`` value to a model.
+
+    ``None`` means the synchronous discipline; a bare number is a
+    symmetric fixed delay (``0.0`` still selects :class:`LatencyChannel`,
+    with inline delivery — the differential-testing configuration); a
+    :class:`LatencyModel` passes through.
+    """
+    if latency is None:
+        return None
+    if isinstance(latency, LatencyModel):
+        return latency
+    if isinstance(latency, bool):
+        raise TypeError("latency must be a number or LatencyModel, not bool")
+    if isinstance(latency, (int, float)):
+        return FixedLatency.symmetric(_require_non_negative("latency", latency))
+    raise TypeError(
+        f"latency must be None, a non-negative number, or a LatencyModel, "
+        f"got {latency!r}"
+    )
+
+
+class LatencyChannel(Channel):
+    """A channel whose data-plane messages spend modeled time in flight.
+
+    Parameters
+    ----------
+    ledger:
+        Message accounting, charged at *send* time (a message costs the
+        same however long it flies; phase attribution follows the phase
+        in force when the protocol emitted it).
+    engine:
+        The simulation engine whose event loop drains deliveries.
+    model:
+        The per-direction delay model.
+
+    Probe requests/replies are always delivered inline (see the module
+    docstring); updates and constraints with a positive sampled delay
+    are held in the in-flight heap and delivered by an engine event at
+    ``send time + delay``, clamped to per-``(direction, stream)`` FIFO.
+    Taps fire at delivery, which is what keeps the batched replay's
+    deferred-write flushing correct under latency.
+    """
+
+    def __init__(
+        self,
+        ledger: MessageLedger,
+        engine: SimulationEngine,
+        model: LatencyModel,
+        channel_index: int = 0,
+    ) -> None:
+        super().__init__(ledger)
+        self.engine = engine
+        self.model = model
+        self.channel_index = int(channel_index)
+        self._sample = model.make_sampler(self.channel_index)
+        #: The in-flight heap: ``(delivery time, send seq, message)``.
+        self._in_flight: list[tuple[float, int, Message]] = []
+        self._seq = itertools.count()
+        #: Per-(is_uplink, stream) FIFO floor: no later send of the same
+        #: flow may be delivered before an earlier one.
+        self._fifo_floor: dict[tuple[bool, int], float] = {}
+        #: Per-flow count of messages currently in flight; a zero-delay
+        #: draw may only deliver inline while its flow's count is zero
+        #: (otherwise it would overtake an earlier in-flight message).
+        self._flow_in_flight: dict[tuple[bool, int], int] = {}
+        #: Virtual time each stream last had a message delivered *late*
+        #: (deferred) — the staleness window's "recently corrected"
+        #: evidence.  Inline deliveries are synchronous behavior and are
+        #: deliberately not evidence of staleness.
+        self._last_delivery: dict[int, float] = {}
+        self._delivered_count = 0
+        self._deferred_delivered_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection (session drain barriers, staleness classification)
+    # ------------------------------------------------------------------
+    @property
+    def in_flight_count(self) -> int:
+        """Number of messages currently held in flight."""
+        return len(self._in_flight)
+
+    @property
+    def delivered_count(self) -> int:
+        """Messages delivered so far (inline and deferred)."""
+        return self._delivered_count
+
+    @property
+    def deferred_delivered_count(self) -> int:
+        """Deliveries that actually spent time in flight.
+
+        Zero means the run so far is byte-identical to a synchronous
+        one — the staleness classifier's provable-prefix evidence.
+        """
+        return self._deferred_delivered_count
+
+    @property
+    def next_delivery_time(self) -> float | None:
+        """Earliest scheduled delivery, or ``None`` when nothing flies."""
+        if not self._in_flight:
+            return None
+        return self._in_flight[0][0]
+
+    def in_flight_stream_ids(self) -> set[int]:
+        """Streams with at least one message currently in flight."""
+        return {message.stream_id for _, _, message in self._in_flight}
+
+    def last_delivery_time(self, stream_id: int) -> float | None:
+        """When *stream_id* last had a *deferred* delivery, if ever."""
+        return self._last_delivery.get(int(stream_id))
+
+    def recently_delivered_streams(self, time: float, window: float) -> set[int]:
+        """Streams with a deferred delivery within ``[time - window, time]``."""
+        return {
+            stream_id
+            for stream_id, delivered in self._last_delivery.items()
+            if time - delivered <= window
+        }
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send_to_server(self, message: Message) -> None:
+        if self._server_handler is None:
+            raise RuntimeError("no server bound to channel")
+        self.ledger.record(message)
+        self._route(message, is_uplink=True)
+
+    def send_to_source(self, message: Message) -> None:
+        if message.stream_id not in self._source_handlers:
+            raise RuntimeError(f"no source {message.stream_id} bound to channel")
+        self.ledger.record(message)
+        self._route(message, is_uplink=False)
+
+    def _route(self, message: Message, is_uplink: bool) -> None:
+        if message.kind.is_probe:
+            # The synchronous resolution RPC: a probe never queues, and
+            # never carries flow-ordering obligations.
+            self._deliver(message, self.engine.now)
+            return
+        delay = self._sample(is_uplink)
+        if delay < 0:  # pragma: no cover - models validate already
+            raise ValueError(f"latency model produced negative delay {delay}")
+        key = (is_uplink, message.stream_id)
+        if delay == 0.0 and not self._flow_in_flight.get(key):
+            self._deliver(message, self.engine.now)
+            return
+        # A zero draw behind an in-flight flow-mate joins the heap at
+        # the flow's FIFO floor instead of overtaking it inline.
+        delivery_time = self.engine.now + delay
+        floor = self._fifo_floor.get(key)
+        if floor is not None and delivery_time < floor:
+            delivery_time = floor
+        self._fifo_floor[key] = delivery_time
+        self._flow_in_flight[key] = self._flow_in_flight.get(key, 0) + 1
+        heapq.heappush(
+            self._in_flight, (delivery_time, next(self._seq), message)
+        )
+        self.engine.schedule_at(
+            delivery_time, self._deliver_due, label="latency-delivery"
+        )
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def _deliver(self, message: Message, time: float, deferred: bool = False) -> None:
+        self._delivered_count += 1
+        if deferred:
+            self._deferred_delivered_count += 1
+            key = (message.kind.is_uplink, message.stream_id)
+            self._flow_in_flight[key] -= 1
+            previous = self._last_delivery.get(message.stream_id)
+            if previous is None or time > previous:
+                self._last_delivery[message.stream_id] = time
+        if message.kind.is_uplink:
+            self._deliver_to_server(message)
+        else:
+            self._deliver_to_source(message)
+
+    def _deliver_due(self) -> None:
+        """Engine-event action: deliver everything whose time has come.
+
+        One event is scheduled per send; later events that find their
+        message already delivered (by an earlier event's loop or a
+        forced drain) fire as no-ops.
+        """
+        now = self.engine.now
+        while self._in_flight and self._in_flight[0][0] <= now:
+            time, _, message = heapq.heappop(self._in_flight)
+            self._deliver(message, time, deferred=True)
+
+    def drain_in_flight(self) -> int:
+        """Force-deliver every in-flight message, in heap order.
+
+        Used at end of replay so the run's final state reflects all sent
+        traffic.  Deliveries may trigger protocol steps that send more
+        delayed messages; those join the heap and are drained by the
+        same loop.  Returns the number of messages delivered.
+        """
+        drained = 0
+        while self._in_flight:
+            time, _, message = heapq.heappop(self._in_flight)
+            self._deliver(message, time, deferred=True)
+            drained += 1
+        return drained

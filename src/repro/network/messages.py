@@ -31,6 +31,16 @@ class MessageKind(enum.Enum):
         """True for source-to-server messages."""
         return self in (MessageKind.UPDATE, MessageKind.PROBE_REPLY)
 
+    @property
+    def is_probe(self) -> bool:
+        """True for either half of the probe round-trip.
+
+        Probes are the protocols' synchronous resolution RPC: requirement
+        2 keeps resolution atomic, so even a latency-modeled channel
+        delivers them within the sending simulation event (DESIGN.md §8).
+        """
+        return self in (MessageKind.PROBE_REQUEST, MessageKind.PROBE_REPLY)
+
 
 @dataclass(frozen=True)
 class Message:

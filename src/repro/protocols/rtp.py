@@ -150,8 +150,21 @@ class RankToleranceProtocol(FilterProtocol):
         # self-corrects via its believed-membership flag if it truly sits
         # inside the deployed bound.
         threshold = (d_inside + max(d_outside, d_inside)) / 2.0
-        self._region = self.query.region(threshold)
-        lower, upper = self._region
+        lower, upper = self.query.region(threshold)
+        # R must enclose every tracked member's known value *exactly*.
+        # ``region`` round-trips the threshold through ``q ± threshold``,
+        # whose rounding can exclude inside[-1] by an ulp when the clamp
+        # above degenerates the gap to zero (observed: value 42.6416434
+        # against a computed lower bound 42.64164340000002).  The source
+        # then knows it is outside a region the server believes it is
+        # inside — and since its membership never flips again, no report
+        # ever corrects the divergence.  Widening to the tracked values
+        # closes the hole; in the non-degenerate case it moves nothing.
+        for member in inside:
+            value = self._known_value(member)
+            lower = min(lower, value)
+            upper = max(upper, value)
+        self._region = (lower, upper)
         for stream_id in server.stream_ids:
             if stream_id in fresh_ids:
                 server.deploy(stream_id, lower, upper)

@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.network.accounting import MessageLedger, Phase
 from repro.network.channel import Channel
+from repro.network.latency import LatencyChannel, as_latency_model
 from repro.runtime.source import FilteredSource
 from repro.sim.engine import SimulationEngine
 from repro.state.table import StreamStateTable
@@ -93,6 +94,12 @@ class ExecutionSession:
             self.channels = list(channels)
         else:
             self.channels = [channel] if channel is not None else []
+        #: Channels with a latency-modeled delivery discipline: the
+        #: replay loops must respect their in-flight barriers and drain
+        #: them at end of run.
+        self.latency_channels = [
+            c for c in self.channels if isinstance(c, LatencyChannel)
+        ]
         self.sources = sources
         self.host = host
         if initialize is None and host is not None:
@@ -135,47 +142,78 @@ class ExecutionSession:
     # ------------------------------------------------------------------
     # Builders: one per stack
     # ------------------------------------------------------------------
+    @staticmethod
+    def _make_channel(
+        ledger: MessageLedger,
+        engine: SimulationEngine,
+        latency,
+        channel_index: int = 0,
+    ) -> Channel:
+        """The deployment's delivery discipline: ``latency=None`` is the
+        synchronous channel; anything else (including ``0``) compiles to
+        a :class:`~repro.network.latency.LatencyChannel` draining through
+        *engine* — ``latency=0`` keeps a distinct code path on purpose,
+        so the differential suite can prove it byte-identical.
+        ``channel_index`` salts the model's RNG streams so per-shard
+        channels draw independent delay sequences."""
+        model = as_latency_model(latency)
+        if model is None:
+            return Channel(ledger)
+        return LatencyChannel(ledger, engine, model, channel_index=channel_index)
+
     @classmethod
-    def for_streams(cls, trace, protocol) -> "ExecutionSession":
+    def for_streams(cls, trace, protocol, latency=None) -> "ExecutionSession":
         """Scalar stack: ``StreamSource`` population + ``Server``."""
         from repro.server.server import Server
         from repro.streams.source import StreamSource
 
+        engine = SimulationEngine()
         ledger = MessageLedger()
-        channel = Channel(ledger)
+        channel = cls._make_channel(ledger, engine, latency)
         sources = [
             StreamSource(stream_id, value, channel)
             for stream_id, value in enumerate(trace.initial_values)
         ]
         server = Server(channel, protocol)
         return cls(
-            sources=sources, ledger=ledger, channel=channel, host=server
+            sources=sources,
+            ledger=ledger,
+            engine=engine,
+            channel=channel,
+            host=server,
         )
 
-    @staticmethod
-    def _sharded_parts(trace, n_shards: int, make_source, initials=None):
-        """Shared sharded assembly: ranges, per-shard channels (one
-        ledger), and sources built by ``make_source(stream_id, initial,
-        channel)`` in global id order.  ``initials`` defaults to the
-        trace's ``initial_values`` (scalar stacks); spatial builders
-        pass ``initial_points``."""
+    @classmethod
+    def _sharded_parts(
+        cls, trace, n_shards: int, make_source, initials=None, latency=None
+    ):
+        """Shared sharded assembly: ranges, engine, per-shard channels
+        (one ledger, each compiled to the deployment's delivery
+        discipline), and sources built by ``make_source(stream_id,
+        initial, channel)`` in global id order.  ``initials`` defaults
+        to the trace's ``initial_values`` (scalar stacks); spatial
+        builders pass ``initial_points``."""
         from repro.state.sharding import shard_ranges
 
         if initials is None:
             initials = trace.initial_values
         ranges = shard_ranges(trace.n_streams, n_shards)
+        engine = SimulationEngine()
         ledger = MessageLedger()
-        channels = [Channel(ledger) for _ in ranges]
+        channels = [
+            cls._make_channel(ledger, engine, latency, channel_index=index)
+            for index in range(len(ranges))
+        ]
         sources = [
             make_source(stream_id, initials[stream_id], channel)
             for channel, (lo, hi) in zip(channels, ranges)
             for stream_id in range(lo, hi)
         ]
-        return ranges, ledger, channels, sources
+        return ranges, engine, ledger, channels, sources
 
     @classmethod
     def for_streams_sharded(
-        cls, trace, protocol, n_shards: int
+        cls, trace, protocol, n_shards: int, latency=None
     ) -> "ExecutionSession":
         """Scalar stack over a sharded topology.
 
@@ -189,26 +227,28 @@ class ExecutionSession:
         from repro.server.sharded import ShardedServer
         from repro.streams.source import StreamSource
 
-        ranges, ledger, channels, sources = cls._sharded_parts(
-            trace, n_shards, StreamSource
+        ranges, engine, ledger, channels, sources = cls._sharded_parts(
+            trace, n_shards, StreamSource, latency=latency
         )
         coordinator = ShardedServer(channels, protocol, ranges)
         return cls(
             sources=sources,
             ledger=ledger,
+            engine=engine,
             channel=None,
             channels=channels,
             host=coordinator,
         )
 
     @classmethod
-    def for_spatial(cls, trace, protocol) -> "ExecutionSession":
+    def for_spatial(cls, trace, protocol, latency=None) -> "ExecutionSession":
         """Spatial stack: ``SpatialStreamSource`` + ``SpatialServer``."""
         from repro.spatial.server import SpatialServer
         from repro.spatial.source import SpatialStreamSource
 
+        engine = SimulationEngine()
         ledger = MessageLedger()
-        channel = Channel(ledger)
+        channel = cls._make_channel(ledger, engine, latency)
         sources = [
             SpatialStreamSource(
                 stream_id, trace.initial_points[stream_id], channel
@@ -217,12 +257,16 @@ class ExecutionSession:
         ]
         server = SpatialServer(channel, protocol)
         return cls(
-            sources=sources, ledger=ledger, channel=channel, host=server
+            sources=sources,
+            ledger=ledger,
+            engine=engine,
+            channel=channel,
+            host=server,
         )
 
     @classmethod
     def for_spatial_sharded(
-        cls, trace, protocol, n_shards: int
+        cls, trace, protocol, n_shards: int, latency=None
     ) -> "ExecutionSession":
         """Spatial stack over a sharded topology.
 
@@ -239,23 +283,25 @@ class ExecutionSession:
         from repro.server.sharded import ShardedSpatialServer
         from repro.spatial.source import SpatialStreamSource
 
-        ranges, ledger, channels, sources = cls._sharded_parts(
+        ranges, engine, ledger, channels, sources = cls._sharded_parts(
             trace,
             n_shards,
             SpatialStreamSource,
             initials=trace.initial_points,
+            latency=latency,
         )
         coordinator = ShardedSpatialServer(channels, protocol, ranges)
         return cls(
             sources=sources,
             ledger=ledger,
+            engine=engine,
             channel=None,
             channels=channels,
             host=coordinator,
         )
 
     @classmethod
-    def for_windows(cls, trace, width: float) -> "ExecutionSession":
+    def for_windows(cls, trace, width: float, latency=None) -> "ExecutionSession":
         """Value-window stack: ``WindowFilterSource`` population.
 
         The caller binds its own server-side handler on ``.channel`` and
@@ -263,17 +309,20 @@ class ExecutionSession:
         """
         from repro.valuebased.source import WindowFilterSource
 
+        engine = SimulationEngine()
         ledger = MessageLedger()
-        channel = Channel(ledger)
+        channel = cls._make_channel(ledger, engine, latency)
         sources = [
             WindowFilterSource(stream_id, value, channel, width=width)
             for stream_id, value in enumerate(trace.initial_values)
         ]
-        return cls(sources=sources, ledger=ledger, channel=channel)
+        return cls(
+            sources=sources, ledger=ledger, engine=engine, channel=channel
+        )
 
     @classmethod
     def for_windows_sharded(
-        cls, trace, width: float, n_shards: int
+        cls, trace, width: float, n_shards: int, latency=None
     ) -> "ExecutionSession":
         """Value-window stack over per-shard channels (shared ledger).
 
@@ -285,15 +334,20 @@ class ExecutionSession:
         """
         from repro.valuebased.source import WindowFilterSource
 
-        _, ledger, channels, sources = cls._sharded_parts(
+        _, engine, ledger, channels, sources = cls._sharded_parts(
             trace,
             n_shards,
             lambda stream_id, value, channel: WindowFilterSource(
                 stream_id, value, channel, width=width
             ),
+            latency=latency,
         )
         return cls(
-            sources=sources, ledger=ledger, channel=None, channels=channels
+            sources=sources,
+            ledger=ledger,
+            engine=engine,
+            channel=None,
+            channels=channels,
         )
 
     @classmethod
@@ -377,6 +431,11 @@ class ExecutionSession:
             self._replay_events(
                 times, stream_ids, payloads, horizon, oracle_apply, after_apply
             )
+        # A bounded run can leave messages scheduled past the horizon;
+        # deliver them so the final state reflects every sent message
+        # (a no-op for the synchronous discipline and for latency=0).
+        for channel in self.latency_channels:
+            channel.drain_in_flight()
 
     def replay_trace(self, trace, **kwargs) -> None:
         """Replay a ``StreamTrace`` or ``SpatialTrace`` object."""
@@ -464,6 +523,26 @@ class ExecutionSession:
     _BAILOUT_RATE = 0.25
     _BAILOUT_MIN_DISPATCHES = 64
 
+    def _in_flight_barrier(self):
+        """``(earliest delivery time, lagging stream ids)`` over the
+        latency channels, or ``(None, empty)`` when nothing flies.
+
+        While a message is in flight the pre-scan's claims are unsafe in
+        two ways: the in-flight streams' table rows mix deployed-but-not-
+        installed bounds with the source's old filter state, and any
+        delivery can run a protocol step that rewrites *other* streams'
+        bounds.  The batched loop therefore treats in-flight streams as
+        always-potential and never claims quiescence at or past the
+        earliest pending delivery."""
+        t_barrier = None
+        lagging: set[int] = set()
+        for channel in self.latency_channels:
+            t = channel.next_delivery_time
+            if t is not None:
+                t_barrier = t if t_barrier is None else min(t_barrier, t)
+                lagging |= channel.in_flight_stream_ids()
+        return t_barrier, lagging
+
     def _replay_batched(
         self, times, stream_ids, payloads, horizon, batch_size
     ) -> None:
@@ -481,9 +560,47 @@ class ExecutionSession:
             while i < n:
                 chunk = int(min(batch_size, max(self._MIN_CHUNK, 4 * avg_run)))
                 end = min(i + chunk, n)
+                forced_hit = None
+                lagging: set[int] = set()
+                if self.latency_channels:
+                    t_barrier, lagging = self._in_flight_barrier()
+                    if t_barrier is not None:
+                        # Claim nothing at or past the pending delivery.
+                        cap = i + int(
+                            np.searchsorted(
+                                times[i:end], t_barrier, side="left"
+                            )
+                        )
+                        if cap == i:
+                            # Next record needs the delivery first:
+                            # dispatching it per-event runs the engine up
+                            # to its time, draining what is due.
+                            forced_hit = 0
+                        else:
+                            end = cap
                 ids_chunk = stream_ids[i:end]
                 vals_chunk = payloads[i:end]
-                hit = prescan.first_potential(ids_chunk, vals_chunk)
+                if forced_hit is not None:
+                    hit = forced_hit
+                else:
+                    hit = prescan.first_potential(ids_chunk, vals_chunk)
+                    if lagging:
+                        # In-flight streams are never provably quiescent.
+                        lag_hits = np.nonzero(
+                            np.isin(
+                                ids_chunk,
+                                np.fromiter(
+                                    lagging, dtype=np.int64, count=len(lagging)
+                                ),
+                            )
+                        )[0]
+                        if lag_hits.size:
+                            first_lag = int(lag_hits[0])
+                            hit = (
+                                first_lag
+                                if hit is None
+                                else min(hit, first_lag)
+                            )
                 if hit is None:
                     deferred.stage(ids_chunk, vals_chunk)
                     avg_run = min(float(batch_size), 2.0 * max(avg_run, 1.0))

@@ -30,6 +30,15 @@ Why the message ledger is byte-identical to a single server:
   each shard queued independently, an update on shard B could re-enter
   the protocol while shard A's delivery is still on the stack.)
 
+Both coordinators accept a latency-modeled bus: the per-shard channels
+may be :class:`~repro.network.latency.LatencyChannel`s (compiled by the
+session builders from ``Deployment(latency=...)``), in which case update
+deliveries reach :meth:`ShardedServer._receive_update` at *delivery*
+time while probe round-trips stay synchronous (DESIGN.md §8).  The
+global delivery FIFO needs no change — a late-arriving self-correction
+is just one more deferred delivery — and with ``latency=0`` delivery is
+inline, so the byte-identity argument above is untouched.
+
 The spatial stack shards by the same four invariants:
 :class:`SpatialShardServer` / :class:`ShardedSpatialServer` mirror the
 scalar pair with the point/region message vocabulary and the exact

@@ -13,6 +13,12 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass, field
 
+from repro.correctness.staleness import (
+    INHERENT_LATENCY,
+    StalenessWindow,
+    strict_should_raise,
+    tag_reason,
+)
 from repro.harness.config import RunConfig
 from repro.network.accounting import LedgerSnapshot
 from repro.runtime.session import ExecutionSession
@@ -30,7 +36,12 @@ class SpatialToleranceViolationError(AssertionError):
 
 @dataclass
 class SpatialRunResult:
-    """Outcome of one spatial protocol over one trace."""
+    """Outcome of one spatial protocol over one trace.
+
+    Under a latency-modeled deployment with checking, ``classified`` is
+    set and every violation is split inherent-latency vs protocol-bug
+    exactly as the scalar checker does (DESIGN.md §8.3).
+    """
 
     protocol: str
     ledger: LedgerSnapshot
@@ -39,6 +50,9 @@ class SpatialRunResult:
     final_answer: frozenset[int]
     checks: int = 0
     violations: list[str] = field(default_factory=list)
+    classified: bool = False
+    violations_inherent_latency: int = 0
+    violations_protocol_bug: int = 0
 
     @property
     def maintenance_messages(self) -> int:
@@ -76,6 +90,7 @@ def execute_spatial(
     tolerance: RankTolerance | FractionTolerance | None = None,
     config: RunConfig | None = None,
     n_shards: int = 1,
+    latency=None,
 ) -> SpatialRunResult:
     """Replay *trace* against a spatial *protocol*; spatial mirror of
     the engine's scalar streams executor.
@@ -83,23 +98,27 @@ def execute_spatial(
     ``n_shards > 1`` assembles the sharded spatial topology
     (:meth:`ExecutionSession.for_spatial_sharded`) — per-shard channels
     and servers behind a merging coordinator, ledger byte-identical to
-    the single-server assembly.
+    the single-server assembly.  ``latency`` selects the channel
+    delivery discipline exactly as :class:`repro.api.Deployment` does.
     """
     config = config or RunConfig()
     if int(n_shards) > 1:
         session = ExecutionSession.for_spatial_sharded(
-            trace, protocol, int(n_shards)
+            trace, protocol, int(n_shards), latency=latency
         )
     else:
-        session = ExecutionSession.for_spatial(trace, protocol)
+        session = ExecutionSession.for_spatial(trace, protocol, latency=latency)
 
     oracle: SpatialOracle | None = None
+    staleness: StalenessWindow | None = None
     if config.check_every > 0:
         if query is None:
             query = getattr(protocol, "query", None)
         if query is None:
             raise ValueError("checking requires a query")
         oracle = SpatialOracle(trace.initial_points)
+        if latency is not None:
+            staleness = StalenessWindow(session.latency_channels)
 
     session.initialize(time=0.0)
 
@@ -109,6 +128,7 @@ def execute_spatial(
         n_streams=trace.n_streams,
         n_records=trace.n_records,
         final_answer=frozenset(),
+        classified=staleness is not None,
     )
 
     def check(time: float) -> None:
@@ -116,9 +136,18 @@ def execute_spatial(
         result.checks += 1
         reason = _evaluate(protocol, oracle, query, tolerance)
         if reason is not None:
+            classification = ""
+            if staleness is not None:
+                classification = staleness.classify(time)
+                if classification == INHERENT_LATENCY:
+                    result.violations_inherent_latency += 1
+                else:
+                    result.violations_protocol_bug += 1
             if len(result.violations) < 100:
-                result.violations.append(f"t={time}: {reason}")
-            if config.strict:
+                result.violations.append(
+                    f"t={time}: {tag_reason(reason, classification)}"
+                )
+            if config.strict and strict_should_raise(classification):
                 raise SpatialToleranceViolationError(f"t={time}: {reason}")
 
     oracle_apply = None

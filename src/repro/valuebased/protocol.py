@@ -81,6 +81,7 @@ def run_value_tolerance(
     check_every: int = 1,
     replay_mode: str = "auto",
     n_shards: int = 1,
+    latency=None,
 ) -> ValueToleranceResult:
     """Replay *trace* under value tolerance *eps*; measure rank quality.
 
@@ -96,10 +97,10 @@ def run_value_tolerance(
     """
     if n_shards > 1:
         session = ExecutionSession.for_windows_sharded(
-            trace, width=eps, n_shards=n_shards
+            trace, width=eps, n_shards=n_shards, latency=latency
         )
     else:
-        session = ExecutionSession.for_windows(trace, width=eps)
+        session = ExecutionSession.for_windows(trace, width=eps, latency=latency)
     protocol = ValueToleranceTopKProtocol(query, eps)
     for channel in session.channels:
         channel.bind_server(

@@ -45,3 +45,28 @@ def test_send_to_unknown_source_raises(wired_channel):
 def test_source_ids_sorted(wired_channel):
     channel, *_ = wired_channel
     assert channel.source_ids == [0, 1, 2]
+
+
+def test_taps_observe_messages(wired_channel):
+    channel, ledger, sources, received = wired_channel
+    seen = []
+    channel.add_tap(seen.append)
+    channel.send_to_server(UpdateMessage(stream_id=1, time=1.0, value=2.0))
+    assert [m.stream_id for m in seen] == [1]
+    channel.remove_tap(seen.append)
+    channel.send_to_server(UpdateMessage(stream_id=2, time=2.0, value=3.0))
+    assert len(seen) == 1
+
+
+def test_remove_tap_is_idempotent(wired_channel):
+    """Regression: a mid-drain bailout may detach a tap twice; the second
+    detach (and detaching a never-attached tap) must be a no-op, not a
+    ValueError."""
+    channel, *_ = wired_channel
+    tap = lambda message: None  # noqa: E731
+    channel.add_tap(tap)
+    channel.remove_tap(tap)
+    channel.remove_tap(tap)  # second detach: no-op
+    channel.remove_tap(lambda message: None)  # never attached: no-op
+    # The channel still works after the redundant detaches.
+    channel.send_to_server(UpdateMessage(stream_id=0, time=1.0, value=1.0))

@@ -217,3 +217,57 @@ class TestMaintenanceCases:
         assert result.tolerance_ok
         assert protocol.expansions == 1
         assert protocol.answer == frozenset({1, 2})  # 501 and 480
+
+
+class TestBoundEnclosesTracked:
+    """Regression: Deploy_bound's clamp case could exclude a tracked
+    member by an ulp.
+
+    When a stale outside value appears closer than the eps-th tracked
+    object, the halfway gap degenerates to ``threshold = d_inside``
+    exactly — but ``KnnQuery.region`` round-trips that through
+    ``q ± threshold``, whose rounding can place the closed bound a few
+    ulps past the tracked value (here: value 42.6416434 against a
+    computed lower bound 42.64164340000002).  The source then sits
+    outside a region the server believes it is inside; its membership
+    never flips again, the divergence is never reported, and a later
+    Case-2 promotion can lift the stale stream into the answer far out
+    of tolerance.  Found by hypothesis; pinned here as a plain trace so
+    a fresh checkout replays it without the local example database.
+    """
+
+    def trace(self):
+        initial = np.array(
+            [0.0, 2.0, 25.0, 237.0, 295.0, 296.0, 297.0,
+             236.0, 26.0, 3.125e-02, 238.0, 239.0, 24.0, 240.0]
+        )
+        stream_ids = np.array(
+            [0, 0, 0, 0, 0, 0, 0, 3, 5, 1, 0, 0, 0, 0, 0, 4,
+             7, 11, 0, 2, 10, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2]
+        )
+        values = np.array(
+            [542.0, 16.0, 17.0, 18.0, 19.0, 20.0, 21.0, 22.0,
+             23.0, 42.6416434, 6.25e-02, 10.0, 11.0, 12.0, 13.0, 14.0,
+             15.0, 0.125, 180.0, 179.0, 0.5, 1.0, 3.0, 4.0,
+             5.0, 6.0, 7.0, 8.0, 9.0, 1.5, 0.25, 0.375]
+        )
+        return StreamTrace(
+            initial_values=initial,
+            times=np.arange(1.0, len(values) + 1.0),
+            stream_ids=stream_ids,
+            values=values,
+            horizon=float(len(values) + 1),
+        )
+
+    def test_ulp_degenerate_bound_keeps_tolerance(self):
+        result, _ = run_rtp(self.trace(), KnnQuery(500.0, 3), r=3)
+        assert result.tolerance_ok
+
+    def test_deployed_region_encloses_every_tracked_value(self):
+        _, protocol = run_rtp(
+            self.trace(), KnnQuery(500.0, 3), r=3, strict=False
+        )
+        lower, upper = protocol.region
+        values = protocol._state.values  # noqa: SLF001
+        for stream_id in protocol.tracked:
+            assert lower <= values[stream_id] <= upper
