@@ -10,6 +10,7 @@ metrics the benches track:
 
 * ``state_engine``   — bulk-recompute and point-update speedups
 * ``runtime_replay`` — batched-replay filtering-regime speedup
+* ``dispatch``       — run-kernel speedup on the dispatch-heavy profile
 * ``sharded``        — per-shard capacity speedup at 4 shards
 * ``spatial``        — batched spatial replay speedup + message curves
 * ``latency``        — stale-belief violation rate and message overhead
@@ -83,6 +84,10 @@ HEADLINE_METRICS: dict[str, tuple[str, object]] = {
     "replay_filtering_speedup": (
         "runtime_replay",
         _path("value_window_speedup"),
+    ),
+    "dispatch_kernel_speedup": (
+        "dispatch",
+        _path("dispatch_heavy_speedup"),
     ),
     "sharded_capacity_speedup_x4": (
         "sharded",

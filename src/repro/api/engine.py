@@ -132,8 +132,12 @@ def _execute_streams(
         after_apply=checker.check if checker is not None else None,
         mode=deployment.replay_mode,
         batch_size=deployment.batch_size,
+        min_chunk=deployment.min_chunk,
     )
 
+    extras = _collect_extras(protocol)
+    if session.last_replay_stats is not None:
+        extras["replay"] = dict(session.last_replay_stats)
     return RunResult(
         protocol=protocol.name,
         ledger=session.snapshot(),
@@ -142,7 +146,7 @@ def _execute_streams(
         n_records=trace.n_records,
         final_answer=protocol.answer,
         label=label,
-        extras=_collect_extras(protocol),
+        extras=extras,
     )
 
 
@@ -172,14 +176,53 @@ def _shard_replay_worker(job):
     decomposable sources decide reports locally at record time, delivery
     timing never changes which messages are sent.
     """
-    shard_trace, protocol, replay_mode, batch_size, lo, latency = job
+    shard_trace, protocol, replay_mode, batch_size, min_chunk, lo, latency = (
+        job
+    )
     session = ExecutionSession.for_streams(shard_trace, protocol, latency=latency)
     session.initialize(time=0.0)
     session.replay_trace(
-        shard_trace, mode=replay_mode, batch_size=batch_size
+        shard_trace, mode=replay_mode, batch_size=batch_size,
+        min_chunk=min_chunk,
     )
     answer = frozenset(int(i) + lo for i in protocol.answer)
-    return session.snapshot(), answer, _collect_extras(protocol)
+    extras = _collect_extras(protocol)
+    if session.last_replay_stats is not None:
+        extras["replay"] = dict(session.last_replay_stats)
+    return session.snapshot(), answer, extras
+
+
+def _merge_replay_stats(parts: list[dict]) -> dict:
+    """Fold per-shard replay stats into one fleet-level stats dict.
+
+    Counters sum; the mode/kernel labels collapse to ``"mixed"`` when
+    the shards disagree (e.g. one shard bailed to per-event while the
+    rest stayed on the run kernel); a bailout position is the earliest
+    any shard bailed, ``None`` when none did.
+    """
+    merged = {
+        key: sum(int(part.get(key, 0)) for part in parts)
+        for key in (
+            "records",
+            "dispatches",
+            "staged",
+            "columnar_reports",
+            "chunk_scans",
+            "suffix_rescans",
+            "broadcast_truncations",
+            "inflight_truncations",
+        )
+    }
+    for label in ("mode", "kernel"):
+        seen = {part.get(label) for part in parts}
+        merged[label] = seen.pop() if len(seen) == 1 else "mixed"
+    bailouts = [
+        part["dispatch_bailout_at"]
+        for part in parts
+        if part.get("dispatch_bailout_at") is not None
+    ]
+    merged["dispatch_bailout_at"] = min(bailouts) if bailouts else None
+    return merged
 
 
 def _merge_snapshots(parts: list[LedgerSnapshot]) -> LedgerSnapshot:
@@ -208,6 +251,7 @@ def _execute_streams_fanout(
             copy.deepcopy(protocol),
             deployment.replay_mode,
             deployment.batch_size,
+            deployment.min_chunk,
             lo,
             deployment.latency,
         )
@@ -219,10 +263,16 @@ def _execute_streams_fanout(
 
     answer: frozenset[int] = frozenset()
     extras: dict = {}
+    replay_parts: list[dict] = []
     for _, shard_answer, shard_extras in parts:
         answer |= shard_answer
         for key, value in shard_extras.items():
+            if key == "replay":
+                replay_parts.append(value)
+                continue
             extras[key] = extras.get(key, 0) + value
+    if replay_parts:
+        extras["replay"] = _merge_replay_stats(replay_parts)
     return RunResult(
         protocol=protocol.name,
         ledger=_merge_snapshots([snapshot for snapshot, _, _ in parts]),
@@ -389,6 +439,8 @@ class Engine:
                 extras["violations_protocol_bug"] = (
                     result.violations_protocol_bug
                 )
+            if result.replay_stats is not None:
+                extras["replay"] = result.replay_stats
             return RunReport(
                 protocol=result.protocol,
                 stack=STACK_SPATIAL,

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Mapping
 
 from repro.network.latency import as_latency_model
-from repro.runtime.session import DEFAULT_BATCH_SIZE
+from repro.runtime.session import DEFAULT_BATCH_SIZE, DEFAULT_MIN_CHUNK
 
 #: Stack identifiers (which execution assembly a protocol runs on).
 STACK_STREAMS = "streams"
@@ -287,7 +287,7 @@ class Deployment:
         quiescence planes — the spatial ``-2d`` protocols.
     n_shards:
         Shard count (``>= 1``; must be ``>= 2`` for ``sharded``).
-    replay_mode, batch_size:
+    replay_mode, batch_size, min_chunk:
         As :class:`repro.harness.config.RunConfig`.
     check_every, strict:
         Continuous tolerance checking cadence (``0`` disables; checking
@@ -323,6 +323,7 @@ class Deployment:
     n_shards: int = 1
     replay_mode: str = "auto"
     batch_size: int = DEFAULT_BATCH_SIZE
+    min_chunk: int = DEFAULT_MIN_CHUNK
     check_every: int = 0
     strict: bool = False
     parallel: bool = False
@@ -368,6 +369,7 @@ class Deployment:
         return cls.single(
             replay_mode=config.replay_mode,
             batch_size=config.batch_size,
+            min_chunk=config.min_chunk,
             check_every=config.check_every,
             strict=config.strict,
         )
@@ -382,6 +384,7 @@ class Deployment:
             label=label,
             replay_mode=self.replay_mode,
             batch_size=self.batch_size,
+            min_chunk=self.min_chunk,
         )
 
     def with_checking(self, check_every: int, strict: bool = False):

@@ -119,25 +119,54 @@ class ToleranceChecker:
         classification of every violation; ``None`` (the default, and
         the only sound choice under the synchronous channel) records
         violations unclassified.
+    evaluate:
+        Override of the built-in scalar evaluation: a callable returning
+        a violation reason string or ``None``.  The spatial stack plugs
+        its geometric evaluation in here, so classification, sampling,
+        truncation, and strict handling live in one place.  With an
+        override, ``oracle``/``query``/``tolerance``/``answer_of`` are
+        unused and may be ``None``.
+    error_cls:
+        The exception type strict mode raises — stacks keep their own
+        (e.g. ``SpatialToleranceViolationError``).
+    check_offset:
+        Which of each ``every``-length window's ticks fires, in
+        ``[0, every)``.  The scalar engine checks ticks ``1, 1+every,
+        ...`` (offset 0); the spatial runner historically checked ticks
+        ``every, 2*every, ...`` (offset ``every - 1``), and its check
+        count — and thus its strict-mode behaviour — is part of the
+        recorded results, so the phase is a parameter rather than a
+        convention change.
     """
 
     def __init__(
         self,
-        oracle: Oracle,
-        query: EntityQuery,
+        oracle: Oracle | None,
+        query: EntityQuery | None,
         tolerance: RankTolerance | FractionTolerance | None,
-        answer_of: Callable[[], Iterable[int]],
+        answer_of: Callable[[], Iterable[int]] | None,
         every: int = 1,
         strict: bool = False,
         max_violations: int = 100,
         staleness: StalenessWindow | None = None,
+        evaluate: Callable[[], str | None] | None = None,
+        error_cls: type[AssertionError] = ToleranceViolationError,
+        check_offset: int = 0,
     ) -> None:
         if every < 1:
             raise ValueError("every must be >= 1")
-        if isinstance(tolerance, RankTolerance) and not isinstance(
-            query, RankBasedQuery
-        ):
-            raise TypeError("rank tolerance requires a rank-based query")
+        if not 0 <= check_offset < every:
+            raise ValueError("check_offset must be in [0, every)")
+        if evaluate is None:
+            if oracle is None or query is None or answer_of is None:
+                raise TypeError(
+                    "oracle, query and answer_of are required without an "
+                    "evaluate override"
+                )
+            if isinstance(tolerance, RankTolerance) and not isinstance(
+                query, RankBasedQuery
+            ):
+                raise TypeError("rank tolerance requires a rank-based query")
         self.oracle = oracle
         self.query = query
         self.tolerance = tolerance
@@ -146,13 +175,17 @@ class ToleranceChecker:
         self.strict = strict
         self.max_violations = max_violations
         self.staleness = staleness
+        self.error_cls = error_cls
+        self.check_offset = check_offset
+        if evaluate is not None:
+            self._evaluate = evaluate
         self.report = CheckerReport(classified=staleness is not None)
         self._tick = 0
 
     def check(self, time: float) -> Violation | None:
         """Validate the current answer; honours the sampling interval."""
         self._tick += 1
-        if (self._tick - 1) % self.every != 0:
+        if (self._tick - 1) % self.every != self.check_offset:
             return None
         return self.check_now(time)
 
@@ -177,10 +210,11 @@ class ToleranceChecker:
         if len(self.report.violations) < self.max_violations:
             self.report.violations.append(violation)
         if self.strict and strict_should_raise(classification):
-            raise ToleranceViolationError(f"t={time}: {reason}")
+            raise self.error_cls(f"t={time}: {reason}")
         return violation
 
     def _evaluate(self) -> str | None:
+        assert self.answer_of is not None and self.oracle is not None
         answer = set(int(i) for i in self.answer_of())
         if isinstance(self.tolerance, RankTolerance):
             assert isinstance(self.query, RankBasedQuery)

@@ -4,7 +4,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.runtime.session import DEFAULT_BATCH_SIZE, REPLAY_MODES
+from repro.runtime.session import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_MIN_CHUNK,
+    REPLAY_MODES,
+)
 
 
 @dataclass(frozen=True)
@@ -33,6 +37,11 @@ class RunConfig:
         that provably cannot flip any filter.
     batch_size:
         Chunk size of the batched quiescence pre-scan.
+    min_chunk:
+        Floor of the batched replay's adaptive chunk heuristic: lively
+        stretches shrink the scan window, but never below this many
+        records per pre-scan.  ``batch_size`` still caps every scan, so
+        a floor above the cap simply pins the window to ``batch_size``.
     """
 
     check_every: int = 0
@@ -40,6 +49,7 @@ class RunConfig:
     label: str = ""
     replay_mode: str = "auto"
     batch_size: int = DEFAULT_BATCH_SIZE
+    min_chunk: int = DEFAULT_MIN_CHUNK
 
     def __post_init__(self) -> None:
         # Reject wrong shapes eagerly and loudly: a malformed knob that
@@ -77,4 +87,15 @@ class RunConfig:
         if self.batch_size < 1:
             raise ValueError(
                 f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if isinstance(self.min_chunk, bool) or not isinstance(
+            self.min_chunk, int
+        ):
+            raise TypeError(
+                f"min_chunk must be an int, got "
+                f"{type(self.min_chunk).__name__}"
+            )
+        if self.min_chunk < 1:
+            raise ValueError(
+                f"min_chunk must be >= 1, got {self.min_chunk}"
             )

@@ -141,6 +141,7 @@ def execute_multi_query(
         after_apply=after_apply,
         mode=config.replay_mode,
         batch_size=config.batch_size,
+        min_chunk=config.min_chunk,
     )
 
     result.ledger = session.snapshot()

@@ -29,6 +29,14 @@ class ZeroToleranceRangeProtocol(FilterProtocol):
     # Maintenance is a pure per-stream membership flip: no probes, no
     # redeployments, no cross-stream state — shards replay independently.
     decomposable_maintenance = True
+    # Stronger still: the whole maintenance reaction to an update is
+    # "answer membership := deployed-interval containment of the
+    # reported value" — no messages back, no constraint changes, no
+    # listeners, no per-stream state outside the table.  That is the
+    # contract the dispatch kernel's fully-columnar path needs to apply
+    # crossings (not just quiescent prefixes) as window operations
+    # (DESIGN.md §9).
+    columnar_maintenance = True
 
     def __init__(self, query: RangeQuery) -> None:
         self.query = query

@@ -19,6 +19,7 @@ from repro.runtime.membership import (
 )
 from repro.runtime.session import (
     DEFAULT_BATCH_SIZE,
+    DEFAULT_MIN_CHUNK,
     REPLAY_MODES,
     ExecutionSession,
 )
@@ -27,6 +28,7 @@ from repro.runtime.source import ChannelFilteredSource, FilteredSource
 __all__ = [
     "REPORT",
     "DEFAULT_BATCH_SIZE",
+    "DEFAULT_MIN_CHUNK",
     "REPLAY_MODES",
     "ChannelFilteredSource",
     "ContainmentMembership",

@@ -46,6 +46,32 @@ REPORT = _Report()
 QuiescenceRow = tuple[float, float, bool]
 
 
+def run_flip_index(rows, values) -> int | None:
+    """Scalar-loop oracle for a run's first filter-flipping record.
+
+    Given one stream's quiescence *rows* and the run of scalar payloads
+    *values* it is about to report (time-ascending), return the index of
+    the first payload whose containment disagrees with a row's believed
+    membership, or ``None`` when the whole run is provably quiescent.
+    ``rows`` follows the :meth:`MembershipStrategy.quiescence_rows`
+    contract, so ``None`` rows (unbatchable source) flip at index 0.
+
+    This is deliberately the naive per-event loop: the columnar dispatch
+    kernel's vectorized first-crossing (``repro.state.runs``) must agree
+    with it on every input — the property suite checks exactly that.
+    Bulk application of the quiescent prefix ``values[:flip]`` is then
+    sound by construction: none of those payloads would have reported.
+    """
+    if rows is None:
+        return 0 if len(values) else None
+    for index, value in enumerate(values):
+        value = float(value)
+        for lower, upper, believed_inside in rows:
+            if (lower <= value <= upper) != bool(believed_inside):
+                return index
+    return None
+
+
 def deployment_outcome(
     container, assumed_inside: bool | None, payload
 ) -> tuple[bool, bool]:

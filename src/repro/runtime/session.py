@@ -5,19 +5,28 @@ discrete-event engine, the message ledger, the channel, the sources and
 the host (server or coordinator) — and provides the single
 :meth:`~ExecutionSession.replay` loop every runner uses.
 
-``replay`` has two modes:
+``replay`` has three modes:
 
 * **event** — the faithful per-record path: each trace record fires as a
   simulation event, the source evaluates its filter, messages flow.
   Required whenever per-record callbacks (oracle maintenance, tolerance
   checking) are active.
-* **batch** — the performance fast path: trace chunks are pre-scanned
-  with numpy against the currently-deployed constraint bounds; records
-  that provably cannot flip any filter (*quiescent* records) are applied
-  in bulk, and only potential violations go through the per-event
-  machinery.  Because quiescent records produce no messages by
-  definition, the resulting :class:`MessageLedger` snapshot is
-  byte-identical to the per-event path's.
+* **batch** — the columnar dispatch kernel (DESIGN.md §9): each trace
+  chunk is evaluated columnarly against the currently-deployed
+  constraint bounds, grouped into per-stream *runs* (stable argsort),
+  and drained through a heap of per-run first crossings.  Records that
+  provably cannot flip any filter (*quiescent* records) are applied in
+  bulk windows; only actual crossings go through the per-event
+  machinery, and the state table's constraint-plane watch tells the
+  kernel exactly which runs a dispatch invalidated.
+* **batch-chunk** — the pre-kernel fast path: first-hit chunk scanning
+  with whole-chunk rescans after every dispatch.  Kept selectable so
+  the dispatch benchmark can race the two fast paths.
+
+Because quiescent records produce no messages by definition and every
+crossing dispatches at its own virtual time through the same source
+code path, the resulting :class:`MessageLedger` snapshot of either fast
+path is byte-identical to the per-event path's.
 
 The pre-scan reads the deployed bounds and believed memberships directly
 from the session's :class:`~repro.state.table.StreamStateTable` columns
@@ -41,21 +50,32 @@ installed).
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.network.accounting import MessageLedger, Phase
 from repro.network.channel import Channel
+from repro.network.messages import MessageKind
 from repro.network.latency import LatencyChannel, as_latency_model
 from repro.runtime.source import FilteredSource
 from repro.sim.engine import SimulationEngine
+from repro.state.runs import first_true_per_run, segment_runs
 from repro.state.table import StreamStateTable
 
 #: Chunk size of the batched quiescence pre-scan.
 DEFAULT_BATCH_SIZE = 4096
 
-REPLAY_MODES = ("auto", "event", "batch")
+#: Minimum pre-scan chunk: below this, numpy call overhead beats the
+#: per-event loop anyway.  The adaptive chunk heuristic never shrinks a
+#: window below it; tunable per run via ``Deployment``/``RunConfig``.
+DEFAULT_MIN_CHUNK = 32
+
+#: ``"batch"`` is the run-based columnar dispatch kernel (DESIGN.md §9);
+#: ``"batch-chunk"`` keeps the previous first-hit chunk loop selectable
+#: so the dispatch benchmark can race the two fast paths.
+REPLAY_MODES = ("auto", "event", "batch", "batch-chunk")
 
 
 class ExecutionSession:
@@ -108,6 +128,10 @@ class ExecutionSession:
         #: Session-owned state table (hostless assemblies only; hosted
         #: sessions use the host's table(s)).
         self.state: StreamStateTable | None = None
+        #: Counters of the most recent :meth:`replay` (resolved mode,
+        #: dispatches, staged records, kernel truncations/bailouts);
+        #: surfaced through ``RunReport`` extras.
+        self.last_replay_stats: dict | None = None
         self._bind_state()
 
     def _bind_state(self) -> None:
@@ -401,6 +425,7 @@ class ExecutionSession:
         after_apply: Callable[[float], None] | None = None,
         mode: str = "auto",
         batch_size: int = DEFAULT_BATCH_SIZE,
+        min_chunk: int = DEFAULT_MIN_CHUNK,
     ) -> None:
         """Feed the record arrays through the assembled system.
 
@@ -418,16 +443,40 @@ class ExecutionSession:
             Correctness hook, called with the record time *after* each
             record is applied.  Forces per-event replay.
         mode:
-            ``"auto"`` | ``"event"`` | ``"batch"``.
+            ``"auto"`` | ``"event"`` | ``"batch"`` | ``"batch-chunk"``.
         batch_size:
             Chunk size of the batched quiescence pre-scan.
+        min_chunk:
+            Floor of the adaptive chunk heuristic: a lively stretch
+            shrinks the scan window, but never below this.
         """
         mode = self._resolve_mode(mode, payloads, oracle_apply, after_apply)
+        stats = {
+            "mode": mode,
+            "kernel": None,
+            "records": int(len(times)),
+            "dispatches": 0,
+            "staged": 0,
+            "columnar_reports": 0,
+            "chunk_scans": 0,
+            "suffix_rescans": 0,
+            "broadcast_truncations": 0,
+            "inflight_truncations": 0,
+            "dispatch_bailout_at": None,
+        }
+        self.last_replay_stats = stats
         if mode == "batch":
-            self._replay_batched(
-                times, stream_ids, payloads, horizon, batch_size
+            self._replay_run_kernel(
+                times, stream_ids, payloads, horizon, batch_size, min_chunk,
+                stats,
+            )
+        elif mode == "batch-chunk":
+            self._replay_chunked(
+                times, stream_ids, payloads, horizon, batch_size, min_chunk,
+                stats,
             )
         else:
+            stats["dispatches"] = int(len(times))
             self._replay_events(
                 times, stream_ids, payloads, horizon, oracle_apply, after_apply
             )
@@ -473,7 +522,7 @@ class ExecutionSession:
                 return "event"
             if ndim == 2 and not any(t.geo_scannable.any() for t in tables):
                 return "event"
-        return "batch"
+        return "batch" if mode == "auto" else mode
 
     # ------------------------------------------------------------------
     # Per-event path
@@ -512,16 +561,22 @@ class ExecutionSession:
         engine.run(until=horizon)
 
     # ------------------------------------------------------------------
-    # Batched fast path
+    # Batched fast paths
     # ------------------------------------------------------------------
-    # Minimum pre-scan chunk: below this, numpy call overhead beats the
-    # per-event loop anyway.
-    _MIN_CHUNK = 32
     # Bail out to per-event replay when, after a fair sample, more than
     # this fraction of records dispatched: the workload is too lively for
-    # pre-scanning to pay off.
+    # pre-scanning to pay off.  The run kernel tolerates a much higher
+    # rate than the chunk loop because a dispatch costs it one heap pop
+    # and a suffix check instead of a whole-chunk rescan.
     _BAILOUT_RATE = 0.25
     _BAILOUT_MIN_DISPATCHES = 64
+    _RUN_BAILOUT_RATE = 0.6
+    _RUN_BAILOUT_MIN_DISPATCHES = 512
+    # A dispatch whose protocol reaction rewrites more than this many
+    # *other* streams' constraint rows (a broadcast/reinitialization) is
+    # cheaper to handle by truncating the chunk and rescanning than by
+    # re-validating suffixes one stream at a time.
+    _BROADCAST_CAP = 32
 
     def _in_flight_barrier(self):
         """``(earliest delivery time, lagging stream ids)`` over the
@@ -543,11 +598,32 @@ class ExecutionSession:
                 lagging |= channel.in_flight_stream_ids()
         return t_barrier, lagging
 
-    def _replay_batched(
-        self, times, stream_ids, payloads, horizon, batch_size
+    def _dispatch_record(self, deferred, stream_ids, payloads, times, j) -> None:
+        """Run one record through the faithful per-event machinery."""
+        stream_id = int(stream_ids[j])
+        time = float(times[j])
+        if time > self.engine.now:
+            self.engine.run(until=time)
+        deferred.flush_for_dispatch(stream_id)
+        self.sources[stream_id].apply(payloads[j], time)
+
+    def _replay_chunked(
+        self, times, stream_ids, payloads, horizon, batch_size, min_chunk,
+        stats,
     ) -> None:
+        """The first-hit chunk loop (the pre-kernel batched fast path).
+
+        Scans each chunk for its *first* potential violation, stages the
+        quiescent prefix, dispatches the hit per-event and rescans from
+        the next record.  Kept selectable as ``mode="batch-chunk"`` so
+        the dispatch benchmark can race it against the run kernel; the
+        ledger is byte-identical to both other paths.
+        """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if min_chunk < 1:
+            raise ValueError("min_chunk must be >= 1")
+        stats["kernel"] = "chunk"
         n = len(times)
         prescan = _StatePrescan(self._state_tables())
         deferred = _DeferredAssignments(self.sources, self.channels, payloads)
@@ -558,7 +634,7 @@ class ExecutionSession:
         try:
             i = 0
             while i < n:
-                chunk = int(min(batch_size, max(self._MIN_CHUNK, 4 * avg_run)))
+                chunk = int(min(batch_size, max(min_chunk, 4 * avg_run)))
                 end = min(i + chunk, n)
                 forced_hit = None
                 lagging: set[int] = set()
@@ -583,6 +659,7 @@ class ExecutionSession:
                 if forced_hit is not None:
                     hit = forced_hit
                 else:
+                    stats["chunk_scans"] += 1
                     hit = prescan.first_potential(ids_chunk, vals_chunk)
                     if lagging:
                         # In-flight streams are never provably quiescent.
@@ -603,19 +680,16 @@ class ExecutionSession:
                             )
                 if hit is None:
                     deferred.stage(ids_chunk, vals_chunk)
+                    stats["staged"] += len(ids_chunk)
                     avg_run = min(float(batch_size), 2.0 * max(avg_run, 1.0))
                     i = end
                     continue
                 if hit > 0:
                     deferred.stage(ids_chunk[:hit], vals_chunk[:hit])
+                    stats["staged"] += hit
                 avg_run = 0.75 * avg_run + 0.25 * hit
                 j = i + hit
-                stream_id = int(stream_ids[j])
-                time = float(times[j])
-                if time > self.engine.now:
-                    self.engine.run(until=time)
-                deferred.flush_for_dispatch(stream_id)
-                self.sources[stream_id].apply(payloads[j], time)
+                self._dispatch_record(deferred, stream_ids, payloads, times, j)
                 i = j + 1
                 dispatches += 1
                 # The state-table columns are live views, so re-reading
@@ -629,12 +703,391 @@ class ExecutionSession:
                     break
         finally:
             deferred.close()
+        stats["dispatches"] += dispatches
         if i < n:
             # Too lively: finish faithfully on the per-event path.
+            stats["dispatch_bailout_at"] = int(i)
+            stats["dispatches"] += n - i
             self._replay_events(
                 times[i:], stream_ids[i:], payloads[i:], horizon, None, None
             )
             return
+        if horizon is None or horizon > self.engine.now:
+            self.engine.run(until=horizon)
+
+    def _replay_run_kernel(
+        self, times, stream_ids, payloads, horizon, batch_size, min_chunk,
+        stats,
+    ) -> None:
+        """The columnar dispatch kernel (DESIGN.md §9).
+
+        Each chunk is evaluated columnarly in one shot — the crossing
+        mask over the live constraint columns — then grouped into
+        per-stream runs (stable argsort).  A heap of per-run first
+        crossings drives dispatch in strict time order: the provably-
+        quiescent window before each crossing is bulk-staged, the
+        crossing record runs through the per-event machinery, and the
+        constraint-plane watch reports exactly which streams the
+        protocol's reaction touched, so only those runs' suffixes are
+        re-validated.  Ledger byte-identity with per-event replay holds
+        because every record either dispatches at its own virtual time
+        through the same source code path, or is staged while provably
+        unable to flip any filter.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if min_chunk < 1:
+            raise ValueError("min_chunk must be >= 1")
+        bulk_table = self._columnar_bulk_table(payloads)
+        if bulk_table is not None:
+            self._replay_columnar(
+                times, stream_ids, payloads, horizon, batch_size, bulk_table,
+                stats,
+            )
+            return
+        stats["kernel"] = "run"
+        n = len(times)
+        tables = self._state_tables()
+        prescan = _StatePrescan(tables)
+        deferred = _DeferredAssignments(self.sources, self.channels, payloads)
+        dispatches = 0
+        # Adaptive chunk: consumption-driven — truncations (broadcasts,
+        # in-flight barriers) shrink the scan window, clean chunks grow
+        # it back toward ``batch_size``.
+        avg_consumed = float(batch_size)
+        for table in tables:
+            table.watch_constraints()
+        try:
+            i = 0
+            while i < n:
+                chunk = int(
+                    min(batch_size, max(min_chunk, 4 * avg_consumed))
+                )
+                end = min(i + chunk, n)
+                lagging: set[int] = set()
+                if self.latency_channels:
+                    t_barrier, lagging = self._in_flight_barrier()
+                    if t_barrier is not None:
+                        # Claim nothing at or past the pending delivery.
+                        cap = i + int(
+                            np.searchsorted(
+                                times[i:end], t_barrier, side="left"
+                            )
+                        )
+                        if cap == i:
+                            # Next record needs the delivery first:
+                            # dispatching it per-event runs the engine up
+                            # to its time, draining what is due.
+                            self._dispatch_record(
+                                deferred, stream_ids, payloads, times, i
+                            )
+                            dispatches += 1
+                            i += 1
+                            continue
+                        end = cap
+                consumed, chunk_dispatches = self._run_kernel_chunk(
+                    stream_ids[i:end],
+                    payloads[i:end],
+                    times,
+                    i,
+                    prescan,
+                    deferred,
+                    tables,
+                    lagging,
+                    stats,
+                )
+                i += consumed
+                dispatches += chunk_dispatches
+                if consumed == end - (i - consumed):
+                    avg_consumed = min(
+                        float(batch_size), 2.0 * max(avg_consumed, 1.0)
+                    )
+                else:
+                    avg_consumed = 0.75 * avg_consumed + 0.25 * consumed
+                if (
+                    dispatches >= self._RUN_BAILOUT_MIN_DISPATCHES
+                    and dispatches > self._RUN_BAILOUT_RATE * i
+                ):
+                    break
+        finally:
+            deferred.close()
+            for table in tables:
+                table.unwatch_constraints()
+        stats["dispatches"] += dispatches
+        if i < n:
+            # Too lively even for the kernel: finish per-event.
+            stats["dispatch_bailout_at"] = int(i)
+            stats["dispatches"] += n - i
+            self._replay_events(
+                times[i:], stream_ids[i:], payloads[i:], horizon, None, None
+            )
+            return
+        if horizon is None or horizon > self.engine.now:
+            self.engine.run(until=horizon)
+
+    def _run_kernel_chunk(
+        self,
+        ids_chunk,
+        vals_chunk,
+        times,
+        base,
+        prescan,
+        deferred,
+        tables,
+        lagging,
+        stats,
+    ) -> tuple[int, int]:
+        """Drain one chunk through the run kernel.
+
+        Returns ``(records consumed, records dispatched)``; consuming
+        fewer records than the chunk holds means the chunk was truncated
+        (broadcast-scale invalidation or an in-flight latency message)
+        and the caller must rescan from the truncation point.
+        """
+        stats["chunk_scans"] += 1
+        # Stale watch entries (initialization, earlier chunks' protocol
+        # reactions) are already reflected in the live columns this scan
+        # is about to read; drop them.
+        for table in tables:
+            table.drain_constraint_watch()
+        mask = prescan.crossing_mask(ids_chunk, vals_chunk)
+        if lagging:
+            # In-flight streams are never provably quiescent.
+            mask = mask | np.isin(
+                ids_chunk,
+                np.fromiter(lagging, dtype=np.int64, count=len(lagging)),
+            )
+        n_chunk = len(ids_chunk)
+        if not mask.any():
+            deferred.stage(ids_chunk, vals_chunk)
+            stats["staged"] += n_chunk
+            return n_chunk, 0
+        # Group the chunk into per-stream runs and seed the dispatch heap
+        # with each run's first crossing (chunk position order == time
+        # order, so the heap pops crossings exactly as per-event replay
+        # would reach them).
+        order, starts, run_ids = segment_runs(ids_chunk)
+        n_runs = len(run_ids)
+        counts = np.diff(starts)
+        run_of_pos = np.empty(n_chunk, dtype=np.intp)
+        run_of_pos[order] = np.repeat(
+            np.arange(n_runs, dtype=np.intp), counts
+        )
+        rank_in_run = np.empty(n_chunk, dtype=np.intp)
+        rank_in_run[order] = np.arange(n_chunk, dtype=np.intp) - np.repeat(
+            starts[:-1], counts
+        )
+        first = first_true_per_run(mask[order], starts)
+        epoch = [0] * n_runs
+        heap = [
+            (int(order[g]), int(r), 0)
+            for r, g in enumerate(first)
+            if g >= 0
+        ]
+        heapq.heapify(heap)
+        run_of_stream: dict[int, int] | None = None
+        engine = self.engine
+        sources = self.sources
+        latency_channels = self.latency_channels
+        cursor = 0
+        chunk_dispatches = 0
+
+        def rescan_suffix(r: int, lo_grouped: int) -> None:
+            """Re-validate run *r* from grouped index *lo_grouped* on
+            against the now-live columns; push its new first crossing."""
+            epoch[r] += 1
+            hi_grouped = int(starts[r + 1])
+            if lo_grouped >= hi_grouped:
+                return
+            stats["suffix_rescans"] += 1
+            suffix = order[lo_grouped:hi_grouped]
+            sub = prescan.crossing_mask(
+                ids_chunk[suffix], vals_chunk[suffix]
+            )
+            hits = np.nonzero(sub)[0]
+            if hits.size:
+                heapq.heappush(
+                    heap, (int(suffix[hits[0]]), r, epoch[r])
+                )
+
+        while heap:
+            pos, r, ep = heapq.heappop(heap)
+            if ep != epoch[r]:
+                continue
+            if pos > cursor:
+                # Everything before the crossing is provably quiescent
+                # under the columns it was scanned against, which are
+                # still live: stage it in bulk.
+                deferred.stage(
+                    ids_chunk[cursor:pos], vals_chunk[cursor:pos]
+                )
+                stats["staged"] += pos - cursor
+            stream_id = int(ids_chunk[pos])
+            time = float(times[base + pos])
+            if time > engine.now:
+                engine.run(until=time)
+            deferred.flush_for_dispatch(stream_id)
+            sources[stream_id].apply(vals_chunk[pos], time)
+            cursor = pos + 1
+            chunk_dispatches += 1
+            if latency_channels:
+                t_next, _ = self._in_flight_barrier()
+                if t_next is not None:
+                    # A latency message is in flight: no claim is safe at
+                    # or past its delivery.  Truncate; the caller rescans
+                    # from here with a fresh barrier.
+                    stats["inflight_truncations"] += 1
+                    return cursor, chunk_dispatches
+            touched: list[int] = []
+            for table in tables:
+                noted = table.drain_constraint_watch()
+                if noted:
+                    touched.extend(noted)
+            # The dispatched stream's own suffix is always re-validated:
+            # even an untouched filter keeps dispatching when the stream
+            # carries none (the ~guarded rule).
+            rescan_suffix(r, int(starts[r]) + int(rank_in_run[pos]) + 1)
+            if touched:
+                others = set(touched)
+                others.discard(stream_id)
+                if len(others) > self._BROADCAST_CAP:
+                    # Broadcast-scale reaction: rescanning the remainder
+                    # wholesale beats per-stream suffix checks.
+                    stats["broadcast_truncations"] += 1
+                    return cursor, chunk_dispatches
+                if others:
+                    if run_of_stream is None:
+                        run_of_stream = dict(
+                            zip(run_ids.tolist(), range(n_runs))
+                        )
+                    for other in others:
+                        r_other = run_of_stream.get(int(other))
+                        if r_other is None:
+                            continue
+                        # Only positions the cursor has not yet claimed
+                        # are still pending for this run.
+                        span = order[
+                            starts[r_other] : starts[r_other + 1]
+                        ]
+                        lo = int(np.searchsorted(span, cursor))
+                        rescan_suffix(r_other, int(starts[r_other]) + lo)
+        if cursor < n_chunk:
+            deferred.stage(ids_chunk[cursor:], vals_chunk[cursor:])
+            stats["staged"] += n_chunk - cursor
+        return n_chunk, chunk_dispatches
+
+    def _columnar_bulk_table(self, payloads) -> StreamStateTable | None:
+        """The one state table when crossings themselves are columnar.
+
+        The fully-columnar path (DESIGN.md §9) applies *every* record —
+        quiescent or crossing — as window operations, so it is sound
+        only when a dispatch's entire observable effect is derivable
+        from the constraint columns: the hosted protocol declares
+        ``columnar_maintenance`` (reports mutate nothing but the answer
+        mask), every source carries a plain deployed interval, no
+        silencers rewrite report decisions, no listeners or channel taps
+        observe per-message traffic, and no latency model puts reports
+        in flight.  Anything else returns ``None`` and the run-heap
+        kernel handles the replay.
+        """
+        if np.ndim(payloads) != 1 or self.latency_channels:
+            return None
+        protocol = getattr(self.host, "protocol", None)
+        if not getattr(protocol, "columnar_maintenance", False):
+            return None
+        tables = self._state_tables()
+        if len(tables) != 1:
+            return None
+        table = tables[0]
+        if not (bool(table.known.all()) and bool(table.scannable.all())):
+            return None
+        if table.silencer.any() or table._listeners:
+            return None
+        if any(channel._taps for channel in self.channels):
+            return None
+        from repro.runtime.membership import IntervalMembership
+
+        for source in self.sources:
+            membership = source.membership
+            if (
+                type(membership) is not IntervalMembership
+                or membership.container is None
+            ):
+                return None
+        return table
+
+    def _replay_columnar(
+        self, times, stream_ids, payloads, horizon, batch_size, table, stats
+    ) -> None:
+        """Apply whole chunks — crossings included — columnarly.
+
+        For a ``columnar_maintenance`` protocol a source's belief after
+        record ``k`` always equals record ``k``'s containment (a report
+        happens exactly when consecutive containments differ), so each
+        run's report positions are one vectorized ``diff`` over its
+        containment sequence seeded with the table's believed
+        membership.  The ledger is charged the exact report count, the
+        value/constraint/answer planes take each run's final report, and
+        sources are resynchronized once at close — byte-identical to
+        per-event replay, with no Python in the loop at all.
+        """
+        stats["kernel"] = "columnar"
+        n = len(times)
+        deferred = _DeferredAssignments(self.sources, self.channels, payloads)
+        dirty = np.zeros(len(self.sources), dtype=bool)
+        ledger = self.ledger
+        try:
+            i = 0
+            while i < n:
+                end = min(i + batch_size, n)
+                ids_chunk = stream_ids[i:end]
+                vals_chunk = payloads[i:end]
+                stats["chunk_scans"] += 1
+                order, starts, run_ids = segment_runs(ids_chunk)
+                contains = (table.lower[ids_chunk] <= vals_chunk) & (
+                    vals_chunk <= table.upper[ids_chunk]
+                )
+                grouped = contains[order]
+                previous = np.empty_like(grouped)
+                previous[1:] = grouped[:-1]
+                previous[starts[:-1]] = table.inside[run_ids]
+                report_grouped = grouped != previous
+                report_idx = np.nonzero(report_grouped)[0]
+                if report_idx.size:
+                    ledger.record_kind(
+                        MessageKind.UPDATE, int(report_idx.size)
+                    )
+                    stats["columnar_reports"] += int(report_idx.size)
+                    # Each reporting run's *last* report is what the
+                    # server remembers: value plane, believed side,
+                    # answer membership.
+                    last = (
+                        np.searchsorted(report_idx, starts[1:], side="left")
+                        - 1
+                    )
+                    first = np.searchsorted(
+                        report_idx, starts[:-1], side="left"
+                    )
+                    reported = last >= first
+                    last_report = report_idx[last[reported]]
+                    pos = order[last_report]
+                    rows = ids_chunk[pos]
+                    table.values[rows] = vals_chunk[pos]
+                    table.report_time[rows] = times[i:end][pos]
+                    final_inside = grouped[last_report]
+                    table.inside[rows] = final_inside
+                    table.answer_assign_rows(rows, final_inside)
+                    dirty[rows] = True
+                deferred.stage(ids_chunk, vals_chunk)
+                stats["staged"] += end - i
+                i = end
+        finally:
+            deferred.close()
+            # One belief resync per reporting source replaces the
+            # per-report write-through of the event path.
+            for row in np.nonzero(dirty)[0].tolist():
+                membership = self.sources[row].membership
+                membership.reported_inside = bool(table.inside[row])
         if horizon is None or horizon > self.engine.now:
             self.engine.run(until=horizon)
 
@@ -741,8 +1194,13 @@ class _StatePrescan:
     def __init__(self, tables: Sequence[StreamStateTable]) -> None:
         self._tables = list(tables)
 
-    def first_potential(self, ids_chunk, vals_chunk) -> int | None:
-        """Index of the first record that might flip a filter, if any."""
+    def crossing_mask(self, ids_chunk, vals_chunk) -> np.ndarray:
+        """Which records might flip a filter, evaluated columnarly.
+
+        ``True`` marks a *potential* crossing — a record that must take
+        the per-event path; ``False`` is a proof of quiescence against
+        the live columns.  Without any table every record dispatches.
+        """
         geometric = vals_chunk.ndim == 2
         potential: np.ndarray | None = None
         guarded: np.ndarray | None = None
@@ -762,10 +1220,14 @@ class _StatePrescan:
             potential = flips if potential is None else potential | flips
             guarded = scan if guarded is None else guarded | scan
         if potential is None or guarded is None:
-            return 0 if len(ids_chunk) else None
+            return np.ones(len(ids_chunk), dtype=bool)
         # Filterless streams report every change.
         potential |= ~guarded
-        hits = np.nonzero(potential)[0]
+        return potential
+
+    def first_potential(self, ids_chunk, vals_chunk) -> int | None:
+        """Index of the first record that might flip a filter, if any."""
+        hits = np.nonzero(self.crossing_mask(ids_chunk, vals_chunk))[0]
         if hits.size == 0:
             return None
         return int(hits[0])

@@ -13,12 +13,8 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass, field
 
-from repro.correctness.staleness import (
-    INHERENT_LATENCY,
-    StalenessWindow,
-    strict_should_raise,
-    tag_reason,
-)
+from repro.correctness.checker import ToleranceChecker
+from repro.correctness.staleness import StalenessWindow, tag_reason
 from repro.harness.config import RunConfig
 from repro.network.accounting import LedgerSnapshot
 from repro.runtime.session import ExecutionSession
@@ -53,6 +49,9 @@ class SpatialRunResult:
     classified: bool = False
     violations_inherent_latency: int = 0
     violations_protocol_bug: int = 0
+    #: The session's replay diagnostics (kernel chosen, dispatch and
+    #: bailout counters) — see ``ExecutionSession.last_replay_stats``.
+    replay_stats: dict | None = None
 
     @property
     def maintenance_messages(self) -> int:
@@ -131,37 +130,32 @@ def execute_spatial(
         classified=staleness is not None,
     )
 
-    def check(time: float) -> None:
-        assert oracle is not None and query is not None
-        result.checks += 1
-        reason = _evaluate(protocol, oracle, query, tolerance)
-        if reason is not None:
-            classification = ""
-            if staleness is not None:
-                classification = staleness.classify(time)
-                if classification == INHERENT_LATENCY:
-                    result.violations_inherent_latency += 1
-                else:
-                    result.violations_protocol_bug += 1
-            if len(result.violations) < 100:
-                result.violations.append(
-                    f"t={time}: {tag_reason(reason, classification)}"
-                )
-            if config.strict and strict_should_raise(classification):
-                raise SpatialToleranceViolationError(f"t={time}: {reason}")
-
+    checker: ToleranceChecker | None = None
     oracle_apply = None
     after_apply = None
     if oracle is not None:
-        check(0.0)
+        # The shared checker with the spatial evaluation plugged in;
+        # check_offset keeps this runner's historical sampling phase
+        # (ticks every, 2*every, ... rather than the scalar engine's
+        # 1, 1+every, ...).
+        bound_oracle, bound_query = oracle, query
+        checker = ToleranceChecker(
+            oracle=None,
+            query=None,
+            tolerance=tolerance,
+            answer_of=None,
+            every=config.check_every,
+            strict=config.strict,
+            staleness=staleness,
+            evaluate=lambda: _evaluate(
+                protocol, bound_oracle, bound_query, tolerance
+            ),
+            error_cls=SpatialToleranceViolationError,
+            check_offset=config.check_every - 1,
+        )
+        checker.check_now(0.0)
         oracle_apply = oracle.apply
-        tick = 0
-
-        def after_apply(time: float) -> None:
-            nonlocal tick
-            tick += 1
-            if tick % config.check_every == 0:
-                check(time)
+        after_apply = checker.check
 
     session.replay_trace(
         trace,
@@ -169,8 +163,20 @@ def execute_spatial(
         after_apply=after_apply,
         mode=config.replay_mode,
         batch_size=config.batch_size,
+        min_chunk=config.min_chunk,
     )
 
+    if checker is not None:
+        report = checker.report
+        result.checks = report.checks
+        result.violations = [
+            f"t={v.time}: {tag_reason(v.reason, v.classification)}"
+            for v in report.violations
+        ]
+        result.violations_inherent_latency = report.inherent_count
+        result.violations_protocol_bug = report.protocol_bug_count
+    if session.last_replay_stats is not None:
+        result.replay_stats = dict(session.last_replay_stats)
     result.ledger = session.snapshot()
     result.final_answer = protocol.answer
     return result

@@ -1,0 +1,137 @@
+"""Run segmentation and first-crossing primitives for the dispatch kernel.
+
+The columnar dispatch kernel (DESIGN.md §9) recasts a trace chunk as a
+set of *per-stream runs*: the chunk positions of each stream, in time
+order.  Everything here is pure array geometry over one chunk — no
+simulation state, no tables — which is what makes the primitives easy to
+property-test against scalar oracles:
+
+* :func:`segment_runs` — stable ``argsort`` grouping of a chunk's stream
+  ids into contiguous runs.  Stability matters: within a run, positions
+  must stay ascending so "first crossing in the run" means "earliest in
+  time".
+* :func:`first_true_per_run` — the searchsorted trick: given a boolean
+  crossing mask (in run-grouped order) and the run boundaries, find each
+  run's first crossing with two vectorized calls instead of a Python
+  loop over runs.
+* :func:`segmented_cummin` / :func:`segmented_cummax` — running extrema
+  within each run.  For closed-interval filters these are the classical
+  formulation of "has the run crossed yet": a prefix of a run is
+  entirely inside ``[lo, hi]`` iff its running min stays ``>= lo`` and
+  its running max stays ``<= hi``, so the first crossing is the first
+  position where ``cummin < lo or cummax > hi``.  Because interval
+  containment is elementwise, that first position provably equals the
+  first elementwise violation — the equivalence the property suite
+  pins down — letting the hot kernel use the cheaper elementwise mask
+  while these reference primitives document (and test) why per-run
+  windows need no Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "segment_runs",
+    "first_true_per_run",
+    "segmented_cummin",
+    "segmented_cummax",
+    "first_interval_crossing",
+]
+
+
+def segment_runs(stream_ids) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Group a chunk's positions into per-stream runs.
+
+    Returns ``(order, starts, run_ids)`` where ``order`` is a stable
+    permutation of ``arange(len(stream_ids))`` grouping equal ids
+    together (ascending position within each group), run ``r`` occupies
+    ``order[starts[r]:starts[r + 1]]``, and ``run_ids[r]`` is its stream
+    id.  ``starts`` has ``n_runs + 1`` entries (``starts[-1] == len``),
+    so the runs partition the chunk exactly — every position appears in
+    exactly one run.
+    """
+    ids = np.asarray(stream_ids)
+    order = np.argsort(ids, kind="stable")
+    n = len(order)
+    if n == 0:
+        return order, np.zeros(1, dtype=np.intp), ids[:0]
+    sorted_ids = ids[order]
+    boundaries = np.nonzero(np.diff(sorted_ids))[0] + 1
+    starts = np.concatenate(
+        (
+            np.zeros(1, dtype=np.intp),
+            boundaries.astype(np.intp, copy=False),
+            np.asarray([n], dtype=np.intp),
+        )
+    )
+    return order, starts, sorted_ids[starts[:-1]]
+
+
+def first_true_per_run(mask_grouped, starts) -> np.ndarray:
+    """First ``True`` per run of a run-grouped boolean mask.
+
+    ``mask_grouped`` must already be in run-grouped order (i.e.
+    ``mask[order]`` for the ``order`` of :func:`segment_runs`); ``starts``
+    are the matching run boundaries.  Returns one index *into the
+    grouped order* per run, or ``-1`` for runs with no ``True``.  Two
+    vectorized calls: ``nonzero`` lists every hit, ``searchsorted``
+    locates each run's first hit at or past its start.
+    """
+    mask_grouped = np.asarray(mask_grouped)
+    starts = np.asarray(starts)
+    n_runs = len(starts) - 1
+    hits = np.nonzero(mask_grouped)[0]
+    out = np.full(n_runs, -1, dtype=np.intp)
+    if hits.size == 0 or n_runs == 0:
+        return out
+    first_hit = np.searchsorted(hits, starts[:-1], side="left")
+    valid = first_hit < hits.size
+    candidate = hits[np.where(valid, first_hit, 0)]
+    inside_run = valid & (candidate < starts[1:])
+    out[inside_run] = candidate[inside_run]
+    return out
+
+
+def _segmented_accumulate(values, starts, ufunc) -> np.ndarray:
+    """Running ``ufunc`` (min/max) within each segment of ``values``."""
+    values = np.asarray(values, dtype=np.float64)
+    out = np.empty_like(values)
+    starts = np.asarray(starts)
+    for r in range(len(starts) - 1):
+        lo, hi = int(starts[r]), int(starts[r + 1])
+        ufunc.accumulate(values[lo:hi], out=out[lo:hi])
+    return out
+
+
+def segmented_cummin(values, starts) -> np.ndarray:
+    """Running minimum within each run (reference primitive)."""
+    return _segmented_accumulate(values, starts, np.minimum)
+
+
+def segmented_cummax(values, starts) -> np.ndarray:
+    """Running maximum within each run (reference primitive)."""
+    return _segmented_accumulate(values, starts, np.maximum)
+
+
+def first_interval_crossing(values, starts, lower, upper) -> np.ndarray:
+    """First position per run whose running extrema escape ``[lo, up]``.
+
+    The cumulative-extrema formulation of the believed-inside crossing
+    test: run ``r`` (bounds ``lower[r]``, ``upper[r]``) first leaves its
+    interval at the first grouped position where
+    ``cummin < lower or cummax > upper``.  Returns ``-1`` for runs that
+    never leave.  Closed-interval containment is elementwise, so this
+    always agrees with ``first_true_per_run`` over the elementwise mask
+    — the equivalence the kernel relies on and the property suite
+    asserts.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    starts = np.asarray(starts)
+    counts = np.diff(starts)
+    lower_g = np.repeat(np.asarray(lower, dtype=np.float64), counts)
+    upper_g = np.repeat(np.asarray(upper, dtype=np.float64), counts)
+    crossed = (segmented_cummin(values, starts) < lower_g) | (
+        segmented_cummax(values, starts) > upper_g
+    )
+    return first_true_per_run(crossed, starts)

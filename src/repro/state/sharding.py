@@ -160,6 +160,13 @@ class StateShardView(StreamStateTable):
     def _ensure_geometry(self, dimension: int) -> None:
         self.parent._ensure_geometry(dimension)
 
+    def _note_constraint(self, row: int) -> None:
+        # Constraint-plane watches live on the coordinator's table: a
+        # shard-local write is a global-row change (the columns are the
+        # same memory), so the dispatch kernel — which watches the
+        # parent — must see it under its global id.
+        self.parent._note_constraint(self.lo + int(row))
+
     def to_global(self, local_id: int) -> int:
         return self.lo + int(local_id)
 

@@ -64,6 +64,12 @@ SILENCER_FN = 2  # silenced with [+inf, +inf]; believed outside
 class StreamStateTable:
     """Columnar server-side state for one standing query."""
 
+    #: Constraint-plane watch (class-level default so shard views — whose
+    #: ``__init__`` aliases a parent instead of calling ``super().__init__``
+    #: — inherit the disabled state).  ``None`` = off; a list = rows whose
+    #: bounds or believed membership changed since the last drain.
+    _constraint_watch: list | None = None
+
     def __init__(self, n_streams: int) -> None:
         n = int(n_streams)
         if n < 0:
@@ -155,12 +161,43 @@ class StreamStateTable:
     # ------------------------------------------------------------------
     # Constraint plane
     # ------------------------------------------------------------------
+    def watch_constraints(self) -> None:
+        """Start (or reset) recording which rows' constraint-plane state
+        changes.
+
+        While a watch is active, every mutation of a row's deployed
+        bounds or believed membership — scalar or geometric — appends the
+        row to the watch list.  The dispatch kernel (DESIGN.md §9) uses
+        this to learn exactly which streams a dispatched record's
+        protocol reaction touched, so it can re-validate only those
+        streams' remaining run suffixes instead of rescanning the chunk.
+        """
+        self._constraint_watch = []
+
+    def drain_constraint_watch(self) -> list[int]:
+        """Return and clear the rows noted since the last drain."""
+        rows = self._constraint_watch
+        if rows is None:
+            return []
+        self._constraint_watch = []
+        return rows
+
+    def unwatch_constraints(self) -> None:
+        """Stop recording constraint-plane changes."""
+        self._constraint_watch = None
+
+    def _note_constraint(self, row: int) -> None:
+        watch = self._constraint_watch
+        if watch is not None:
+            watch.append(int(row))
+
     def record_deploy(self, stream_id: int, lower: float, upper: float) -> None:
         """Record the scalar bounds of a deployed filter constraint."""
         stream_id = int(stream_id)
         self.lower[stream_id] = lower
         self.upper[stream_id] = upper
         self.scannable[stream_id] = True
+        self._note_constraint(stream_id)
 
     def _ensure_containers(self) -> np.ndarray:
         if self.containers is None:
@@ -170,6 +207,7 @@ class StreamStateTable:
     def record_container_deploy(self, stream_id: int, container) -> None:
         """Record a non-scalar deployed constraint (spatial regions)."""
         self._ensure_containers()[int(stream_id)] = container
+        self._note_constraint(stream_id)
 
     # ------------------------------------------------------------------
     # Geometric plane (regions' axis-aligned quiescence boxes)
@@ -221,6 +259,7 @@ class StreamStateTable:
             math.inf if outer_hi is None else outer_hi
         )
         self.geo_scannable[row] = True
+        self._note_constraint(row)
 
     def clear_region_filter(self, stream_id: int) -> None:
         """Drop a row's region filter from the geometric plane."""
@@ -232,6 +271,7 @@ class StreamStateTable:
             self.geo_upper[row] = -math.inf
             self.geo_outer_lower[row] = -math.inf
             self.geo_outer_upper[row] = math.inf
+        self._note_constraint(row)
 
     def geometric_quiescence_mask(
         self, points: np.ndarray, stream_ids: np.ndarray | None = None
@@ -278,9 +318,12 @@ class StreamStateTable:
         self.upper[stream_id] = upper
         self.inside[stream_id] = inside
         self.scannable[stream_id] = True
+        self._note_constraint(stream_id)
 
     def set_inside(self, stream_id: int, inside: bool) -> None:
-        self.inside[int(stream_id)] = inside
+        stream_id = int(stream_id)
+        self.inside[stream_id] = inside
+        self._note_constraint(stream_id)
 
     def clear_filter(self, stream_id: int) -> None:
         stream_id = int(stream_id)
@@ -288,6 +331,7 @@ class StreamStateTable:
         self.upper[stream_id] = math.inf
         self.inside[stream_id] = False
         self.scannable[stream_id] = False
+        self._note_constraint(stream_id)
 
     def bounds_of(self, stream_id: int) -> tuple[float, float]:
         stream_id = int(stream_id)
@@ -320,6 +364,21 @@ class StreamStateTable:
         for stream_id in members:
             self.answer_mask[int(stream_id)] = True
         self._answer_count = int(np.count_nonzero(self.answer_mask))
+
+    def answer_assign_rows(self, rows: np.ndarray, members: np.ndarray) -> None:
+        """Vectorized answer update: ``answer_mask[rows] = members``.
+
+        One gather/scatter pair instead of per-stream
+        :meth:`answer_add`/:meth:`answer_discard` calls — the dispatch
+        kernel's columnar maintenance path flips whole runs' final
+        memberships at once.  ``rows`` must be distinct; the count stays
+        exact because the old mask values are read before the scatter.
+        """
+        rows = np.asarray(rows)
+        members = np.asarray(members, dtype=bool)
+        before = int(np.count_nonzero(self.answer_mask[rows]))
+        self.answer_mask[rows] = members
+        self._answer_count += int(np.count_nonzero(members)) - before
 
     def answer_set_mask(self, mask: np.ndarray) -> None:
         self.answer_mask[:] = mask

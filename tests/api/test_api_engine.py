@@ -141,6 +141,40 @@ def test_run_queries_shared_deployment():
 # ----------------------------------------------------------------------
 # Sharded + parallel fan-out (decomposable protocols)
 # ----------------------------------------------------------------------
+def test_report_extras_carry_replay_diagnostics():
+    """Every batched run reports which kernel ran and what it counted."""
+    report = Engine().run(RANGE_SPEC, WORKLOAD, Deployment.single())
+    stats = report.extras["replay"]
+    assert stats["mode"] == "batch"
+    assert stats["kernel"] in ("columnar", "run", "chunk")
+    assert stats["records"] == report.n_records
+    # The bailout counters the dispatch benchmark reads.
+    for key in (
+        "dispatches",
+        "staged",
+        "chunk_scans",
+        "suffix_rescans",
+        "broadcast_truncations",
+        "inflight_truncations",
+    ):
+        assert stats[key] >= 0
+    assert "dispatch_bailout_at" in stats
+    event = Engine().run(
+        RANGE_SPEC, WORKLOAD, Deployment.single(replay_mode="event")
+    )
+    assert event.extras["replay"]["mode"] == "event"
+    assert event.extras["replay"]["dispatches"] == event.n_records
+
+
+def test_fanout_merges_replay_diagnostics():
+    fanned = Engine().run(
+        RANGE_SPEC, WORKLOAD, Deployment.sharded(3, parallel=True)
+    )
+    stats = fanned.extras["replay"]
+    assert stats["records"] == fanned.n_records
+    assert stats["kernel"] in ("columnar", "run", "chunk", "mixed")
+
+
 def test_fanout_matches_sequential_for_decomposable_protocol():
     sequential = Engine().run(RANGE_SPEC, WORKLOAD)
     fanned = Engine().run(

@@ -110,7 +110,10 @@ def test_sharded_ledger_identical_to_single(figure, protocol):
     sharded = engine.run(spec, workload, Deployment.sharded(3))
     assert sharded.ledger == single.ledger
     assert sharded.final_answer == single.final_answer
-    assert sharded.extras == single.extras
+    # extras["replay"] is an execution diagnostic (which kernel ran),
+    # legitimately topology-dependent; everything else must agree.
+    strip = lambda e: {k: v for k, v in e.items() if k != "replay"}  # noqa: E731
+    assert strip(sharded.extras) == strip(single.extras)
 
 
 @pytest.mark.parametrize("n_shards", [2, 5, 8])

@@ -104,4 +104,6 @@ def test_sharded_spatial_extras_match_single():
     workload = WORKLOADS["lively"]
     single = engine.run(spec, workload, Deployment.single())
     sharded = engine.run(spec, workload, Deployment.sharded(4))
-    assert sharded.extras == single.extras
+    # extras["replay"] is an execution diagnostic, not protocol state.
+    strip = lambda e: {k: v for k, v in e.items() if k != "replay"}  # noqa: E731
+    assert strip(sharded.extras) == strip(single.extras)

@@ -1,0 +1,177 @@
+"""The dispatch kernel's differential contract (DESIGN.md §9).
+
+The run-based kernel (and its fully-columnar specialization) may change
+*when* work happens, never *what* is observable: ledger snapshots and
+final answers must be byte-identical to per-event replay across
+
+    {event, batch} × {single, sharded(2)} × {synchronous, latency=0}
+
+for all five scalar protocols and all six ``-2d`` spatial protocols.
+The fixed grid runs on a dispatch-heavy workload (large sigma — the
+regime the kernel was built for, where it takes the crossing paths
+constantly); a seeded hypothesis suite then drives adversarial traces
+with arbitrary jumps through the representative kernels (columnar,
+run-heap, bailout).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Deployment, Engine, QuerySpec, Workload
+from repro.queries.knn import KnnQuery, TopKQuery
+from repro.queries.range_query import RangeQuery
+from repro.spatial.geometry import BoxRegion
+from repro.spatial.queries import SpatialKnnQuery, SpatialRangeQuery
+from repro.streams.trace import StreamTrace
+from repro.tolerance.fraction_tolerance import FractionTolerance
+from repro.tolerance.rank_tolerance import RankTolerance
+
+#: The five scalar protocols, sized for a 40-stream population.
+SCALAR_SPECS = {
+    "zt-nrp": QuerySpec(protocol="zt-nrp", query=RangeQuery(400.0, 600.0)),
+    "ft-nrp": QuerySpec(
+        protocol="ft-nrp",
+        query=RangeQuery(400.0, 600.0),
+        tolerance=FractionTolerance(0.2, 0.2),
+    ),
+    "rtp": QuerySpec(
+        protocol="rtp",
+        query=TopKQuery(k=5),
+        tolerance=RankTolerance(k=5, r=3),
+    ),
+    "zt-rp": QuerySpec(protocol="zt-rp", query=KnnQuery(q=500.0, k=5)),
+    "ft-rp": QuerySpec(
+        protocol="ft-rp",
+        query=KnnQuery(q=500.0, k=5),
+        tolerance=FractionTolerance(0.2, 0.2),
+    ),
+}
+
+QUERY_BOX = BoxRegion([300.0, 300.0], [700.0, 700.0])
+CENTER = (500.0, 500.0)
+
+#: All six spatial protocols, sized for a 40-object population.
+SPATIAL_SPECS = {
+    "no-filter-2d": QuerySpec(
+        protocol="no-filter-2d", query=SpatialRangeQuery(QUERY_BOX)
+    ),
+    "zt-nrp-2d": QuerySpec(
+        protocol="zt-nrp-2d", query=SpatialRangeQuery(QUERY_BOX)
+    ),
+    "ft-nrp-2d": QuerySpec(
+        protocol="ft-nrp-2d",
+        query=SpatialRangeQuery(QUERY_BOX),
+        tolerance=FractionTolerance(0.2, 0.2),
+    ),
+    "rtp-2d": QuerySpec(
+        protocol="rtp-2d",
+        query=SpatialKnnQuery(CENTER, 5),
+        tolerance=RankTolerance(k=5, r=3),
+    ),
+    "zt-rp-2d": QuerySpec(
+        protocol="zt-rp-2d", query=SpatialKnnQuery(CENTER, 5)
+    ),
+    "ft-rp-2d": QuerySpec(
+        protocol="ft-rp-2d",
+        query=SpatialKnnQuery(CENTER, 5),
+        tolerance=FractionTolerance(0.2, 0.2),
+    ),
+}
+
+#: Dispatch-heavy regimes: big jumps, so the kernel crosses constantly.
+SCALAR_WORKLOAD = Workload.synthetic(
+    n_streams=40, horizon=40.0, sigma=150.0, seed=7
+)
+SPATIAL_WORKLOAD = Workload.moving_objects(
+    n_objects=40, horizon=60.0, sigma=60.0, seed=7
+)
+
+GRID = [
+    (n_shards, mode, latency)
+    for n_shards in (1, 2)
+    for mode in ("event", "batch")
+    for latency in (None, 0.0)
+]
+
+
+def _deploy(n_shards, mode, latency) -> Deployment:
+    if n_shards == 1:
+        return Deployment.single(replay_mode=mode, latency=latency)
+    return Deployment.sharded(n_shards, replay_mode=mode, latency=latency)
+
+
+def _assert_grid_collapses(spec, workload):
+    engine = Engine()
+    base = engine.run(spec, workload, _deploy(1, "event", None))
+    for n_shards, mode, latency in GRID:
+        report = engine.run(spec, workload, _deploy(n_shards, mode, latency))
+        tag = f"{spec.protocol} shards={n_shards} {mode} latency={latency}"
+        assert report.ledger == base.ledger, f"{tag}: ledger diverged"
+        assert report.final_answer == base.final_answer, (
+            f"{tag}: answer diverged"
+        )
+
+
+@pytest.mark.parametrize("protocol", sorted(SCALAR_SPECS))
+def test_scalar_grid_collapses_to_one_ledger(protocol):
+    _assert_grid_collapses(SCALAR_SPECS[protocol], SCALAR_WORKLOAD)
+
+
+@pytest.mark.parametrize("protocol", sorted(SPATIAL_SPECS))
+def test_spatial_grid_collapses_to_one_ledger(protocol):
+    _assert_grid_collapses(SPATIAL_SPECS[protocol], SPATIAL_WORKLOAD)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: adversarial traces through the representative kernels
+# ----------------------------------------------------------------------
+N_STREAMS = 12
+
+
+@st.composite
+def adversarial_traces(draw):
+    """A small trace with arbitrary jumps and globally distinct values."""
+    n_records = draw(st.integers(0, 50))
+    pool = draw(
+        st.lists(
+            st.floats(0.0, 1000.0, allow_nan=False),
+            min_size=N_STREAMS + n_records,
+            max_size=N_STREAMS + n_records,
+            unique_by=lambda v: abs(v - 500.0),
+        )
+    )
+    initial, values = pool[:N_STREAMS], pool[N_STREAMS:]
+    ids = draw(
+        st.lists(
+            st.integers(0, N_STREAMS - 1),
+            min_size=n_records,
+            max_size=n_records,
+        )
+    )
+    times = np.arange(1.0, n_records + 1.0)
+    return StreamTrace(
+        initial_values=np.array(initial),
+        times=times,
+        stream_ids=np.array(ids, dtype=np.int64),
+        values=np.array(values),
+        horizon=float(n_records + 1),
+    )
+
+
+@given(adversarial_traces())
+@settings(max_examples=25, deadline=None)
+def test_columnar_kernel_identical_on_adversarial_traces(trace):
+    """zt-nrp: the fully-columnar path vs per-event, both topologies."""
+    _assert_grid_collapses(
+        SCALAR_SPECS["zt-nrp"], Workload.from_trace(trace)
+    )
+
+
+@given(adversarial_traces())
+@settings(max_examples=15, deadline=None)
+def test_run_kernel_identical_on_adversarial_traces(trace):
+    """rtp: broadcast-heavy run-heap path (rescans + bailout) vs
+    per-event, both topologies."""
+    _assert_grid_collapses(SCALAR_SPECS["rtp"], Workload.from_trace(trace))

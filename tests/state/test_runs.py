@@ -1,0 +1,169 @@
+"""Property tests for the dispatch kernel's run primitives.
+
+The kernel's soundness rests on three array facts (DESIGN.md §9), each
+pinned here against a naive scalar oracle over hypothesis-generated
+chunks:
+
+* run segmentation partitions the chunk exactly — every position in
+  exactly one run, ascending (time-ordered) within each run;
+* ``first_true_per_run`` equals a Python loop over each run's mask;
+* the cumulative-extrema first-crossing equals both the elementwise
+  mask formulation and the per-event ``run_flip_index`` oracle the
+  membership layer defines.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.membership import run_flip_index
+from repro.state.runs import (
+    first_interval_crossing,
+    first_true_per_run,
+    segment_runs,
+    segmented_cummax,
+    segmented_cummin,
+)
+
+MAX_STREAM = 7
+
+
+@st.composite
+def chunks(draw):
+    """A chunk of stream ids with parallel float payloads."""
+    n = draw(st.integers(0, 60))
+    ids = draw(
+        st.lists(
+            st.integers(0, MAX_STREAM), min_size=n, max_size=n
+        )
+    )
+    values = draw(
+        st.lists(
+            st.floats(-100.0, 100.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return np.asarray(ids, dtype=np.int64), np.asarray(values)
+
+
+@st.composite
+def bounds_per_run(draw, n_runs):
+    """Closed (possibly empty or unbounded) intervals, one per run."""
+    lower = draw(
+        st.lists(
+            st.floats(-120.0, 120.0, allow_nan=False),
+            min_size=n_runs,
+            max_size=n_runs,
+        )
+    )
+    width = draw(
+        st.lists(
+            st.floats(0.0, 200.0, allow_nan=False),
+            min_size=n_runs,
+            max_size=n_runs,
+        )
+    )
+    lower = np.asarray(lower)
+    return lower, lower + np.asarray(width)
+
+
+@given(chunks())
+@settings(max_examples=200, deadline=None)
+def test_segmentation_partitions_the_chunk_exactly(chunk):
+    ids, _ = chunk
+    order, starts, run_ids = segment_runs(ids)
+    # Every position appears in exactly one run.
+    assert sorted(order.tolist()) == list(range(len(ids)))
+    assert starts[0] == 0 and starts[-1] == len(ids)
+    assert len(run_ids) == len(starts) - 1
+    covered = []
+    for r in range(len(run_ids)):
+        run = order[starts[r] : starts[r + 1]]
+        assert len(run) > 0
+        # One stream per run, ascending positions (stable = time order).
+        assert (ids[run] == run_ids[r]).all()
+        assert (np.diff(run) > 0).all() if len(run) > 1 else True
+        covered.extend(run.tolist())
+    assert sorted(covered) == list(range(len(ids)))
+    # Runs are maximal: distinct runs carry distinct stream ids.
+    assert len(set(run_ids.tolist())) == len(run_ids)
+
+
+@given(chunks(), st.data())
+@settings(max_examples=200, deadline=None)
+def test_first_true_per_run_matches_scalar_loop(chunk, data):
+    ids, _ = chunk
+    order, starts, run_ids = segment_runs(ids)
+    mask = np.asarray(
+        data.draw(
+            st.lists(
+                st.booleans(), min_size=len(ids), max_size=len(ids)
+            )
+        ),
+        dtype=bool,
+    )
+    grouped = mask[order]
+    first = first_true_per_run(grouped, starts)
+    for r in range(len(run_ids)):
+        lo, hi = int(starts[r]), int(starts[r + 1])
+        expected = next(
+            (g for g in range(lo, hi) if grouped[g]), -1
+        )
+        assert first[r] == expected
+
+
+@given(chunks(), st.data())
+@settings(max_examples=200, deadline=None)
+def test_interval_crossing_equals_elementwise_and_flip_oracle(chunk, data):
+    ids, values = chunk
+    order, starts, run_ids = segment_runs(ids)
+    lower, upper = data.draw(bounds_per_run(len(run_ids)))
+    grouped = values[order]
+
+    by_extrema = first_interval_crossing(grouped, starts, lower, upper)
+
+    counts = np.diff(starts)
+    lower_g = np.repeat(lower, counts)
+    upper_g = np.repeat(upper, counts)
+    outside = (grouped < lower_g) | (grouped > upper_g)
+    by_mask = first_true_per_run(outside, starts)
+    assert (by_extrema == by_mask).all()
+
+    # Both agree with the membership layer's per-event oracle for a
+    # believed-inside stream (the quiescence-row contract).
+    for r in range(len(run_ids)):
+        lo, hi = int(starts[r]), int(starts[r + 1])
+        flip = run_flip_index(
+            [(float(lower[r]), float(upper[r]), True)], grouped[lo:hi]
+        )
+        expected = -1 if flip is None else lo + flip
+        assert by_extrema[r] == expected
+
+
+@given(chunks(), st.data())
+@settings(max_examples=100, deadline=None)
+def test_segmented_extrema_match_per_run_accumulate(chunk, data):
+    ids, values = chunk
+    order, starts, _ = segment_runs(ids)
+    grouped = values[order]
+    cummin = segmented_cummin(grouped, starts)
+    cummax = segmented_cummax(grouped, starts)
+    for r in range(len(starts) - 1):
+        lo, hi = int(starts[r]), int(starts[r + 1])
+        run = grouped[lo:hi]
+        assert (cummin[lo:hi] == np.minimum.accumulate(run)).all()
+        assert (cummax[lo:hi] == np.maximum.accumulate(run)).all()
+
+
+def test_empty_chunk_degenerates_cleanly():
+    order, starts, run_ids = segment_runs(np.asarray([], dtype=np.int64))
+    assert len(order) == 0 and len(run_ids) == 0
+    assert starts.tolist() == [0]
+    assert len(first_true_per_run(np.asarray([], dtype=bool), starts)) == 0
+
+
+def test_unbatchable_source_flips_immediately():
+    """rows=None (no quiescence info) must flip at index 0."""
+    assert run_flip_index(None, np.asarray([1.0])) == 0
+    assert run_flip_index(None, np.asarray([])) is None
