@@ -11,7 +11,9 @@ metrics the benches track:
 * ``state_engine``   — bulk-recompute and point-update speedups
 * ``runtime_replay`` — batched-replay filtering-regime speedup
 * ``dispatch``       — run-kernel speedup on the dispatch-heavy profile
-* ``sharded``        — per-shard capacity speedup at 4 shards
+* ``sharded``        — per-shard capacity speedup at 4 shards, plus the
+  transport-parallel coupled-protocol speedup and the coordination
+  fraction (coordinator compute / modeled parallel wall) at 4 shards
 * ``spatial``        — batched spatial replay speedup + message curves
 * ``latency``        — stale-belief violation rate and message overhead
   at the largest modeled latency (requirement-2 degradation study)
@@ -96,6 +98,14 @@ HEADLINE_METRICS: dict[str, tuple[str, object]] = {
     "sharded_rtp_overhead_x4": (
         "sharded",
         _path("rtp_coordinator", "overhead"),
+    ),
+    "transport_coupled_speedup_x4": (
+        "sharded",
+        _path("transport", "shards", "4", "speedup_vs_sequential"),
+    ),
+    "transport_coordination_fraction_x4": (
+        "sharded",
+        _path("transport", "shards", "4", "coordination_fraction"),
     ),
     "spatial_batch_speedup": ("spatial", _path("batched_replay", "speedup")),
     "latency_max_violation_rate": (

@@ -7,12 +7,16 @@ decisions:
 1. **Assembly** — which :class:`~repro.runtime.session.ExecutionSession`
    builder matches the spec's stack and the deployment's topology
    (``for_streams`` vs ``for_streams_sharded``, etc.).
-2. **Schedule** — whether the plan runs in-process or fans out to a
-   process pool: a sharded deployment with ``parallel=True`` replays
-   the shards of a *decomposable* protocol (no server feedback during
-   maintenance, e.g. ZT-NRP) on independent workers and merges the
-   per-shard ledgers; everything else runs the sequential coordinator,
-   whose ledgers are byte-identical to a single server by construction.
+2. **Schedule** — whether the plan runs in-process or across
+   processes: a sharded deployment with ``parallel=True`` replays the
+   shards of a *decomposable* protocol (no server feedback during
+   maintenance, e.g. ZT-NRP) on independent pool workers and merges
+   the per-shard ledgers; a *coupled* scalar protocol (RTP, ZT-RP,
+   FT-RP, FT-NRP) runs on the shard transport
+   (:class:`repro.server.transport.TransportShardedServer`) — worker
+   processes replay their shards under an epoch-stepped coordinator
+   whose ledgers are byte-identical to sequential sharded serving;
+   everything else runs the sequential coordinator in-process.
 
 The module-level ``_execute_*`` functions are the former bodies of the
 stack-specific entrypoints (``run_protocol``, ``run_spatial_protocol``,
@@ -88,6 +92,16 @@ def _execute_streams(
         and getattr(protocol, "decomposable_maintenance", False)
     ):
         return _execute_streams_fanout(trace, protocol, deployment, label)
+    if (
+        deployment.topology == "sharded"
+        and deployment.parallel
+        and deployment.check_every == 0
+    ):
+        # Coupled maintenance: worker processes under the epoch-stepped
+        # transport coordinator.  (With check_every > 0 the tolerance
+        # checker needs the in-process oracle hooks, so checking runs
+        # fall back to the sequential sharded coordinator below.)
+        return _execute_streams_transport(trace, protocol, deployment, label)
 
     if deployment.topology == "sharded":
         session = ExecutionSession.for_streams_sharded(
@@ -222,6 +236,7 @@ def _merge_replay_stats(parts: list[dict]) -> dict:
         if part.get("dispatch_bailout_at") is not None
     ]
     merged["dispatch_bailout_at"] = min(bailouts) if bailouts else None
+    merged["workers"] = len(parts)
     return merged
 
 
@@ -285,6 +300,48 @@ def _execute_streams_fanout(
     )
 
 
+def _execute_streams_transport(
+    trace, protocol, deployment: Deployment, label: str
+) -> RunResult:
+    """Sharded + parallel replay of a *coupled* protocol.
+
+    Worker processes own the shard traces and source populations; the
+    protocol runs once, at the epoch-stepped coordinator, whose message
+    ledger is byte-identical to sequential sharded serving (see
+    ``repro/server/transport.py`` and DESIGN.md §10).
+    """
+    from repro.server.transport import TransportShardedServer
+
+    server = TransportShardedServer(
+        trace,
+        protocol,
+        deployment.n_shards,
+        latency=deployment.latency,
+        replay_mode=deployment.replay_mode,
+        batch_size=deployment.batch_size,
+        min_chunk=deployment.min_chunk,
+    )
+    with server:
+        server.initialize(0.0)
+        worker_stats = server.replay(horizon=trace.horizon)
+        transport_stats = server.transport_stats()
+
+    extras = _collect_extras(protocol)
+    replay = _merge_replay_stats(worker_stats)
+    replay["transport"] = transport_stats
+    extras["replay"] = replay
+    return RunResult(
+        protocol=protocol.name,
+        ledger=server.snapshot(),
+        checker=None,
+        n_streams=trace.n_streams,
+        n_records=trace.n_records,
+        final_answer=protocol.answer,
+        label=label,
+        extras=extras,
+    )
+
+
 # ----------------------------------------------------------------------
 # Spatial stack
 # ----------------------------------------------------------------------
@@ -300,21 +357,22 @@ def _execute_spatial(
     ``Deployment.sharded(n)`` runs the sharded spatial coordinator
     (ledger byte-identical to single-server; see
     ``repro.server.sharded.ShardedSpatialServer``).  Process fan-out is
-    the one genuinely unsupported combination: every spatial protocol's
-    maintenance is coupled through the coordinator (probes, bound
-    redeployments, silencer rotation), so shards cannot replay
-    independently and ``parallel=True`` raises instead of silently
-    running sequentially.
+    the one remaining unsupported combination: the shard transport
+    (``repro/server/transport.py``) carries the scalar message
+    vocabulary only, so spatial protocols have no worker endpoint yet
+    and ``parallel=True`` raises instead of silently running
+    sequentially.
     """
     from repro.spatial.runner import execute_spatial
 
     deployment = deployment or Deployment.single()
     if deployment.topology == "sharded" and deployment.parallel:
         raise ValueError(
-            "parallel=True is not supported for spatial protocols: their "
-            "maintenance is coupled through the coordinator (probes and "
-            "region redeployments reach across shards), so shards cannot "
-            "replay on independent workers; use Deployment.sharded("
+            "parallel=True is not yet supported for spatial protocols: "
+            "the shard transport that runs coupled *scalar* protocols "
+            "across worker processes speaks the scalar message "
+            "vocabulary only (probe/constraint intervals, not point "
+            "updates and region constraints); use Deployment.sharded("
             f"{deployment.n_shards}) without parallel"
         )
     return execute_spatial(

@@ -295,11 +295,18 @@ class Deployment:
     parallel, max_workers:
         Process parallelism.  Under ``sharded``, protocols whose
         maintenance needs no server feedback (``decomposable_maintenance``)
-        replay their shards concurrently on a process pool; sweeps fan
-        combinations out regardless of topology.  Spatial protocols are
-        all coupled (coordinator-side probes and redeployments), so
-        ``sharded(n, parallel=True)`` raises for them rather than
-        silently degrading.
+        replay their shards concurrently on a process pool; coupled
+        scalar protocols (RTP, ZT-RP, FT-RP, FT-NRP) run on the shard
+        transport — worker processes behind an epoch-stepped
+        coordinator message bus (``repro/server/transport.py``) with
+        ledgers byte-identical to sequential sharded serving; sweeps
+        fan combinations out regardless of topology.  The transport
+        accepts ``latency=None`` or zero-delay models only, and a
+        checking run (``check_every > 0``) falls back to the
+        sequential sharded coordinator.  Spatial protocols have no
+        worker endpoint yet (the transport speaks the scalar message
+        vocabulary), so ``sharded(n, parallel=True)`` raises for them
+        rather than silently degrading.
     latency:
         The channel delivery discipline.  ``None`` (default) is the
         paper's synchronous channel; a non-negative number is a

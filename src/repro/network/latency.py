@@ -72,6 +72,18 @@ class LatencyModel:
     def make_sampler(self, channel: int = 0) -> Sampler:
         raise NotImplementedError
 
+    @property
+    def is_zero(self) -> bool:
+        """True when every delay this model can ever sample is ``0.0``.
+
+        Zero models keep the :class:`LatencyChannel` code path (the
+        differential-testing configuration) but are guaranteed to
+        deliver inline; the shard transport uses this to accept
+        ``latency=0`` while rejecting models with real in-flight time.
+        Unknown subclasses conservatively answer ``False``.
+        """
+        return False
+
 
 @dataclass(frozen=True)
 class FixedLatency(LatencyModel):
@@ -96,6 +108,10 @@ class FixedLatency(LatencyModel):
     def make_sampler(self, channel: int = 0) -> Sampler:
         uplink, downlink = float(self.uplink), float(self.downlink)
         return lambda is_uplink: uplink if is_uplink else downlink
+
+    @property
+    def is_zero(self) -> bool:
+        return self.uplink == 0.0 and self.downlink == 0.0
 
 
 @dataclass(frozen=True)
@@ -128,6 +144,10 @@ class UniformLatency(LatencyModel):
             (uplink if is_uplink else downlink).uniform(low, high)
         )
 
+    @property
+    def is_zero(self) -> bool:
+        return self.high == 0.0
+
 
 @dataclass(frozen=True)
 class ExponentialLatency(LatencyModel):
@@ -159,6 +179,10 @@ class ExponentialLatency(LatencyModel):
             return float(generator.exponential(mean))
 
         return sample
+
+    @property
+    def is_zero(self) -> bool:
+        return self.mean_uplink == 0.0 and self.mean_downlink == 0.0
 
 
 def as_latency_model(latency) -> LatencyModel | None:

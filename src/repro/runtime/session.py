@@ -1112,6 +1112,12 @@ class _DeferredAssignments:
     target.  Without channels (the multi-query coordinator talks to its
     sources directly) every staged write is flushed before each
     dispatch.
+
+    The shard-transport workers (``repro/server/transport.py``) reuse
+    this class and :class:`_StatePrescan` verbatim: each worker process
+    stages its shard's quiescent prefixes against its own table and
+    flushes through its own channel's taps, so the process boundary
+    changes where the primitives run, not what they prove.
     """
 
     def __init__(

@@ -1,0 +1,1117 @@
+"""Process-parallel sharded serving for *coupled* protocols.
+
+The fan-out path (``api.engine._execute_streams_fanout``) only covers
+protocols whose maintenance is decomposable — shards replay with no
+server feedback at all.  Everything else (RTP, ZT-RP, FT-RP, FT-NRP)
+is coupled through the coordinator: every crossing triggers probes,
+rank reads and constraint redeployments that reach across shards.  This
+module runs those protocols across real worker *processes* while
+keeping the message ledger byte-identical to sequential sharded
+serving (DESIGN.md §10).
+
+Three pieces:
+
+* :class:`ShardWorker` — the per-process shard runtime.  It owns its
+  shard's trace slice and a *local* :class:`~repro.state.table.
+  StreamStateTable` + :class:`~repro.streams.source.StreamSource`
+  population (local ids throughout; the coordinator translates at the
+  RPC boundary), and answers a small request vocabulary: ``scan`` (the
+  batched quiescence pre-scan, returning the shard's first-crossing
+  candidate as a *global trace position*), ``advance`` (bulk-stage a
+  proven-quiescent prefix), ``dispatch`` (apply one crossing record
+  per-event and return the captured uplink messages), ``probe`` /
+  ``probe_batch`` / ``deploy_batch`` (the control plane, forwarding to
+  the sources through a real channel so membership semantics are
+  exactly the sequential ones), and ``finish``.
+
+* :class:`CoordinatorBus` — pipes + pickle framing to the workers,
+  with reply collection through the same deterministic ``(delivery
+  time, send seq)`` heap discipline as :class:`~repro.network.latency.
+  LatencyChannel`: replies are gathered at a barrier, assigned modeled
+  delivery times, and released in heap order, so OS scheduling of the
+  worker processes is invisible and inter-shard coordination cost and
+  modeled network delay are the same quantity.  Byte counters feed the
+  serialization cost model; every receive polls with a liveness check
+  so a dead worker raises :class:`TransportError` instead of hanging.
+
+* :class:`TransportShardedServer` — the coordinator.  It exposes the
+  exact control plane of :class:`~repro.server.server.Server` (so the
+  protocols run unmodified), mirrors the value plane in a full
+  :class:`StreamStateTable` behind per-shard
+  :class:`~repro.state.sharding.StateShardView`s and the k-way
+  :class:`~repro.state.sharding.ShardedRankView` merge, charges *all*
+  messages to its own ledger (the ledger is an order-insensitive
+  (phase, kind) multiset, so charging at the coordinator instead of at
+  each worker's channel cannot change it), and drives the replay in
+  epochs: scan the dirty workers in parallel, pick the minimum global
+  trace position among the per-shard candidates (positions are unique,
+  so the winner is exactly the record sequential replay would dispatch
+  next), advance everyone past it, dispatch it at its owner, and run
+  the protocol's reaction through buffered, batched constraint
+  deployments that preserve the sequential self-correction FIFO.
+
+Scope: the transport supports the synchronous discipline and zero-delay
+latency models only (``latency=None`` or a model whose ``is_zero``
+holds).  With nonzero modeled delay the in-flight barrier would couple
+workers record-by-record, which is the sequential coordinator's job;
+the constructor raises a clear error instead.
+"""
+
+from __future__ import annotations
+
+import gc
+import heapq
+import itertools
+import multiprocessing
+import pickle
+import time as _time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.network.accounting import MessageLedger, Phase
+from repro.network.messages import (
+    ConstraintMessage,
+    Message,
+    MessageKind,
+    ProbeReplyMessage,
+    ProbeRequestMessage,
+    UpdateMessage,
+)
+from repro.network.latency import LatencyChannel, as_latency_model
+from repro.protocols.base import FilterProtocol
+from repro.runtime.dispatch import DeferredDeliveryMixin
+from repro.sim.engine import SimulationEngine
+from repro.state.sharding import (
+    ShardedRankView,
+    StateShardView,
+    shard_ranges,
+    validate_shard_alignment,
+)
+from repro.state.table import StreamStateTable
+
+
+class TransportError(RuntimeError):
+    """A shard worker died, desynchronized, or violated the protocol."""
+
+
+#: Sentinel a worker handler returns for fire-and-forget requests.
+_NO_REPLY = object()
+
+#: Seconds a coordinator receive waits before declaring a worker hung.
+_RECV_TIMEOUT = 60.0
+
+#: Poll granularity of the liveness-checking receive loop.
+_POLL_INTERVAL = 0.05
+
+
+# ----------------------------------------------------------------------
+# The worker-process side
+# ----------------------------------------------------------------------
+class ShardWorker:
+    """One shard's runtime, living in its own process.
+
+    Ids are *local* throughout (0-based within the shard); only the
+    trace positions in ``gpos`` are global, because the coordinator's
+    dispatch order is decided on them.  The worker's channel, engine,
+    table and ledger are private — the ledger is a throwaway (all
+    charging happens at the coordinator); the table exists so the
+    membership write-through gives the quiescence pre-scan live
+    constraint columns, exactly as in ``runtime/session.py``.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        initial_values: np.ndarray,
+        times: np.ndarray,
+        local_ids: np.ndarray,
+        values: np.ndarray,
+        gpos: np.ndarray,
+        latency_model,
+        replay_mode: str,
+        batch_size: int,
+        min_chunk: int,
+    ) -> None:
+        # Deferred import: the session module is the one other home of
+        # the prescan/deferred-assignment primitives this worker reuses.
+        from repro.runtime.session import (
+            ExecutionSession,
+            _DeferredAssignments,
+            _StatePrescan,
+        )
+        from repro.streams.source import StreamSource
+
+        self.index = int(index)
+        self.times = np.asarray(times, dtype=np.float64)
+        self.local_ids = np.asarray(local_ids, dtype=np.int64)
+        self.values = np.asarray(values, dtype=np.float64)
+        self.gpos = np.asarray(gpos, dtype=np.int64)
+        n_local = len(initial_values)
+        self.engine = SimulationEngine()
+        self.ledger = MessageLedger()  # throwaway; coordinator charges
+        self.channel = ExecutionSession._make_channel(
+            self.ledger, self.engine, latency_model, channel_index=index
+        )
+        self.sources = [
+            StreamSource(stream_id, float(value), self.channel)
+            for stream_id, value in enumerate(initial_values)
+        ]
+        self.channel.bind_server(self._handle_uplink)
+        self.table = StreamStateTable(n_local)
+        for source in self.sources:
+            source.membership.bind_state(self.table, source.stream_id)
+        self.prescan = _StatePrescan([self.table])
+        self.deferred = _DeferredAssignments(
+            self.sources, [self.channel], self.values
+        )
+        self.replay_mode = replay_mode
+        self.batch_size = int(batch_size)
+        self.min_chunk = int(min_chunk)
+        self.mode: str | None = None
+        #: Trace cursor: records before ``pos`` are committed (staged
+        #: quiescent or dispatched).
+        self.pos = 0
+        #: Proof frontier: ``[pos, scan_from)`` is proven quiescent
+        #: against the *current* constraint columns.
+        self.scan_from = 0
+        self.outbox: list[tuple[int, float, float]] = []
+        self._probe_reply: ProbeReplyMessage | None = None
+        self.busy_seconds = 0.0
+        self.stats = {
+            "records": int(len(self.times)),
+            "dispatches": 0,
+            "staged": 0,
+            "columnar_reports": 0,
+            "chunk_scans": 0,
+            "suffix_rescans": 0,
+            "broadcast_truncations": 0,
+            "inflight_truncations": 0,
+            "dispatch_bailout_at": None,
+        }
+
+    # -- channel plumbing ----------------------------------------------
+    def _handle_uplink(self, message: Message) -> None:
+        if message.kind is MessageKind.PROBE_REPLY:
+            assert isinstance(message, ProbeReplyMessage)
+            self._probe_reply = message
+            return
+        if message.kind is MessageKind.UPDATE:
+            assert isinstance(message, UpdateMessage)
+            self.outbox.append(
+                (int(message.stream_id), float(message.value), float(message.time))
+            )
+            return
+        raise RuntimeError(  # pragma: no cover - defensive
+            f"worker received unexpected uplink {message.kind}"
+        )
+
+    def _assert_nothing_in_flight(self) -> None:
+        """The zero-delay contract: no message may outlive its send."""
+        if (
+            isinstance(self.channel, LatencyChannel)
+            and self.channel.in_flight_count
+        ):  # pragma: no cover - zero models deliver inline by construction
+            raise TransportError(
+                "transport worker has messages in flight; only zero-delay "
+                "latency models are supported across the process boundary"
+            )
+
+    # -- scanning -------------------------------------------------------
+    def _resolve_mode(self) -> str:
+        """Mirror the session's mode resolution, per worker.
+
+        ``auto`` picks the batched pre-scan exactly when some local
+        stream carries a scannable filter (after initialization the
+        coupled protocols have deployed one everywhere); the watch is
+        started here so later scans can re-validate their proven window
+        against only the streams a protocol reaction actually touched.
+        """
+        if self.replay_mode == "event":
+            mode = "event"
+        elif self.replay_mode == "auto" and not self.table.scannable.any():
+            mode = "event"
+        else:
+            mode = "batch"
+        if mode == "batch":
+            self.table.watch_constraints()
+        self.mode = mode
+        return mode
+
+    def scan(self) -> int | None:
+        """The shard's first-crossing candidate (global trace position).
+
+        Invariant on return: ``[pos, scan_from)`` is proven quiescent
+        against the current columns, and the candidate — when not
+        ``None`` — is the record at ``scan_from``.  In ``event`` mode
+        nothing is proven: every record is its own candidate, which
+        collapses the epoch protocol to exact global per-event order.
+        """
+        mode = self.mode or self._resolve_mode()
+        n = len(self.times)
+        if mode == "event":
+            self.scan_from = self.pos
+            return int(self.gpos[self.pos]) if self.pos < n else None
+        if self.scan_from < self.pos:
+            self.scan_from = self.pos
+        changed = self.table.drain_constraint_watch()
+        if changed and self.scan_from > self.pos:
+            # Re-validate only the touched streams' records inside the
+            # proven window: untouched streams' columns are unchanged,
+            # so their quiescence proofs stand (the crossing mask of a
+            # record depends only on its own stream's columns).
+            rows = np.unique(np.asarray(changed, dtype=np.int64))
+            window_ids = self.local_ids[self.pos : self.scan_from]
+            affected = np.nonzero(np.isin(window_ids, rows))[0]
+            if affected.size:
+                self.stats["suffix_rescans"] += 1
+                sub = self.pos + affected
+                mask = self.prescan.crossing_mask(
+                    self.local_ids[sub], self.values[sub]
+                )
+                hits = np.nonzero(mask)[0]
+                if hits.size:
+                    self.scan_from = int(sub[hits[0]])
+                    return int(self.gpos[self.scan_from])
+        i = self.scan_from
+        while i < n:
+            end = min(i + self.batch_size, n)
+            self.stats["chunk_scans"] += 1
+            mask = self.prescan.crossing_mask(
+                self.local_ids[i:end], self.values[i:end]
+            )
+            hits = np.nonzero(mask)[0]
+            if hits.size:
+                self.scan_from = i + int(hits[0])
+                return int(self.gpos[self.scan_from])
+            i = end
+        self.scan_from = n
+        return None
+
+    # -- replay ---------------------------------------------------------
+    def advance(self, g: int) -> None:
+        """Bulk-stage every local record with global position < *g*.
+
+        Sound because the coordinator only advances to the minimum of
+        the per-shard candidates: every local record before it lies in
+        this worker's proven-quiescent window.
+        """
+        below = int(np.searchsorted(self.gpos[self.pos :], int(g), side="left"))
+        k = self.pos + below
+        if k <= self.pos:
+            return
+        if k > max(self.scan_from, self.pos):
+            raise TransportError(
+                f"worker {self.index}: advance past the proven frontier "
+                f"(to {k}, proven {self.scan_from})"
+            )
+        self.deferred.stage(
+            self.local_ids[self.pos : k], self.values[self.pos : k]
+        )
+        self.stats["staged"] += k - self.pos
+        self.pos = k
+
+    def dispatch(self, g: int) -> list[tuple[int, float, float]]:
+        """Apply the record at global position *g* per-event.
+
+        Returns the captured uplink messages (at most one: the update
+        the crossing produced, or none when the conservative mask
+        over-claimed), as ``(local id, value, time)`` tuples.
+        """
+        self.advance(g)
+        k = self.pos
+        if k >= len(self.times) or int(self.gpos[k]) != int(g):
+            raise TransportError(
+                f"worker {self.index}: asked to dispatch position {g}, "
+                f"next unconsumed is "
+                f"{int(self.gpos[k]) if k < len(self.times) else None}"
+            )
+        local = int(self.local_ids[k])
+        time = float(self.times[k])
+        if time > self.engine.now:
+            self.engine.run(until=time)
+        self.deferred.flush_for_dispatch(local)
+        self.outbox.clear()
+        self.sources[local].apply(self.values[k], time)
+        self.pos = k + 1
+        if self.scan_from < self.pos:
+            self.scan_from = self.pos
+        self.stats["dispatches"] += 1
+        self._assert_nothing_in_flight()
+        return list(self.outbox)
+
+    # -- control plane --------------------------------------------------
+    def probe(self, local_id: int, time: float) -> tuple[float, float]:
+        """One probe round-trip against the local source."""
+        self._probe_reply = None
+        self.channel.send_to_source(
+            ProbeRequestMessage(stream_id=int(local_id), time=float(time))
+        )
+        reply = self._probe_reply
+        if reply is None:  # pragma: no cover - defensive
+            raise TransportError(
+                f"worker {self.index}: source {local_id} did not reply"
+            )
+        return float(reply.value), float(reply.time)
+
+    def probe_batch(
+        self, local_ids, time: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Probe several local sources; replies as parallel arrays."""
+        count = len(local_ids)
+        values = np.empty(count, dtype=np.float64)
+        times = np.empty(count, dtype=np.float64)
+        for i, local_id in enumerate(
+            local_ids.tolist() if isinstance(local_ids, np.ndarray)
+            else local_ids
+        ):
+            values[i], times[i] = self.probe(local_id, time)
+        return values, times
+
+    def deploy_batch(
+        self, local_ids, lowers, uppers, assumed, times
+    ) -> list[tuple[int, float, float]]:
+        """Install constraints in order; return self-corrections in order.
+
+        Columns arrive as parallel numpy arrays (binary-framed pickles,
+        the serialization cost model's cheap path); ``assumed`` encodes
+        the optional belief as int8 (-1 none, 0 outside, 1 inside).
+        """
+        self.outbox.clear()
+        send = self.channel.send_to_source
+        for local_id, lower, upper, belief, time in zip(
+            local_ids.tolist(),
+            lowers.tolist(),
+            uppers.tolist(),
+            assumed.tolist(),
+            times.tolist(),
+        ):
+            send(
+                ConstraintMessage(
+                    stream_id=local_id,
+                    time=time,
+                    lower=lower,
+                    upper=upper,
+                    assumed_inside=None if belief < 0 else bool(belief),
+                )
+            )
+        self._assert_nothing_in_flight()
+        return list(self.outbox)
+
+    def finish(self, horizon: float | None) -> dict:
+        """Commit the proven-quiescent tail, settle time, report stats."""
+        n = len(self.times)
+        if self.pos < n:
+            if max(self.scan_from, self.pos) < n:
+                raise TransportError(
+                    f"worker {self.index}: finish with unproven records "
+                    f"[{self.scan_from}, {n})"
+                )
+            self.deferred.stage(
+                self.local_ids[self.pos :], self.values[self.pos :]
+            )
+            self.stats["staged"] += n - self.pos
+            self.pos = n
+        self.deferred.flush_all()
+        if horizon is not None and horizon > self.engine.now:
+            self.engine.run(until=horizon)
+        stats = dict(self.stats)
+        stats["mode"] = self.mode or self._resolve_mode()
+        stats["kernel"] = "transport"
+        stats["busy_seconds"] = self.busy_seconds
+        return stats
+
+    # -- request demux ---------------------------------------------------
+    def handle(self, request: tuple):
+        op = request[0]
+        if op == "scan":
+            return self.scan()
+        if op == "advance":
+            self.advance(request[1])
+            return _NO_REPLY
+        if op == "dispatch":
+            return self.dispatch(request[1])
+        if op == "probe":
+            return self.probe(request[1], request[2])
+        if op == "probe_batch":
+            return self.probe_batch(request[1], request[2])
+        if op == "deploy_batch":
+            return self.deploy_batch(*request[1:6])
+        if op == "finish":
+            return self.finish(request[1])
+        raise TransportError(f"worker {self.index}: unknown request {op!r}")
+
+
+def _worker_main(conn, spec: dict) -> None:
+    """Process entrypoint: build the shard runtime, serve requests.
+
+    Every request that expects a reply is answered with an ``("ok",
+    payload)`` envelope; a handler exception sends ``("err",
+    traceback)`` and exits, so the coordinator either reads the error
+    or detects the dead process — never hangs.  Cumulative busy time
+    (deserialize + handle + serialize) feeds the capacity model.
+    """
+    try:
+        worker = ShardWorker(**spec)
+    except Exception:  # pragma: no cover - construction is deterministic
+        try:
+            conn.send_bytes(pickle.dumps(("err", traceback.format_exc())))
+        finally:
+            conn.close()
+        return
+    try:
+        while True:
+            data = conn.recv_bytes()
+            started = _time.perf_counter()
+            request = pickle.loads(data)
+            if request[0] == "stop":
+                break
+            try:
+                reply = worker.handle(request)
+            except BaseException:
+                conn.send_bytes(pickle.dumps(("err", traceback.format_exc())))
+                break
+            if reply is not _NO_REPLY:
+                conn.send_bytes(pickle.dumps(("ok", reply)))
+            worker.busy_seconds += _time.perf_counter() - started
+    except (EOFError, OSError, KeyboardInterrupt):  # coordinator went away
+        pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# The coordinator side
+# ----------------------------------------------------------------------
+@dataclass
+class _WorkerHandle:
+    index: int
+    lo: int
+    hi: int
+    process: object
+    conn: object
+
+
+@dataclass
+class BusStats:
+    """Serialization + coordination counters (DESIGN.md §10)."""
+
+    posts: int = 0
+    replies: int = 0
+    bytes_out: int = 0
+    bytes_in: int = 0
+    recv_wait_seconds: float = 0.0
+    clock: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "posts": self.posts,
+            "replies": self.replies,
+            "bytes_out": self.bytes_out,
+            "bytes_in": self.bytes_in,
+            "recv_wait_seconds": self.recv_wait_seconds,
+            "coordination_clock": self.clock,
+        }
+
+
+class CoordinatorBus:
+    """Pipes to the workers + deterministic reply collection.
+
+    Requests are posted fire-and-forget (pickle framing over
+    ``Connection.send_bytes``, counted for the serialization cost
+    model).  :meth:`collect` is a barrier: it receives one reply per
+    requested worker — polling with a liveness check so a crashed
+    worker raises :class:`TransportError` promptly — then assigns each
+    reply a modeled delivery time and releases them through the same
+    ``(delivery time, send seq)`` heap discipline as ``LatencyChannel``.
+    Because the barrier waits for *all* replies before releasing any,
+    the release order is a pure function of the modeled delays and the
+    posting order: OS scheduling of the worker processes cannot leak
+    into the coordinator's view, which is the transport's determinism
+    anchor.
+    """
+
+    def __init__(self, handles: Sequence[_WorkerHandle], latency_model=None) -> None:
+        self._handles = list(handles)
+        self._seq = itertools.count()
+        sampler = (
+            latency_model.make_sampler(channel=len(handles))
+            if latency_model is not None
+            else None
+        )
+        self._sample: Callable[[], float] = (
+            (lambda: sampler(True)) if sampler is not None else (lambda: 0.0)
+        )
+        self.stats = BusStats()
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._handles)
+
+    def handle(self, index: int) -> _WorkerHandle:
+        return self._handles[index]
+
+    def post(self, index: int, request: tuple) -> None:
+        handle = self._handles[index]
+        data = pickle.dumps(request)
+        self.stats.posts += 1
+        self.stats.bytes_out += len(data)
+        try:
+            handle.conn.send_bytes(data)
+        except (BrokenPipeError, OSError) as exc:
+            raise TransportError(
+                f"shard worker {index} [{handle.lo}, {handle.hi}) is gone: "
+                f"{exc}"
+            ) from exc
+
+    def _recv(self, index: int, timeout: float = _RECV_TIMEOUT):
+        handle = self._handles[index]
+        deadline = _time.perf_counter() + timeout
+        waited_from = _time.perf_counter()
+        try:
+            while not handle.conn.poll(_POLL_INTERVAL):
+                if not handle.process.is_alive():
+                    raise TransportError(
+                        f"shard worker {index} [{handle.lo}, {handle.hi}) "
+                        f"died (exit code {handle.process.exitcode})"
+                    )
+                if _time.perf_counter() > deadline:
+                    raise TransportError(
+                        f"shard worker {index} did not reply within "
+                        f"{timeout:.0f}s"
+                    )
+            data = handle.conn.recv_bytes()
+        except (EOFError, OSError) as exc:
+            raise TransportError(
+                f"shard worker {index} closed its pipe mid-reply"
+            ) from exc
+        finally:
+            self.stats.recv_wait_seconds += _time.perf_counter() - waited_from
+        self.stats.replies += 1
+        self.stats.bytes_in += len(data)
+        status, payload = pickle.loads(data)
+        if status != "ok":
+            raise TransportError(
+                f"shard worker {index} failed:\n{payload}"
+            )
+        return payload
+
+    def collect(self, indices: Sequence[int]) -> list[tuple[int, object]]:
+        """Barrier-receive from *indices*; release in deterministic order."""
+        heap: list[tuple[float, int, int, object]] = []
+        for index in indices:
+            payload = self._recv(index)
+            delivery = self.stats.clock + float(self._sample())
+            heapq.heappush(heap, (delivery, next(self._seq), index, payload))
+        out: list[tuple[int, object]] = []
+        while heap:
+            delivery, _, index, payload = heapq.heappop(heap)
+            if delivery > self.stats.clock:
+                self.stats.clock = delivery
+            out.append((index, payload))
+        return out
+
+    def close(self) -> None:
+        for handle in self._handles:
+            try:
+                handle.conn.send_bytes(pickle.dumps(("stop",)))
+            except (BrokenPipeError, OSError):
+                pass
+        for handle in self._handles:
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():  # pragma: no cover - stop suffices
+                handle.process.terminate()
+                handle.process.join(timeout=2.0)
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+
+class TransportShardedServer(DeferredDeliveryMixin):
+    """Coordinator for coupled protocols over worker processes.
+
+    Exposes the Server control plane (``probe``, ``probe_all``,
+    ``deploy``, ``broadcast``, ``state``, ``rank_view``, ``stream_ids``,
+    ``n_streams``, ``now``) so the scalar protocols run unmodified.
+
+    Why the ledger is byte-identical to sequential sharded serving:
+
+    * **Dispatch order.**  Per-shard candidates are *global trace
+      positions*; positions are unique, so the minimum is exactly the
+      record sequential replay dispatches next, and every earlier
+      record is covered by some shard's quiescence proof.
+    * **Message multiset.**  The ledger counts (phase, kind) pairs and
+      is order-insensitive within a phase, so charging each probe,
+      constraint, update and self-correction at the coordinator — at
+      the virtual time and phase the sequential coordinator would
+      charge it — yields the identical snapshot no matter how the RPC
+      batching groups the wire traffic.
+    * **Reaction ordering.**  Constraint deployments are buffered and
+      flushed (a) before any probe, and (b) at the end of every
+      protocol step; returned self-corrections join the coordinator's
+      global deferred-delivery FIFO in flush order.  Both points are
+      exactly where the sequential coordinator's messages take effect,
+      and ``_now`` is constant within a step, so times match too.
+    * **Stage-before-reaction.**  ``advance`` is posted to every other
+      worker *before* the owner's dispatch reply is processed; pipe
+      FIFO then guarantees each worker stages its quiescent prefix
+      against the pre-reaction columns it was proven under, before any
+      of the reaction's probes or deployments can touch them.
+    """
+
+    def __init__(
+        self,
+        trace,
+        protocol: FilterProtocol,
+        n_shards: int,
+        latency=None,
+        replay_mode: str = "auto",
+        batch_size: int | None = None,
+        min_chunk: int | None = None,
+    ) -> None:
+        from repro.runtime.session import DEFAULT_BATCH_SIZE, DEFAULT_MIN_CHUNK
+
+        model = as_latency_model(latency)
+        if model is not None and not model.is_zero:
+            raise ValueError(
+                "the shard transport supports latency=None or zero-delay "
+                "models only: a nonzero in-flight delay couples workers "
+                "record-by-record, which is the sequential sharded "
+                "coordinator's regime; drop parallel=True to model latency"
+            )
+        self.protocol = protocol
+        self._now = 0.0
+        self._trace = trace
+        self._latency_model = model
+        self._replay_mode = replay_mode
+        self._batch_size = int(batch_size or DEFAULT_BATCH_SIZE)
+        self._min_chunk = int(min_chunk or DEFAULT_MIN_CHUNK)
+        n = trace.n_streams
+        self.ranges = shard_ranges(n, n_shards)
+        self._state = StreamStateTable(n)
+        self.shard_views = [
+            StateShardView(self._state, lo, hi) for lo, hi in self.ranges
+        ]
+        validate_shard_alignment(self._state, self.shard_views)
+        self._shard_of = np.empty(n, dtype=np.int64)
+        for index, (lo, hi) in enumerate(self.ranges):
+            self._shard_of[lo:hi] = index
+        self.ledger = MessageLedger()
+        self._deploy_buffer: list[
+            tuple[int, float, float, bool | None, float]
+        ] = []
+        self._dirty: set[int] = set(range(len(self.ranges)))
+        self._epochs = 0
+        self._worker_stats: list[dict] | None = None
+        self.bus: CoordinatorBus | None = None
+        self._init_delivery()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def launch(self) -> "TransportShardedServer":
+        """Spawn one worker process per shard and open the bus."""
+        if self.bus is not None:
+            return self
+        trace = self._trace
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        # Freeze the parent heap before forking: otherwise every object
+        # the coordinator process has ever allocated (and, under pytest,
+        # the whole test session) lands in the workers' collectible
+        # generations, and their gen-2 collections pay to traverse it on
+        # every cycle of the replay hot loop.
+        gc.collect()
+        gc.freeze()
+        handles = []
+        try:
+            for index, (lo, hi) in enumerate(self.ranges):
+                keep = (trace.stream_ids >= lo) & (trace.stream_ids < hi)
+                spec = {
+                    "index": index,
+                    "initial_values": np.asarray(
+                        trace.initial_values[lo:hi], dtype=np.float64
+                    ).copy(),
+                    "times": trace.times[keep],
+                    "local_ids": (trace.stream_ids[keep] - lo).astype(
+                        np.int64
+                    ),
+                    "values": trace.values[keep],
+                    "gpos": np.nonzero(keep)[0].astype(np.int64),
+                    "latency_model": self._latency_model,
+                    "replay_mode": self._replay_mode,
+                    "batch_size": self._batch_size,
+                    "min_chunk": self._min_chunk,
+                }
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, spec),
+                    daemon=True,
+                    name=f"shard-worker-{index}",
+                )
+                process.start()
+                child_conn.close()
+                handles.append(
+                    _WorkerHandle(index, lo, hi, process, parent_conn)
+                )
+        except BaseException:
+            for handle in handles:
+                handle.process.terminate()
+            raise
+        finally:
+            gc.unfreeze()
+        self.bus = CoordinatorBus(handles, self._latency_model)
+        return self
+
+    def close(self) -> None:
+        if self.bus is not None:
+            self.bus.close()
+            self.bus = None
+
+    def __enter__(self) -> "TransportShardedServer":
+        return self.launch()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def _require_bus(self) -> CoordinatorBus:
+        if self.bus is None:
+            raise TransportError(
+                "transport not launched; use it as a context manager"
+            )
+        return self.bus
+
+    # ------------------------------------------------------------------
+    # Server-compatible surface
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.ranges)
+
+    @property
+    def n_streams(self) -> int:
+        return self._state.n_streams
+
+    @property
+    def stream_ids(self) -> list[int]:
+        return list(range(self._state.n_streams))
+
+    @property
+    def state(self) -> StreamStateTable:
+        """The coordinator's mirror table (value + protocol planes).
+
+        The workers own the *filter* plane (bounds + believed
+        membership written through by their sources); the coordinator
+        mirrors every write a sequential coordinator's table would see
+        from its own half — probe replies, update deliveries, deploy
+        records, protocol answer/tracked/silencer planes — which is
+        all the scalar protocols ever read.
+        """
+        return self._state
+
+    def rank_view(self, distance_array: Callable) -> ShardedRankView:
+        return ShardedRankView(self.shard_views, distance_array)
+
+    def initialize(self, time: float = 0.0) -> None:
+        self._require_bus()
+        self.ledger.phase = Phase.INITIALIZATION
+        self._now = time
+        self._guarded_call(self.protocol.initialize, self)
+        self.ledger.phase = Phase.MAINTENANCE
+
+    def snapshot(self):
+        return self.ledger.snapshot()
+
+    # ------------------------------------------------------------------
+    # Control plane (RPC-backed, coordinator-charged)
+    # ------------------------------------------------------------------
+    def _view_for(self, stream_id: int) -> tuple[int, StateShardView]:
+        index = int(self._shard_of[int(stream_id)])
+        return index, self.shard_views[index]
+
+    def _rpc(self, index: int, request: tuple):
+        bus = self._require_bus()
+        bus.post(index, request)
+        ((_, payload),) = bus.collect([index])
+        return payload
+
+    def probe(self, stream_id: int) -> float:
+        """Probe one source at its worker (2 messages, charged here)."""
+        self._flush_deploys()
+        index, view = self._view_for(stream_id)
+        self.ledger.record_kind(MessageKind.PROBE_REQUEST)
+        value, time = self._rpc(
+            index, ("probe", int(stream_id) - view.lo, self._now)
+        )
+        self.ledger.record_kind(MessageKind.PROBE_REPLY)
+        view.record_report(int(stream_id) - view.lo, float(value), float(time))
+        self._dirty.add(index)
+        return float(value)
+
+    def _owner_runs(
+        self, stream_ids: Sequence[int]
+    ) -> list[tuple[int, list[int]]]:
+        """Split *stream_ids* into consecutive same-worker runs, in order."""
+        runs: list[tuple[int, list[int]]] = []
+        for stream_id in stream_ids:
+            index = int(self._shard_of[int(stream_id)])
+            if runs and runs[-1][0] == index:
+                runs[-1][1].append(int(stream_id))
+            else:
+                runs.append((index, [int(stream_id)]))
+        return runs
+
+    def probe_all(
+        self, stream_ids: list[int] | None = None
+    ) -> dict[int, float]:
+        """Probe several (default: all) sources; one RPC per worker run.
+
+        The ledger charge (one request + one reply per stream) and the
+        per-stream report recording are identical to probing one by
+        one; only the wire framing is batched.
+        """
+        self._flush_deploys()
+        targets = self.stream_ids if stream_ids is None else list(stream_ids)
+        results: dict[int, float] = {}
+        for index, gids in self._owner_runs(targets):
+            view = self.shard_views[index]
+            count = len(gids)
+            self.ledger.record_kind(MessageKind.PROBE_REQUEST, count)
+            rows = np.fromiter(
+                (gid - view.lo for gid in gids), np.int64, count
+            )
+            values, times = self._rpc(
+                index, ("probe_batch", rows, self._now)
+            )
+            self.ledger.record_kind(MessageKind.PROBE_REPLY, count)
+            self._dirty.add(index)
+            # Vectorized record_report over the run: scatter the value
+            # plane, then invalidate this shard's rank listeners
+            # wholesale — a bulk collection dirties (nearly) every key
+            # anyway, and invalidation affects only later recompute
+            # cost, never rank results.
+            view.values[rows] = values
+            view.report_time[rows] = times
+            fresh = int(np.count_nonzero(~view.known[rows]))
+            if fresh:
+                view.known[rows] = True
+                view._known_count += fresh
+            for listener in view._listeners:
+                listener.invalidate()
+            for gid, value in zip(gids, values.tolist()):
+                results[gid] = value
+        return results
+
+    def deploy(
+        self,
+        stream_id: int,
+        lower: float,
+        upper: float,
+        assumed_inside: bool | None = None,
+    ) -> None:
+        """Buffer a constraint; everything lands at the next flush.
+
+        Deferral is invisible: the ledger charge moves within one phase
+        (the flush points all precede the next phase flip, and the
+        snapshot is an order-insensitive per-phase multiset); the
+        mirror's bounds record is scatter-written at flush, before any
+        read that could observe it (no protocol reads the constraint
+        columns — the coordinator never scans — and the flush precedes
+        every probe); the *source* effect and any self-correction land
+        at the flush points, which precede every subsequent read of
+        that source.  Keeping the hot ``deploy`` a bare append is what
+        lets a 10k-stream bound broadcast cost one RPC per shard.
+        """
+        self._deploy_buffer.append(
+            (int(stream_id), float(lower), float(upper), assumed_inside,
+             self._now)
+        )
+
+    def broadcast(
+        self,
+        lower: float,
+        upper: float,
+        assumed_inside: dict[int, bool] | None = None,
+    ) -> None:
+        for stream_id in self.stream_ids:
+            belief = None
+            if assumed_inside is not None:
+                belief = assumed_inside.get(stream_id)
+            self.deploy(stream_id, lower, upper, assumed_inside=belief)
+
+    def _flush_deploys(self) -> None:
+        """Transmit buffered constraints; queue their self-corrections.
+
+        Batches are consecutive same-worker runs of the buffer, so the
+        per-source install order is the sequential deploy order.  A
+        stale-belief self-correction is charged as the update message
+        the source sent (at the constraint's time — ``_now`` is
+        constant within a step) and appended to the deferred-delivery
+        FIFO, exactly where the sequential coordinator would queue the
+        mid-step update; the caller's drain point dispatches it.
+        """
+        if not self._deploy_buffer:
+            return
+        buffered, self._deploy_buffer = self._deploy_buffer, []
+        n = len(buffered)
+        self.ledger.record_kind(MessageKind.CONSTRAINT, n)
+        gids = np.fromiter((item[0] for item in buffered), np.int64, n)
+        lowers = np.fromiter((item[1] for item in buffered), np.float64, n)
+        uppers = np.fromiter((item[2] for item in buffered), np.float64, n)
+        assumed = np.fromiter(
+            (-1 if item[3] is None else int(item[3]) for item in buffered),
+            np.int8,
+            n,
+        )
+        times = np.fromiter((item[4] for item in buffered), np.float64, n)
+        # Mirror the deploy records in one scatter (duplicates: numpy
+        # fancy assignment keeps the last write, which is exactly the
+        # in-order record_deploy outcome; shard views alias these
+        # columns, so per-view recording would write the same memory).
+        state = self._state
+        state.lower[gids] = lowers
+        state.upper[gids] = uppers
+        state.scannable[gids] = True
+        owners = self._shard_of[gids]
+        cuts = np.nonzero(np.diff(owners))[0] + 1
+        bounds = [0, *cuts.tolist(), n]
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            index = int(owners[a])
+            lo = self.ranges[index][0]
+            corrections = self._rpc(
+                index,
+                (
+                    "deploy_batch",
+                    gids[a:b] - lo,
+                    lowers[a:b],
+                    uppers[a:b],
+                    assumed[a:b],
+                    times[a:b],
+                ),
+            )
+            self._dirty.add(index)
+            for local_id, value, time in corrections:
+                self.ledger.record_kind(MessageKind.UPDATE)
+                time = float(time)
+                if time > self._now:
+                    self._now = time
+                self._pending.append(
+                    UpdateMessage(
+                        stream_id=int(local_id) + lo,
+                        time=time,
+                        value=float(value),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Deferred delivery (the sequential re-entrancy discipline, plus
+    # deploy-buffer flushing at every step boundary)
+    # ------------------------------------------------------------------
+    def _guarded_call(self, fn: Callable, *args) -> None:
+        self._busy = True
+        try:
+            fn(*args)
+        finally:
+            self._busy = False
+        self._flush_deploys()
+        self._drain_pending()
+
+    def _dispatch_one(self, item) -> None:
+        self._busy = True
+        try:
+            self._handle_delivery(item)
+        finally:
+            self._busy = False
+        self._flush_deploys()
+
+    def _receive_update(self, message: UpdateMessage) -> None:
+        if message.time > self._now:
+            self._now = message.time
+        self._deliver(message)
+
+    def _handle_delivery(self, message: UpdateMessage) -> None:
+        index, view = self._view_for(message.stream_id)
+        view.record_report(
+            message.stream_id - view.lo, message.value, message.time
+        )
+        self.protocol.on_update(
+            self, message.stream_id, message.value, message.time
+        )
+
+    # ------------------------------------------------------------------
+    # The epoch replay loop
+    # ------------------------------------------------------------------
+    def replay(self, horizon: float | None = None) -> list[dict]:
+        """Drive the full trace; returns the per-worker replay stats."""
+        bus = self._require_bus()
+        n_workers = len(self.ranges)
+        candidates: dict[int, int | None] = {}
+        while True:
+            # Settle anything a previous epoch left queued (defensive;
+            # step boundaries flush and drain already).
+            self._flush_deploys()
+            self._drain_pending()
+            dirty = sorted(self._dirty)
+            self._dirty = set()
+            for index in dirty:
+                bus.post(index, ("scan",))
+            for index, candidate in bus.collect(dirty):
+                candidates[index] = candidate
+            self._epochs += 1
+            live = {
+                index: candidate
+                for index, candidate in candidates.items()
+                if candidate is not None
+            }
+            if not live:
+                break
+            owner = min(live, key=live.get)
+            g = live[owner]
+            for index in range(n_workers):
+                if index != owner:
+                    bus.post(index, ("advance", g))
+            bus.post(owner, ("dispatch", g))
+            ((_, uplinks),) = bus.collect([owner])
+            candidates[owner] = None
+            self._dirty.add(owner)
+            lo = self.ranges[owner][0]
+            for local_id, value, time in uplinks:
+                self.ledger.record_kind(MessageKind.UPDATE)
+                self._receive_update(
+                    UpdateMessage(
+                        stream_id=int(local_id) + lo,
+                        time=float(time),
+                        value=float(value),
+                    )
+                )
+        for index in range(n_workers):
+            bus.post(index, ("finish", horizon))
+        stats = [None] * n_workers
+        for index, payload in bus.collect(range(n_workers)):
+            stats[index] = payload
+        self._worker_stats = stats
+        return list(stats)
+
+    def transport_stats(self) -> dict:
+        """Coordination + serialization counters for the cost model."""
+        bus = self.bus
+        out = {"epochs": self._epochs, "workers": len(self.ranges)}
+        if bus is not None:
+            out.update(bus.stats.as_dict())
+        if self._worker_stats is not None:
+            out["worker_busy_seconds"] = [
+                float(part.get("busy_seconds", 0.0))
+                for part in self._worker_stats
+            ]
+        return out

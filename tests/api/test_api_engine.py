@@ -104,7 +104,7 @@ def test_spatial_spec_runs_under_both_topologies():
 
 
 def test_spatial_parallel_fanout_raises_a_clear_error():
-    """Coupled spatial maintenance cannot fan out to worker processes."""
+    """Spatial protocols have no transport endpoint yet; raise clearly."""
     from repro.spatial.queries import SpatialKnnQuery
 
     spec = QuerySpec(
@@ -113,7 +113,9 @@ def test_spatial_parallel_fanout_raises_a_clear_error():
         tolerance=RankTolerance(k=3, r=2),
     )
     workload = Workload.moving_objects(n_objects=30, horizon=50.0, seed=2)
-    with pytest.raises(ValueError, match="parallel=True is not supported"):
+    with pytest.raises(
+        ValueError, match="not yet supported for spatial protocols"
+    ):
         Engine().run(spec, workload, Deployment.sharded(2, parallel=True))
 
 
