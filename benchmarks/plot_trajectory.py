@@ -17,6 +17,8 @@ metrics the benches track:
 * ``spatial``        — batched spatial replay speedup + message curves
 * ``latency``        — stale-belief violation rate and message overhead
   at the largest modeled latency (requirement-2 degradation study)
+* ``durability``     — wall-clock multiplier of the write-ahead journal
+  at ``fsync="never"`` and ``fsync="every"`` over RAM planes
 
 Usage::
 
@@ -115,6 +117,14 @@ HEADLINE_METRICS: dict[str, tuple[str, object]] = {
     "latency_max_message_overhead": (
         "latency",
         _curve_tail("profiles", "default", "rtp", "message_overhead"),
+    ),
+    "durability_journal_overhead": (
+        "durability",
+        _path("grid", "never+ram", "overhead_x"),
+    ),
+    "durability_fsync_every_overhead": (
+        "durability",
+        _path("grid", "every+ram", "overhead_x"),
     ),
 }
 

@@ -85,6 +85,13 @@ def _execute_streams(
 ) -> RunResult:
     """Replay *trace* against a scalar *protocol* under *deployment*."""
     deployment = deployment or Deployment.single()
+    if deployment.durable is not None:
+        # Deployment validation already rejected the incompatible knobs
+        # (parallel, latency, check_every); both scalar topologies run
+        # through the durable WAL loop.
+        from repro.durability.runner import execute_durable_streams
+
+        return execute_durable_streams(trace, protocol, deployment, label)
     if (
         deployment.topology == "sharded"
         and deployment.parallel
@@ -366,6 +373,14 @@ def _execute_spatial(
     from repro.spatial.runner import execute_spatial
 
     deployment = deployment or Deployment.single()
+    if deployment.durable is not None:
+        raise ValueError(
+            "durable deployments are not yet supported for spatial "
+            "protocols: the spatial stack's object-dtype containers "
+            "column cannot live in a memmap plane and its point traces "
+            "have no journal record type yet; use the scalar stacks for "
+            "durable runs"
+        )
     if deployment.topology == "sharded" and deployment.parallel:
         raise ValueError(
             "parallel=True is not yet supported for spatial protocols: "
@@ -394,6 +409,14 @@ def _execute_multiquery(trace, queries, deployment: Deployment | None = None):
     from repro.multiquery.runner import execute_multi_query
 
     deployment = deployment or Deployment.single()
+    if deployment.durable is not None:
+        raise ValueError(
+            "durable deployments are not supported for the multi-query "
+            "stack: its coordinator delivers shared updates to protocol "
+            "slots directly, bypassing the channel and ledger charge "
+            "points the journal mirrors; run each query durably on its "
+            "own single-query deployment instead"
+        )
     if deployment.topology != "single":
         raise ValueError(
             "the multi-query stack supports only Deployment.single()"
@@ -418,6 +441,13 @@ def _execute_value_window(
     from repro.valuebased.protocol import run_value_tolerance
 
     deployment = deployment or Deployment.single()
+    if deployment.durable is not None:
+        raise ValueError(
+            "durable deployments are not yet supported for the "
+            "value-window stack: its runner owns its own session "
+            "assembly and does not thread a journaling ledger; use the "
+            "scalar stacks for durable runs"
+        )
     return run_value_tolerance(
         trace,
         query,

@@ -3,10 +3,50 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import PurePath
 from typing import Any, Mapping
 
 from repro.network.accounting import LedgerSnapshot
 from repro.network.messages import MessageKind
+
+
+def _json_safe(value: Any, path: str) -> Any:
+    """Normalize *value* to plain JSON types, or raise naming *path*.
+
+    ``extras`` feed straight into artifact files and result rows
+    (``json.dumps(report.row())``), so anything a stack tucks in here
+    must serialize.  Rather than finding out at dump time — far from
+    the offending producer — the report normalizes at construction:
+    numpy scalars unwrap, mappings/sequences/sets recurse (sets sort,
+    for deterministic artifacts), paths become strings, and anything
+    else fails *now* with the key path that put it there.
+    """
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        # numpy scalar (0-d): unwrap to the matching Python type.
+        # Checked before the primitive passthrough — np.float64 and
+        # np.bool_ subclass float/int and would otherwise slip through
+        # still carrying their numpy type.
+        return _json_safe(value.item(), path)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {
+            str(key): _json_safe(item, f"{path}.{key}")
+            for key, item in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [
+            _json_safe(item, f"{path}[{index}]")
+            for index, item in enumerate(value)
+        ]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_json_safe(item, f"{path}{{}}") for item in value)
+    if isinstance(value, PurePath):
+        return str(value)
+    raise TypeError(
+        f"RunReport extras must be JSON-serializable: {path} holds "
+        f"{type(value).__name__} ({value!r})"
+    )
 
 
 @dataclass(frozen=True)
@@ -36,6 +76,11 @@ class RunReport:
     answers: Mapping[str, frozenset[int]] | None = None
     #: The stack-specific result object this report was built from.
     raw: Any = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "extras", _json_safe(dict(self.extras), "extras")
+        )
 
     # ------------------------------------------------------------------
     # The paper's metrics

@@ -324,6 +324,19 @@ class Deployment:
         locally, so delivery timing never changes the message multiset).
         Unsupported only for the multi-query stack, whose coordinator
         bypasses the channel.
+    durable:
+        ``None`` (default) or a :class:`repro.durability.policy.
+        DurabilityPolicy`: the run keeps a write-ahead journal (and,
+        per the policy, periodic snapshots and memmap-backed state
+        planes) under the policy's run directory, recoverable to a
+        byte-identical message ledger after a crash.  Scalar single and
+        sharded stacks only; the incompatible knob combinations —
+        ``parallel=True`` (worker processes own the sources, so one
+        journal cannot observe their charges), a latency model (the
+        engine queue is never empty between segments, so no consistent
+        snapshot cut exists yet), and ``check_every > 0`` (oracle
+        callbacks are not journaled) — are rejected here, at
+        construction.
     """
 
     topology: str = "single"
@@ -336,6 +349,7 @@ class Deployment:
     parallel: bool = False
     max_workers: int | None = None
     latency: Any = None
+    durable: Any = None
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGIES:
@@ -357,6 +371,35 @@ class Deployment:
         # invalid values fail at construction and equal deployments
         # compare equal whether built from a number or a model.
         object.__setattr__(self, "latency", as_latency_model(self.latency))
+        if self.durable is not None:
+            from repro.durability.policy import DurabilityPolicy
+
+            if not isinstance(self.durable, DurabilityPolicy):
+                raise TypeError(
+                    "durable must be a DurabilityPolicy (or None), got "
+                    f"{type(self.durable).__name__}"
+                )
+            if self.parallel:
+                raise ValueError(
+                    "durable runs do not support parallel=True: worker "
+                    "processes own the sources, so a single write-ahead "
+                    "journal cannot observe their ledger charges; drop "
+                    "parallel or the durability policy"
+                )
+            if self.latency is not None:
+                raise ValueError(
+                    "durable runs do not support a latency model: with "
+                    "messages in flight the engine queue is never empty "
+                    "between segments, so no consistent snapshot cut "
+                    "exists; drop latency or the durability policy"
+                )
+            if self.check_every > 0:
+                raise ValueError(
+                    "durable runs do not support check_every > 0: oracle "
+                    "callbacks are not journaled, so a recovered run "
+                    "could not reproduce the checker's observations; "
+                    "check the same spec in a separate non-durable run"
+                )
         # Reuse RunConfig's validation for the shared knobs.
         self.run_config()
 
@@ -406,5 +449,7 @@ class Deployment:
             else f"sharded({self.n_shards})"
         )
         if self.latency is not None:
-            return f"{base}+latency"
+            base = f"{base}+latency"
+        if self.durable is not None:
+            base = f"{base}+durable"
         return base

@@ -186,19 +186,27 @@ class ExecutionSession:
         return LatencyChannel(ledger, engine, model, channel_index=channel_index)
 
     @classmethod
-    def for_streams(cls, trace, protocol, latency=None) -> "ExecutionSession":
-        """Scalar stack: ``StreamSource`` population + ``Server``."""
+    def for_streams(
+        cls, trace, protocol, latency=None, *, ledger=None, state_factory=None
+    ) -> "ExecutionSession":
+        """Scalar stack: ``StreamSource`` population + ``Server``.
+
+        ``ledger`` substitutes the session's accounting object (the
+        durability tier passes a journaling subclass); ``state_factory``
+        substitutes the server's state-table constructor (memmap-backed
+        planes).  Both default to the plain RAM objects.
+        """
         from repro.server.server import Server
         from repro.streams.source import StreamSource
 
         engine = SimulationEngine()
-        ledger = MessageLedger()
+        ledger = ledger if ledger is not None else MessageLedger()
         channel = cls._make_channel(ledger, engine, latency)
         sources = [
             StreamSource(stream_id, value, channel)
             for stream_id, value in enumerate(trace.initial_values)
         ]
-        server = Server(channel, protocol)
+        server = Server(channel, protocol, state_factory=state_factory)
         return cls(
             sources=sources,
             ledger=ledger,
@@ -209,7 +217,13 @@ class ExecutionSession:
 
     @classmethod
     def _sharded_parts(
-        cls, trace, n_shards: int, make_source, initials=None, latency=None
+        cls,
+        trace,
+        n_shards: int,
+        make_source,
+        initials=None,
+        latency=None,
+        ledger=None,
     ):
         """Shared sharded assembly: ranges, engine, per-shard channels
         (one ledger, each compiled to the deployment's delivery
@@ -223,7 +237,7 @@ class ExecutionSession:
             initials = trace.initial_values
         ranges = shard_ranges(trace.n_streams, n_shards)
         engine = SimulationEngine()
-        ledger = MessageLedger()
+        ledger = ledger if ledger is not None else MessageLedger()
         channels = [
             cls._make_channel(ledger, engine, latency, channel_index=index)
             for index in range(len(ranges))
@@ -237,7 +251,14 @@ class ExecutionSession:
 
     @classmethod
     def for_streams_sharded(
-        cls, trace, protocol, n_shards: int, latency=None
+        cls,
+        trace,
+        protocol,
+        n_shards: int,
+        latency=None,
+        *,
+        ledger=None,
+        state_factory=None,
     ) -> "ExecutionSession":
         """Scalar stack over a sharded topology.
 
@@ -252,9 +273,11 @@ class ExecutionSession:
         from repro.streams.source import StreamSource
 
         ranges, engine, ledger, channels, sources = cls._sharded_parts(
-            trace, n_shards, StreamSource, latency=latency
+            trace, n_shards, StreamSource, latency=latency, ledger=ledger
         )
-        coordinator = ShardedServer(channels, protocol, ranges)
+        coordinator = ShardedServer(
+            channels, protocol, ranges, state_factory=state_factory
+        )
         return cls(
             sources=sources,
             ledger=ledger,

@@ -38,10 +38,19 @@ if TYPE_CHECKING:
 class Server(DeferredDeliveryMixin):
     """Query-processing + constraint-assignment units of Figure 3."""
 
-    def __init__(self, channel: Channel, protocol: FilterProtocol) -> None:
+    def __init__(
+        self,
+        channel: Channel,
+        protocol: FilterProtocol,
+        state_factory=None,
+    ) -> None:
         self.channel = channel
         self.protocol = protocol
         self._now = 0.0
+        #: ``n_streams -> StreamStateTable`` constructor (e.g.
+        #: :class:`~repro.state.table.StateTableFactory` for memmap
+        #: planes); ``None`` builds a plain RAM table.
+        self._state_factory = state_factory
         self._state: StreamStateTable | None = None
         self._probe_reply: ProbeReplyMessage | None = None
         self._awaiting_probe = False
@@ -77,7 +86,8 @@ class Server(DeferredDeliveryMixin):
         server-side picture of the stream population.
         """
         if self._state is None:
-            self._state = StreamStateTable(len(self.channel.source_ids))
+            factory = self._state_factory or StreamStateTable
+            self._state = factory(len(self.channel.source_ids))
         return self._state
 
     def rank_view(self, distance_array) -> "RankView":

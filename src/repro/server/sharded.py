@@ -180,6 +180,7 @@ class ShardedServer(DeferredDeliveryMixin):
         channels: Sequence[Channel],
         protocol: FilterProtocol,
         ranges: Sequence[tuple[int, int]],
+        state_factory=None,
     ) -> None:
         if len(channels) != len(ranges):
             raise ValueError("need exactly one channel per shard range")
@@ -188,7 +189,7 @@ class ShardedServer(DeferredDeliveryMixin):
         self.protocol = protocol
         self._now = 0.0
         n = ranges[-1][1]
-        self._state = StreamStateTable(n)
+        self._state = (state_factory or StreamStateTable)(n)
         self.shards = [
             ShardServer(self, channel, StateShardView(self._state, lo, hi))
             for channel, (lo, hi) in zip(channels, ranges)

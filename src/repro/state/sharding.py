@@ -167,6 +167,23 @@ class StateShardView(StreamStateTable):
         # parent — must see it under its global id.
         self.parent._note_constraint(self.lo + int(row))
 
+    def __reduce__(self):
+        """Pickle by re-aliasing, never by value.
+
+        The default dataclass-style pickling would serialize each sliced
+        column as an independent array copy, silently severing the
+        aliasing invariant every sharded ledger-identity argument rests
+        on.  Reconstructing through ``__init__`` re-slices whichever
+        arrays the (memoized, shared) parent restored with; only the
+        membership counters and rank listeners carry over as state.
+        """
+        state = {
+            "_answer_count": self._answer_count,
+            "_tracked_count": self._tracked_count,
+            "_listeners": self._listeners,
+        }
+        return (type(self), (self.parent, self.lo, self.hi), state)
+
     def to_global(self, local_id: int) -> int:
         return self.lo + int(local_id)
 

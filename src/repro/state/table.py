@@ -51,6 +51,8 @@ write marks the touched row dirty for incremental rank repair.
 from __future__ import annotations
 
 import math
+import os
+from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np
@@ -60,31 +62,75 @@ SILENCER_NONE = 0
 SILENCER_FP = 1  # silenced with [-inf, +inf]; believed inside
 SILENCER_FN = 2  # silenced with [+inf, +inf]; believed outside
 
+#: Plane storage backings: ``"ram"`` allocates ordinary ndarrays;
+#: ``"mmap"`` allocates ``np.memmap`` columns as ``.npy`` files under a
+#: plane directory, so populations whose planes exceed RAM still fit.
+STORAGE_BACKINGS = ("ram", "mmap")
+
 
 class StreamStateTable:
-    """Columnar server-side state for one standing query."""
+    """Columnar server-side state for one standing query.
+
+    Parameters
+    ----------
+    n_streams:
+        Population size (one row per stream).
+    storage:
+        ``"ram"`` (default) or ``"mmap"``.  Under ``"mmap"`` every dense
+        plane — value, constraint, membership, and the lazily-allocated
+        geometric plane — lives in an ``np.memmap``-backed ``.npy`` file
+        under *plane_dir*, so the table's working set is paged by the
+        OS instead of held resident.  The object-dtype ``containers``
+        column (spatial region objects) has no memmap representation;
+        spatial protocols must use ``storage="ram"``.
+    plane_dir:
+        Directory holding the plane files (required for ``"mmap"``).
+    """
 
     #: Constraint-plane watch (class-level default so shard views — whose
     #: ``__init__`` aliases a parent instead of calling ``super().__init__``
     #: — inherit the disabled state).  ``None`` = off; a list = rows whose
     #: bounds or believed membership changed since the last drain.
     _constraint_watch: list | None = None
+    #: Storage defaults at class level for the same shard-view reason:
+    #: a view aliases its parent's arrays and never allocates planes.
+    _storage: str = "ram"
+    _plane_dir: str | None = None
 
-    def __init__(self, n_streams: int) -> None:
+    def __init__(
+        self,
+        n_streams: int,
+        *,
+        storage: str = "ram",
+        plane_dir: str | os.PathLike | None = None,
+    ) -> None:
         n = int(n_streams)
         if n < 0:
             raise ValueError("n_streams must be non-negative")
+        if storage not in STORAGE_BACKINGS:
+            raise ValueError(
+                f"storage must be one of {STORAGE_BACKINGS}, got {storage!r}"
+            )
+        if storage == "mmap":
+            if plane_dir is None:
+                raise ValueError("storage='mmap' requires a plane_dir")
+            plane_dir = os.fspath(plane_dir)
+            os.makedirs(plane_dir, exist_ok=True)
+        self._storage = storage
+        self._plane_dir = plane_dir if storage == "mmap" else None
         self.n_streams = n
         # Value plane (server knowledge).
-        self.values = np.zeros(n, dtype=np.float64)
-        self.report_time = np.full(n, -math.inf)
-        self.known = np.zeros(n, dtype=bool)
+        self.values = self._alloc("values", (n,), np.float64)
+        self.report_time = self._alloc(
+            "report_time", (n,), np.float64, fill=-math.inf
+        )
+        self.known = self._alloc("known", (n,), bool)
         self.points: np.ndarray | None = None  # (n, d), spatial stacks only
         # Constraint plane (deployed filters; single source of truth).
-        self.lower = np.full(n, -math.inf)
-        self.upper = np.full(n, math.inf)
-        self.inside = np.zeros(n, dtype=bool)
-        self.scannable = np.zeros(n, dtype=bool)
+        self.lower = self._alloc("lower", (n,), np.float64, fill=-math.inf)
+        self.upper = self._alloc("upper", (n,), np.float64, fill=math.inf)
+        self.inside = self._alloc("inside", (n,), bool)
+        self.scannable = self._alloc("scannable", (n,), bool)
         self.containers: np.ndarray | None = None  # object column, spatial
         # Geometric plane (deployed regions' bboxes; lazily allocated
         # (n, d) like ``points``).  Defaults are claim-free: an empty
@@ -94,15 +140,77 @@ class StreamStateTable:
         self.geo_upper: np.ndarray | None = None
         self.geo_outer_lower: np.ndarray | None = None
         self.geo_outer_upper: np.ndarray | None = None
-        self.geo_scannable = np.zeros(n, dtype=bool)
+        self.geo_scannable = self._alloc("geo_scannable", (n,), bool)
         # Membership planes.
-        self.answer_mask = np.zeros(n, dtype=bool)
-        self.tracked_mask = np.zeros(n, dtype=bool)
-        self.silencer = np.zeros(n, dtype=np.int8)
+        self.answer_mask = self._alloc("answer_mask", (n,), bool)
+        self.tracked_mask = self._alloc("tracked_mask", (n,), bool)
+        self.silencer = self._alloc("silencer", (n,), np.int8)
         self._answer_count = 0
         self._tracked_count = 0
         self._known_count = 0
         self._listeners: list = []
+
+    # ------------------------------------------------------------------
+    # Plane storage
+    # ------------------------------------------------------------------
+    def _alloc(
+        self, name: str, shape: tuple[int, ...], dtype, fill=None
+    ) -> np.ndarray:
+        """Allocate one plane in the configured backing.
+
+        Memory-mapped planes are standard ``.npy`` files (via
+        ``np.lib.format.open_memmap``), so a crashed run's plane files
+        remain loadable with ``np.load`` for post-mortem inspection.
+        """
+        if self._storage == "mmap":
+            from numpy.lib.format import open_memmap
+
+            assert self._plane_dir is not None
+            array = open_memmap(
+                os.path.join(self._plane_dir, f"{name}.npy"),
+                mode="w+",
+                dtype=dtype,
+                shape=shape,
+            )
+        else:
+            array = np.zeros(shape, dtype=dtype)
+        if fill is not None:
+            array[...] = fill
+        return array
+
+    @property
+    def storage(self) -> str:
+        """The plane backing: ``"ram"`` or ``"mmap"``."""
+        return self._storage
+
+    @property
+    def plane_dir(self) -> str | None:
+        """Directory of the memmap plane files (``None`` for RAM)."""
+        return self._plane_dir
+
+    def flush_planes(self) -> None:
+        """Flush memory-mapped planes to their backing files (no-op for
+        RAM tables)."""
+        for plane in self.__dict__.values():
+            if isinstance(plane, np.memmap):
+                plane.flush()
+
+    def __getstate__(self) -> dict:
+        """Pickle memmap planes *by value* as ordinary RAM arrays.
+
+        A pickled table is a point-in-time copy of the state — exactly
+        what durability snapshots need — so the file backing must not
+        travel with it: the restored table holds plain ndarrays and is
+        independent of the original run directory.
+        """
+        state = dict(self.__dict__)
+        if state.get("_storage") == "mmap":
+            for name, plane in list(state.items()):
+                if isinstance(plane, np.memmap):
+                    state[name] = np.array(plane)
+            state["_storage"] = "ram"
+            state["_plane_dir"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Value plane
@@ -139,7 +247,9 @@ class StreamStateTable:
 
     def _ensure_points(self, dimension: int) -> np.ndarray:
         if self.points is None:
-            self.points = np.zeros((self.n_streams, int(dimension)))
+            self.points = self._alloc(
+                "points", (self.n_streams, int(dimension)), np.float64
+            )
         return self.points
 
     def payload_array(self) -> np.ndarray:
@@ -201,6 +311,13 @@ class StreamStateTable:
 
     def _ensure_containers(self) -> np.ndarray:
         if self.containers is None:
+            if self._storage == "mmap":
+                raise ValueError(
+                    "storage='mmap' cannot back the object-dtype "
+                    "containers column (spatial region objects have no "
+                    "memmap representation); use storage='ram' for "
+                    "spatial protocols"
+                )
             self.containers = np.empty(self.n_streams, dtype=object)
         return self.containers
 
@@ -216,10 +333,18 @@ class StreamStateTable:
         """Allocate the four ``(n, d)`` bbox matrices, claim-free."""
         if self.geo_lower is None:
             n, d = self.n_streams, int(dimension)
-            self.geo_lower = np.full((n, d), math.inf)
-            self.geo_upper = np.full((n, d), -math.inf)
-            self.geo_outer_lower = np.full((n, d), -math.inf)
-            self.geo_outer_upper = np.full((n, d), math.inf)
+            self.geo_lower = self._alloc(
+                "geo_lower", (n, d), np.float64, fill=math.inf
+            )
+            self.geo_upper = self._alloc(
+                "geo_upper", (n, d), np.float64, fill=-math.inf
+            )
+            self.geo_outer_lower = self._alloc(
+                "geo_outer_lower", (n, d), np.float64, fill=-math.inf
+            )
+            self.geo_outer_upper = self._alloc(
+                "geo_outer_upper", (n, d), np.float64, fill=math.inf
+            )
 
     def record_region_deploy(
         self,
@@ -456,4 +581,24 @@ class StreamStateTable:
         return (
             f"StreamStateTable(n={self.n_streams}, known={self._known_count}, "
             f"|A|={self._answer_count}, |X|={self._tracked_count})"
+        )
+
+
+@dataclass(frozen=True)
+class StateTableFactory:
+    """A picklable ``n_streams -> StreamStateTable`` constructor.
+
+    Hosts that create their table lazily (``Server``) or at assembly
+    time (``ShardedServer``) take a factory rather than storage knobs,
+    so one parameter threads any backing through every topology.  A
+    frozen dataclass — not a closure — because durable deployments
+    pickle the host graph in recovery snapshots.
+    """
+
+    storage: str = "ram"
+    plane_dir: str | None = None
+
+    def __call__(self, n_streams: int) -> StreamStateTable:
+        return StreamStateTable(
+            n_streams, storage=self.storage, plane_dir=self.plane_dir
         )

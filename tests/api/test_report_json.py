@@ -1,0 +1,83 @@
+"""``RunReport.extras`` must stay JSON-serializable — guarded, not hoped.
+
+The extras mapping feeds artifact files and flattened result rows;
+before this guard nothing protected new payloads (the durability
+counters are the first deeply-nested ones).  The report normalizes at
+construction and fails fast, naming the offending key path.
+"""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.api import Deployment, Engine, QuerySpec, Workload
+from repro.api.report import RunReport
+from repro.durability import DurabilityPolicy
+from repro.network.accounting import LedgerSnapshot
+from repro.queries.range_query import RangeQuery
+
+
+def _report(extras) -> RunReport:
+    return RunReport(
+        protocol="zt-nrp",
+        stack="streams",
+        topology="single",
+        ledger=LedgerSnapshot(initialization={}, maintenance={}),
+        n_streams=1,
+        n_records=0,
+        wall_seconds=0.0,
+        extras=extras,
+    )
+
+
+def test_numpy_scalars_normalize_to_python_types():
+    report = _report(
+        {"count": np.int64(3), "ratio": np.float64(0.5), "flag": np.bool_(True)}
+    )
+    row = report.row()
+    assert json.loads(json.dumps(row))["count"] == 3
+    assert type(report.extras["count"]) is int
+    assert type(report.extras["ratio"]) is float
+    assert type(report.extras["flag"]) is bool
+
+
+def test_nested_structures_normalize():
+    report = _report(
+        {
+            "durability": {
+                "journal": {"bytes": np.int64(4096)},
+                "files": (pathlib.PurePosixPath("a/b.bin"),),
+                "shards": {2, 1},
+            }
+        }
+    )
+    payload = json.loads(json.dumps(report.row()))
+    assert payload["durability"]["journal"]["bytes"] == 4096
+    assert payload["durability"]["files"] == ["a/b.bin"]
+    assert payload["durability"]["shards"] == [1, 2]
+
+
+def test_unserializable_extras_fail_fast_with_a_path():
+    with pytest.raises(TypeError, match=r"extras\.durability\.handle"):
+        _report({"durability": {"handle": object()}})
+
+
+def test_real_run_report_rows_round_trip(tmp_path):
+    """End to end: plain and durable reports dump to JSON unchanged."""
+    spec = QuerySpec(protocol="zt-nrp", query=RangeQuery(400.0, 600.0))
+    workload = Workload.synthetic(n_streams=50, horizon=100.0, seed=5)
+    engine = Engine()
+
+    plain = engine.run(spec, workload, Deployment.single())
+    assert json.loads(json.dumps(plain.row()))["protocol"] == plain.protocol
+
+    policy = DurabilityPolicy(
+        run_dir=str(tmp_path / "run"), snapshot_every=200, storage="mmap"
+    )
+    durable = engine.run(spec, workload, Deployment.single(durable=policy))
+    payload = json.loads(json.dumps(durable.row()))
+    assert payload["durability"]["journal"]["appends"] > 0
+    assert payload["durability"]["storage"] == "mmap"
+    assert durable.ledger == plain.ledger

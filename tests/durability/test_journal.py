@@ -1,0 +1,243 @@
+"""Journal framing properties: torn tails, corruption, idempotence.
+
+The recovery argument leans on three facts about the on-disk format,
+each driven here by hypothesis over arbitrary record sequences:
+
+* truncating the file at *every* byte offset still recovers a valid
+  prefix of whole frames (a crash mid-append never poisons the log);
+* flipping any byte inside a frame is *detected* — the corrupted frame
+  and everything after it are excluded, never silently replayed;
+* closing and reopening for append is idempotent: the reopened journal
+  continues the same record sequence, and ``Journal.open`` physically
+  truncates whatever tail the scan rejected.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.durability.journal import (
+    MAGIC,
+    REC_EVENTS,
+    REC_MESSAGES,
+    REC_META,
+    Journal,
+    JournaledLedger,
+    load_journal,
+    scan_journal,
+)
+from repro.network.accounting import Phase
+from repro.network.messages import MessageKind, UpdateMessage
+
+
+def _write_records(path, records):
+    """Append a mixed record sequence described by small tuples."""
+    journal = Journal.open(path, fsync="never")
+    for record in records:
+        tag = record[0]
+        if tag == "meta":
+            journal.append_meta({"n": record[1]})
+        elif tag == "events":
+            count = record[1]
+            journal.append_events(
+                np.arange(count, dtype=np.float64),
+                np.arange(count, dtype=np.int64),
+                np.full(count, 0.5),
+            )
+        elif tag == "message":
+            journal.append_message(
+                Phase.MAINTENANCE, MessageKind.UPDATE, record[1]
+            )
+        else:
+            journal.append_snapshot_mark(record[1], f"snap_{record[1]}.pkl")
+    journal.close()
+
+
+_RECORDS = st.lists(
+    st.one_of(
+        st.tuples(st.just("meta"), st.integers(0, 100)),
+        st.tuples(st.just("events"), st.integers(0, 20)),
+        st.tuples(st.just("message"), st.integers(0, 1000)),
+        st.tuples(st.just("snapshot"), st.integers(0, 10**6)),
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(records=_RECORDS)
+def test_truncation_at_every_offset_recovers_a_valid_prefix(
+    tmp_path_factory, records
+):
+    """Cutting the file anywhere yields a clean frame-prefix parse."""
+    tmp = tmp_path_factory.mktemp("journal")
+    path = os.path.join(tmp, "journal.bin")
+    _write_records(path, records)
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    full = scan_journal(path)
+    assert full.reason == "clean"
+    assert len(full.records) == len(records)
+
+    frame_ends = {len(MAGIC)}
+    offset = len(MAGIC)
+    for _ in full.records:
+        length = int.from_bytes(blob[offset : offset + 4], "little")
+        offset += 8 + length
+        frame_ends.add(offset)
+
+    for cut in range(len(blob) + 1):
+        with open(path, "wb") as handle:
+            handle.write(blob[:cut])
+        scan = scan_journal(path)
+        if cut < len(MAGIC):
+            assert scan.reason == "magic"
+            assert scan.records == []
+            continue
+        # The valid prefix is the largest frame boundary <= cut, and
+        # every surviving record matches the uncut parse exactly.
+        expected = max(end for end in frame_ends if end <= cut)
+        assert scan.valid_bytes == expected
+        assert scan.reason == ("clean" if cut in frame_ends else "torn")
+        assert scan.records == full.records[: len(scan.records)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(records=_RECORDS, data=st.data())
+def test_corruption_is_detected_not_replayed(tmp_path_factory, records, data):
+    """A flipped byte ends the valid prefix at the corrupted frame."""
+    tmp = tmp_path_factory.mktemp("journal")
+    path = os.path.join(tmp, "journal.bin")
+    _write_records(path, records)
+    with open(path, "rb") as handle:
+        blob = bytearray(handle.read())
+    full = scan_journal(path)
+    if len(blob) <= len(MAGIC):
+        return  # nothing to corrupt
+    index = data.draw(
+        st.integers(len(MAGIC), len(blob) - 1), label="corrupt_at"
+    )
+    flip = data.draw(st.integers(1, 255), label="xor")
+    blob[index] ^= flip
+    with open(path, "wb") as handle:
+        handle.write(bytes(blob))
+    scan = scan_journal(path)
+    # Never more records than before, and the surviving prefix is an
+    # exact (uncorrupted) prefix of the original sequence.
+    assert scan.reason != "clean" or len(scan.records) < len(full.records)
+    assert len(scan.records) < len(full.records) or scan.reason in (
+        "crc",
+        "torn",
+    )
+    assert scan.records == full.records[: len(scan.records)]
+    assert scan.valid_bytes <= index
+
+
+@settings(max_examples=25, deadline=None)
+@given(first=_RECORDS, second=_RECORDS, cut_back=st.integers(0, 12))
+def test_append_reopen_idempotence(tmp_path_factory, first, second, cut_back):
+    """Reopen-and-append continues the sequence; torn tails are cut."""
+    tmp = tmp_path_factory.mktemp("journal")
+    path = os.path.join(tmp, "journal.bin")
+    _write_records(path, first)
+
+    # Tear the tail by a few bytes, as an unflushed crash would.
+    size = os.path.getsize(path)
+    torn = max(len(MAGIC), size - cut_back)
+    with open(path, "rb+") as handle:
+        handle.truncate(torn)
+    survivors = len(scan_journal(path).records)
+
+    _write_records(path, second)  # Journal.open truncates, then appends
+    scan = scan_journal(path)
+    assert scan.reason == "clean"
+    assert len(scan.records) == survivors + len(second)
+    full = scan_journal(path)
+    tail = full.records[survivors:]
+    assert [rtype for rtype, _ in tail] == [
+        {"meta": REC_META, "events": REC_EVENTS, "message": REC_MESSAGES}.get(
+            record[0], 4
+        )
+        for record in second
+    ]
+
+
+def test_events_round_trip(tmp_path):
+    path = os.path.join(tmp_path, "journal.bin")
+    journal = Journal.open(path)
+    times = np.array([0.5, 1.5, 2.5])
+    ids = np.array([3, 1, 2], dtype=np.int64)
+    values = np.array([10.0, -2.0, 7.25])
+    journal.append_events(times, ids, values)
+    journal.append_events(times + 10.0, ids, values * 2)
+    journal.close()
+    contents = load_journal(path)
+    assert contents.segments == [3, 3]
+    np.testing.assert_array_equal(
+        contents.times, np.concatenate([times, times + 10.0])
+    )
+    np.testing.assert_array_equal(
+        contents.stream_ids, np.concatenate([ids, ids])
+    )
+    np.testing.assert_array_equal(
+        contents.values, np.concatenate([values, values * 2])
+    )
+
+
+def test_open_refuses_non_journal_files(tmp_path):
+    path = os.path.join(tmp_path, "notes.txt")
+    with open(path, "w") as handle:
+        handle.write("definitely not a journal, long enough to have bytes")
+    with pytest.raises(ValueError, match="bad magic"):
+        Journal.open(path)
+
+
+def test_simulate_crash_drops_buffered_bytes(tmp_path):
+    """fsync='never' keeps appends in the Python buffer; a simulated
+    process kill loses exactly those, while synced bytes survive."""
+    path = os.path.join(tmp_path, "journal.bin")
+    journal = Journal.open(path, fsync="never")
+    journal.append_meta({"run": 1})
+    journal.sync()
+    journal.append_message(Phase.MAINTENANCE, MessageKind.UPDATE, 5)
+    journal.simulate_crash()
+    scan = scan_journal(path)
+    assert scan.reason == "clean"
+    assert [rtype for rtype, _ in scan.records] == [REC_META]
+
+
+def test_journaled_ledger_mirrors_every_charge(tmp_path):
+    path = os.path.join(tmp_path, "journal.bin")
+    journal = Journal.open(path, fsync="every")
+    ledger = JournaledLedger()
+    ledger.attach_journal(journal)
+    ledger.record(UpdateMessage(stream_id=0, time=1.0, value=2.0))
+    ledger.phase = Phase.MAINTENANCE
+    ledger.record_kind(MessageKind.CONSTRAINT, 7)
+    ledger.detach_journal()
+    ledger.record_kind(MessageKind.UPDATE, 3)  # not journaled
+    journal.close()
+    contents = load_journal(path)
+    assert contents.messages == [
+        (Phase.INITIALIZATION, MessageKind.UPDATE, 1),
+        (Phase.MAINTENANCE, MessageKind.CONSTRAINT, 7),
+    ]
+    # The in-RAM tallies saw all three charges.
+    assert ledger.count(MessageKind.UPDATE) == 4
+
+
+def test_snapshot_marks_decode(tmp_path):
+    path = os.path.join(tmp_path, "journal.bin")
+    journal = Journal.open(path)
+    journal.append_snapshot_mark(1024, "snapshot_000000001024.pkl")
+    journal.close()
+    contents = load_journal(path)
+    assert contents.snapshots == [
+        {"position": 1024, "file": "snapshot_000000001024.pkl"}
+    ]
+    assert json.dumps(contents.snapshots) is not None
