@@ -31,12 +31,19 @@ serialized on it), while the modeled wall charges exactly the
 single-machine work that cannot overlap: coordinator compute plus the
 critical-path worker.
 
+The fifth is the same curve for the *spatial* transport
+(``SpatialTransportShardedServer``): ZT-RP-2d on the n=10k
+moving-objects workload at 1/2/4 shards plus FT-RP-2d (tight 0.05
+fraction tolerance) at 4 — the probe-heavy regimes where per-worker
+point-probe batches and geometric pre-scans dominate replay.
+
 Asserts >= 1.5x per-shard-server capacity at 4 shards (measured ~4x:
 splitting a 10k-stream session also shrinks per-shard assembly and
 pre-scan state, so capacity scales slightly super-linearly), >= 1.5x
 (local; >= 1.3x under ``BENCH_SMOKE``) transport-parallel replay
-throughput at 4 shards for both RTP and ZT-RP, and ledger
-byte-equality for every variant.  Also reports the sequential sharded
+throughput at 4 shards for RTP and ZT-RP on the scalar vocabulary and
+for ZT-RP-2d and FT-RP-2d on the spatial one, and ledger byte-equality
+for every variant.  Also reports the sequential sharded
 *coordinator* overhead on the rank-heavy RTP path (per-shard RankViews
 + k-way merge vs one global RankView) — tracked in the artifact, not
 asserted.
@@ -64,6 +71,7 @@ SIGMA = 150.0
 HORIZON = 60.0 if SMOKE else 150.0
 RTP_HORIZON = 15.0 if SMOKE else 40.0
 ZTRP_HORIZON = 5.0 if SMOKE else 10.0
+SPATIAL_HORIZON = 4.0 if SMOKE else 10.0
 SHARD_COUNTS = (1, 2, 4)
 REPEATS = 1 if SMOKE else 3
 MIN_SPEEDUP_AT_4 = 1.5
@@ -76,6 +84,7 @@ _RESULTS: dict = {
     "shards": {},
     "rtp_coordinator": {},
     "transport": {},
+    "spatial_transport": {},
 }
 
 
@@ -233,7 +242,25 @@ def _sequential_replay_wall(trace, protocol, n_shards: int) -> tuple:
     return _time.perf_counter() - started, session.snapshot()
 
 
-def _transport_replay_wall(trace, protocol, n_shards: int) -> tuple:
+def _sequential_spatial_replay_wall(trace, protocol, n_shards: int) -> tuple:
+    """Sequential sharded *spatial* serving, replay phase timed alone."""
+    import time as _time
+
+    from repro.runtime.session import ExecutionSession
+
+    if n_shards == 1:
+        session = ExecutionSession.for_spatial(trace, protocol)
+    else:
+        session = ExecutionSession.for_spatial_sharded(
+            trace, protocol, n_shards
+        )
+    session.initialize(time=0.0)
+    started = _time.perf_counter()
+    session.replay_trace(trace)
+    return _time.perf_counter() - started, session.snapshot()
+
+
+def _transport_replay_wall(trace, protocol, n_shards: int, server_cls=None) -> tuple:
     """Transport-parallel replay: modeled wall + diagnostics.
 
     Modeled wall = (coordinator wall - reply-wait) + slowest worker's
@@ -244,7 +271,9 @@ def _transport_replay_wall(trace, protocol, n_shards: int) -> tuple:
 
     from repro.server.transport import TransportShardedServer
 
-    server = TransportShardedServer(trace, protocol, n_shards)
+    if server_cls is None:
+        server_cls = TransportShardedServer
+    server = server_cls(trace, protocol, n_shards)
     with server:
         server.initialize(0.0)
         wait_before = server.bus.stats.recv_wait_seconds
@@ -267,20 +296,24 @@ def _transport_replay_wall(trace, protocol, n_shards: int) -> tuple:
     }
 
 
-def _transport_point(spec, trace, n_shards: int) -> dict:
+def _transport_point(
+    spec, trace, n_shards: int, sequential_wall=None, server_cls=None
+) -> dict:
     """One curve point: best-of sequential vs best-of transport."""
+    if sequential_wall is None:
+        sequential_wall = _sequential_replay_wall
     # Even in smoke mode take best-of-2: a single fork-and-replay
     # sample is too noisy to assert a floor against.
     reps = max(REPEATS, 2)
     t_seq = min(
-        _sequential_replay_wall(trace, spec.build(), n_shards)[0]
+        sequential_wall(trace, spec.build(), n_shards)[0]
         for _ in range(reps)
     )
-    _, seq_ledger = _sequential_replay_wall(trace, spec.build(), n_shards)
+    _, seq_ledger = sequential_wall(trace, spec.build(), n_shards)
     best = None
     for _ in range(reps):
         modeled, ledger, diag = _transport_replay_wall(
-            trace, spec.build(), n_shards
+            trace, spec.build(), n_shards, server_cls=server_cls
         )
         assert ledger == seq_ledger, (
             f"transport({n_shards}) ledger diverged from sequential "
@@ -372,5 +405,96 @@ def test_bench_transport_coupled_throughput():
     assert ztrp_point["speedup_vs_sequential"] >= floor, (
         f"transport ZT-RP speedup at 4 shards "
         f"{ztrp_point['speedup_vs_sequential']:.2f}x < {floor}x"
+    )
+    write_artifact("sharded", _RESULTS)
+
+
+def test_bench_spatial_transport_coupled_throughput():
+    """Coupled *spatial* protocols across worker processes.
+
+    ZT-RP-2d on the n=10k moving-objects workload at 1/2/4 shards —
+    every kNN threshold crossing probes the full point population, so
+    the per-worker probe batches and geometric pre-scans are the bulk
+    of the replay and parallelize across shards — plus FT-RP-2d under a
+    tight fraction tolerance (0.05) at 4 shards, the second coupled
+    ``-2d`` protocol on the transport.  Ledgers must be byte-identical
+    to sequential sharded spatial serving; the modeled-wall speedup at
+    4 shards is floor-asserted for both.
+    """
+    from repro.server.transport import SpatialTransportShardedServer
+    from repro.spatial.queries import SpatialKnnQuery
+    from repro.tolerance.fraction_tolerance import FractionTolerance
+
+    workload = Workload.moving_objects(
+        n_objects=N_STREAMS, horizon=SPATIAL_HORIZON, seed=0
+    )
+    trace = workload.materialize()
+    spec = QuerySpec(
+        protocol="zt-rp-2d", query=SpatialKnnQuery((500.0, 500.0), 10)
+    )
+    print()
+    print(
+        f"spatial transport-parallel coupled replay: "
+        f"{trace.n_streams} objects, {trace.n_records} records, "
+        f"ZT-RP-2d 10-NN"
+    )
+    print(
+        f"{'shards':>8} {'seq':>8} {'modeled':>8} {'coord%':>7} "
+        f"{'speedup':>8} {'ledger':>7}"
+    )
+    _RESULTS["spatial_transport"] = {
+        "protocol": "zt-rp-2d",
+        "horizon": SPATIAL_HORIZON,
+        "n_records": trace.n_records,
+        "min_speedup_at_4": MIN_TRANSPORT_SPEEDUP_AT_4,
+        "shards": {},
+    }
+    for n_shards in SHARD_COUNTS:
+        point = _transport_point(
+            spec,
+            trace,
+            n_shards,
+            sequential_wall=_sequential_spatial_replay_wall,
+            server_cls=SpatialTransportShardedServer,
+        )
+        _RESULTS["spatial_transport"]["shards"][str(n_shards)] = point
+        print(
+            f"{n_shards:>8} {point['sequential_replay_wall_seconds']:>7.3f}s"
+            f" {point['modeled_parallel_wall_seconds']:>7.3f}s"
+            f" {point['coordination_fraction'] * 100:>6.1f}%"
+            f" {point['speedup_vs_sequential']:>7.2f}x {'equal':>7}"
+        )
+
+    ftrp_spec = QuerySpec(
+        protocol="ft-rp-2d",
+        query=SpatialKnnQuery((500.0, 500.0), 10),
+        tolerance=FractionTolerance(0.05, 0.05),
+    )
+    ftrp_point = _transport_point(
+        ftrp_spec,
+        trace,
+        4,
+        sequential_wall=_sequential_spatial_replay_wall,
+        server_cls=SpatialTransportShardedServer,
+    )
+    _RESULTS["spatial_transport"]["ft_rp_2d_4"] = ftrp_point
+    print(
+        f"ft-rp-2d(4): seq "
+        f"{ftrp_point['sequential_replay_wall_seconds']:.3f}s, modeled "
+        f"{ftrp_point['modeled_parallel_wall_seconds']:.3f}s, "
+        f"{ftrp_point['speedup_vs_sequential']:.2f}x, ledgers equal"
+    )
+
+    floor = MIN_TRANSPORT_SPEEDUP_AT_4
+    ztrp_speedup = _RESULTS["spatial_transport"]["shards"]["4"][
+        "speedup_vs_sequential"
+    ]
+    assert ztrp_speedup >= floor, (
+        f"spatial transport ZT-RP-2d speedup at 4 shards "
+        f"{ztrp_speedup:.2f}x < {floor}x"
+    )
+    assert ftrp_point["speedup_vs_sequential"] >= floor, (
+        f"spatial transport FT-RP-2d speedup at 4 shards "
+        f"{ftrp_point['speedup_vs_sequential']:.2f}x < {floor}x"
     )
     write_artifact("sharded", _RESULTS)

@@ -13,7 +13,8 @@ metrics the benches track:
 * ``dispatch``       — run-kernel speedup on the dispatch-heavy profile
 * ``sharded``        — per-shard capacity speedup at 4 shards, plus the
   transport-parallel coupled-protocol speedup and the coordination
-  fraction (coordinator compute / modeled parallel wall) at 4 shards
+  fraction (coordinator compute / modeled parallel wall) at 4 shards,
+  on both the scalar and the spatial (ZT-RP-2d) transport vocabularies
 * ``spatial``        — batched spatial replay speedup + message curves
 * ``latency``        — stale-belief violation rate and message overhead
   at the largest modeled latency (requirement-2 degradation study)
@@ -108,6 +109,10 @@ HEADLINE_METRICS: dict[str, tuple[str, object]] = {
     "transport_coordination_fraction_x4": (
         "sharded",
         _path("transport", "shards", "4", "coordination_fraction"),
+    ),
+    "spatial_transport_speedup_x4": (
+        "sharded",
+        _path("spatial_transport", "shards", "4", "speedup_vs_sequential"),
     ),
     "spatial_batch_speedup": ("spatial", _path("batched_replay", "speedup")),
     "latency_max_violation_rate": (

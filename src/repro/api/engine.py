@@ -11,12 +11,15 @@ decisions:
    processes: a sharded deployment with ``parallel=True`` replays the
    shards of a *decomposable* protocol (no server feedback during
    maintenance, e.g. ZT-NRP) on independent pool workers and merges
-   the per-shard ledgers; a *coupled* scalar protocol (RTP, ZT-RP,
-   FT-RP, FT-NRP) runs on the shard transport
-   (:class:`repro.server.transport.TransportShardedServer`) — worker
-   processes replay their shards under an epoch-stepped coordinator
-   whose ledgers are byte-identical to sequential sharded serving;
-   everything else runs the sequential coordinator in-process.
+   the per-shard ledgers; a *coupled* protocol runs on the shard
+   transport — scalar vocabularies (RTP, ZT-RP, FT-RP, FT-NRP) on
+   :class:`repro.server.transport.TransportShardedServer`, spatial
+   vocabularies (the ``-2d`` protocols) on
+   :class:`repro.server.transport.SpatialTransportShardedServer` —
+   worker processes replay their shards under an epoch-stepped
+   coordinator whose ledgers are byte-identical to sequential sharded
+   serving, checking runs (``check_every > 0``) included; everything
+   else runs the sequential coordinator in-process.
 
 The module-level ``_execute_*`` functions are the former bodies of the
 stack-specific entrypoints (``run_protocol``, ``run_spatial_protocol``,
@@ -99,16 +102,14 @@ def _execute_streams(
         and getattr(protocol, "decomposable_maintenance", False)
     ):
         return _execute_streams_fanout(trace, protocol, deployment, label)
-    if (
-        deployment.topology == "sharded"
-        and deployment.parallel
-        and deployment.check_every == 0
-    ):
+    if deployment.topology == "sharded" and deployment.parallel:
         # Coupled maintenance: worker processes under the epoch-stepped
-        # transport coordinator.  (With check_every > 0 the tolerance
-        # checker needs the in-process oracle hooks, so checking runs
-        # fall back to the sequential sharded coordinator below.)
-        return _execute_streams_transport(trace, protocol, deployment, label)
+        # transport coordinator.  Checking runs ride along — the
+        # coordinator holds the full trace, so it applies the oracle
+        # itself and checks at epoch boundaries (transport.py replay).
+        return _execute_streams_transport(
+            trace, protocol, query, tolerance, deployment, label
+        )
 
     if deployment.topology == "sharded":
         session = ExecutionSession.for_streams_sharded(
@@ -308,14 +309,18 @@ def _execute_streams_fanout(
 
 
 def _execute_streams_transport(
-    trace, protocol, deployment: Deployment, label: str
+    trace, protocol, query, tolerance, deployment: Deployment, label: str
 ) -> RunResult:
     """Sharded + parallel replay of a *coupled* protocol.
 
     Worker processes own the shard traces and source populations; the
     protocol runs once, at the epoch-stepped coordinator, whose message
     ledger is byte-identical to sequential sharded serving (see
-    ``repro/server/transport.py`` and DESIGN.md §10).
+    ``repro/server/transport.py`` and DESIGN.md §10).  A checking run
+    (``check_every > 0``) applies the oracle at the coordinator and
+    checks at epoch boundaries — checks charge nothing, so the ledger
+    and violation sequence match the sequential checking run while the
+    workers keep their batched pre-scan.
     """
     from repro.server.transport import TransportShardedServer
 
@@ -328,9 +333,41 @@ def _execute_streams_transport(
         batch_size=deployment.batch_size,
         min_chunk=deployment.min_chunk,
     )
+    checker: ToleranceChecker | None = None
+    oracle: Oracle | None = None
+    if deployment.check_every > 0:
+        if query is None:
+            query = getattr(protocol, "query", None)
+        if query is None:
+            raise ValueError("checking requires a query")
+        oracle = Oracle(trace.initial_values)
+        oracle.register_query(query)
+        staleness = None
+        if deployment.latency is not None:
+            # The transport accepts only zero-delay models, whose
+            # channels deliver inline and never defer — an empty
+            # staleness window classifies identically to the sequential
+            # run's window over those channels (always quiet, never
+            # stale).
+            staleness = StalenessWindow([])
+        checker = ToleranceChecker(
+            oracle=oracle,
+            query=query,
+            tolerance=tolerance,
+            answer_of=lambda: protocol.answer,
+            every=deployment.check_every,
+            strict=deployment.strict,
+            staleness=staleness,
+        )
     with server:
         server.initialize(0.0)
-        worker_stats = server.replay(horizon=trace.horizon)
+        if checker is not None:
+            checker.check_now(0.0)
+        worker_stats = server.replay(
+            horizon=trace.horizon,
+            oracle_apply=oracle.apply if oracle is not None else None,
+            after_apply=checker.check if checker is not None else None,
+        )
         transport_stats = server.transport_stats()
 
     extras = _collect_extras(protocol)
@@ -340,7 +377,7 @@ def _execute_streams_transport(
     return RunResult(
         protocol=protocol.name,
         ledger=server.snapshot(),
-        checker=None,
+        checker=checker.report if checker is not None else None,
         n_streams=trace.n_streams,
         n_records=trace.n_records,
         final_answer=protocol.answer,
@@ -363,12 +400,13 @@ def _execute_spatial(
 
     ``Deployment.sharded(n)`` runs the sharded spatial coordinator
     (ledger byte-identical to single-server; see
-    ``repro.server.sharded.ShardedSpatialServer``).  Process fan-out is
-    the one remaining unsupported combination: the shard transport
-    (``repro/server/transport.py``) carries the scalar message
-    vocabulary only, so spatial protocols have no worker endpoint yet
-    and ``parallel=True`` raises instead of silently running
-    sequentially.
+    ``repro.server.sharded.ShardedSpatialServer``); adding
+    ``parallel=True`` moves the shards onto worker processes under the
+    spatial shard transport
+    (:class:`repro.server.transport.SpatialTransportShardedServer`),
+    checking runs included.  The transport keeps the scalar transport's
+    latency scope — ``latency=None`` or zero-delay models — and its
+    constructor rejects anything else by name.
     """
     from repro.spatial.runner import execute_spatial
 
@@ -382,13 +420,8 @@ def _execute_spatial(
             "durable runs"
         )
     if deployment.topology == "sharded" and deployment.parallel:
-        raise ValueError(
-            "parallel=True is not yet supported for spatial protocols: "
-            "the shard transport that runs coupled *scalar* protocols "
-            "across worker processes speaks the scalar message "
-            "vocabulary only (probe/constraint intervals, not point "
-            "updates and region constraints); use Deployment.sharded("
-            f"{deployment.n_shards}) without parallel"
+        return _execute_spatial_transport(
+            trace, protocol, query, tolerance, deployment
         )
     return execute_spatial(
         trace,
@@ -399,6 +432,101 @@ def _execute_spatial(
         n_shards=deployment.n_shards,
         latency=deployment.latency,
     )
+
+
+def _execute_spatial_transport(
+    trace, protocol, query, tolerance, deployment: Deployment
+):
+    """Sharded + parallel replay of a coupled *spatial* protocol.
+
+    The spatial mirror of :func:`_execute_streams_transport`: worker
+    processes own the shard point populations and AABB pre-scans, the
+    protocol runs once at the epoch-stepped coordinator, and a checking
+    run evaluates the spatial tolerance at epoch boundaries against a
+    coordinator-side :class:`~repro.spatial.oracle.SpatialOracle`.
+    Returns the same :class:`~repro.spatial.runner.SpatialRunResult`
+    shape as the sequential executor, with the transport's coordination
+    counters attached to ``replay_stats``.
+    """
+    from repro.server.transport import SpatialTransportShardedServer
+    from repro.spatial.oracle import SpatialOracle
+    from repro.spatial.runner import (
+        SpatialRunResult,
+        SpatialToleranceViolationError,
+        _evaluate,
+    )
+
+    oracle: SpatialOracle | None = None
+    staleness: StalenessWindow | None = None
+    if deployment.check_every > 0:
+        if query is None:
+            query = getattr(protocol, "query", None)
+        if query is None:
+            raise ValueError("checking requires a query")
+        oracle = SpatialOracle(trace.initial_points)
+        if deployment.latency is not None:
+            # Zero-delay channels never defer, so the empty window
+            # classifies exactly as the sequential run's window does.
+            staleness = StalenessWindow([])
+
+    server = SpatialTransportShardedServer(
+        trace,
+        protocol,
+        deployment.n_shards,
+        latency=deployment.latency,
+        replay_mode=deployment.replay_mode,
+        batch_size=deployment.batch_size,
+        min_chunk=deployment.min_chunk,
+    )
+
+    checker: ToleranceChecker | None = None
+    with server:
+        server.initialize(0.0)
+        if oracle is not None:
+            bound_oracle, bound_query = oracle, query
+            checker = ToleranceChecker(
+                oracle=None,
+                query=None,
+                tolerance=tolerance,
+                answer_of=None,
+                every=deployment.check_every,
+                strict=deployment.strict,
+                staleness=staleness,
+                evaluate=lambda: _evaluate(
+                    protocol, bound_oracle, bound_query, tolerance
+                ),
+                error_cls=SpatialToleranceViolationError,
+                check_offset=deployment.check_every - 1,
+            )
+            checker.check_now(0.0)
+        worker_stats = server.replay(
+            horizon=trace.horizon,
+            oracle_apply=oracle.apply if oracle is not None else None,
+            after_apply=checker.check if checker is not None else None,
+        )
+        transport_stats = server.transport_stats()
+
+    replay_stats = _merge_replay_stats(worker_stats)
+    replay_stats["transport"] = transport_stats
+    result = SpatialRunResult(
+        protocol=protocol.name,
+        ledger=server.snapshot(),
+        n_streams=trace.n_streams,
+        n_records=trace.n_records,
+        final_answer=protocol.answer,
+        classified=staleness is not None,
+        replay_stats=replay_stats,
+    )
+    if checker is not None:
+        report = checker.report
+        result.checks = report.checks
+        result.violations = [
+            f"t={v.time}: {tag_reason(v.reason, v.classification)}"
+            for v in report.violations
+        ]
+        result.violations_inherent_latency = report.inherent_count
+        result.violations_protocol_bug = report.protocol_bug_count
+    return result
 
 
 # ----------------------------------------------------------------------

@@ -296,17 +296,20 @@ class Deployment:
         Process parallelism.  Under ``sharded``, protocols whose
         maintenance needs no server feedback (``decomposable_maintenance``)
         replay their shards concurrently on a process pool; coupled
-        scalar protocols (RTP, ZT-RP, FT-RP, FT-NRP) run on the shard
-        transport — worker processes behind an epoch-stepped
-        coordinator message bus (``repro/server/transport.py``) with
-        ledgers byte-identical to sequential sharded serving; sweeps
-        fan combinations out regardless of topology.  The transport
-        accepts ``latency=None`` or zero-delay models only, and a
-        checking run (``check_every > 0``) falls back to the
-        sequential sharded coordinator.  Spatial protocols have no
-        worker endpoint yet (the transport speaks the scalar message
-        vocabulary), so ``sharded(n, parallel=True)`` raises for them
-        rather than silently degrading.
+        protocols run on the shard transport — worker processes behind
+        an epoch-stepped coordinator message bus
+        (``repro/server/transport.py``) with ledgers byte-identical to
+        sequential sharded serving.  The transport speaks both the
+        scalar vocabulary (RTP, ZT-RP, FT-RP, FT-NRP: probe/constraint
+        intervals) and the spatial one (the ``-2d`` protocols: point
+        frames and region-constraint frames scattered into the
+        geometric plane), and checking runs (``check_every > 0``)
+        route through it with coordinator-side oracle probes at epoch
+        boundaries.  Sweeps fan combinations out regardless of
+        topology.  The one genuinely unsupported combination:
+        the transport accepts ``latency=None`` or zero-delay models
+        only — a nonzero-delay model with ``parallel=True`` under
+        ``sharded`` is rejected at run time with both knobs named.
     latency:
         The channel delivery discipline.  ``None`` (default) is the
         paper's synchronous channel; a non-negative number is a

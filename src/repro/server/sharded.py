@@ -48,6 +48,14 @@ Shard views alias the coordinator table's point matrix, container
 column, and geometric bbox planes (all lazily allocated on the parent),
 so spatial protocols — and the batched AABB quiescence pre-scan — read
 the same memory they would on one server.
+
+Both coordinators also have a process-parallel sibling in
+``repro/server/transport.py`` (``Deployment.sharded(n,
+parallel=True)``): :class:`~repro.server.transport.
+TransportShardedServer` for the scalar vocabulary and
+:class:`~repro.server.transport.SpatialTransportShardedServer` for the
+spatial one, each holding the same control plane and ledger semantics
+with the shard populations owned by worker processes (DESIGN.md §10).
 """
 
 from __future__ import annotations

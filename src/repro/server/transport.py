@@ -50,6 +50,19 @@ Three pieces:
   the protocol's reaction through buffered, batched constraint
   deployments that preserve the sequential self-correction FIFO.
 
+The same epoch protocol serves both payload vocabularies:
+:class:`SpatialShardWorker` / :class:`SpatialTransportShardedServer`
+swap the scalar probe/constraint-interval messages for point updates
+and region constraints, framed as contiguous little-endian columns
+(:mod:`repro.spatial.messages`) so a deploy batch is one region frame
+per owner run and a worker epoch stays one recv + one vectorized
+scatter.  Checking runs ride the transport too: the coordinator holds
+the full trace, so it applies the oracle itself and evaluates the
+tolerance checker at epoch boundaries (``replay(oracle_apply=...,
+after_apply=...)``) — the protocol answer only changes at dispatches,
+so boundary checks see exactly the answers sequential per-event
+checking sees, while the workers keep their batched pre-scan.
+
 Scope: the transport supports the synchronous discipline and zero-delay
 latency models only (``latency=None`` or a model whose ``is_zero``
 holds).  With nonzero modeled delay the in-flight barrier would couple
@@ -84,9 +97,20 @@ from repro.network.latency import LatencyChannel, as_latency_model
 from repro.protocols.base import FilterProtocol
 from repro.runtime.dispatch import DeferredDeliveryMixin
 from repro.sim.engine import SimulationEngine
+from repro.spatial.messages import (
+    PointProbeReplyMessage,
+    PointProbeRequestMessage,
+    PointUpdateMessage,
+    RegionConstraintMessage,
+    pack_points,
+    pack_regions,
+    unpack_regions,
+)
 from repro.state.sharding import (
     ShardedRankView,
     StateShardView,
+    scatter_point_reports,
+    scatter_region_deploys,
     shard_ranges,
     validate_shard_alignment,
 )
@@ -142,7 +166,6 @@ class ShardWorker:
             _DeferredAssignments,
             _StatePrescan,
         )
-        from repro.streams.source import StreamSource
 
         self.index = int(index)
         self.times = np.asarray(times, dtype=np.float64)
@@ -155,10 +178,7 @@ class ShardWorker:
         self.channel = ExecutionSession._make_channel(
             self.ledger, self.engine, latency_model, channel_index=index
         )
-        self.sources = [
-            StreamSource(stream_id, float(value), self.channel)
-            for stream_id, value in enumerate(initial_values)
-        ]
+        self.sources = self._make_sources(initial_values)
         self.channel.bind_server(self._handle_uplink)
         self.table = StreamStateTable(n_local)
         for source in self.sources:
@@ -191,6 +211,20 @@ class ShardWorker:
             "inflight_truncations": 0,
             "dispatch_bailout_at": None,
         }
+
+    # -- payload-vocabulary hooks (overridden by the spatial stack) ----
+    def _make_sources(self, initial_payloads) -> list:
+        """Build the shard's source population (scalar streams here)."""
+        from repro.streams.source import StreamSource
+
+        return [
+            StreamSource(stream_id, float(value), self.channel)
+            for stream_id, value in enumerate(initial_payloads)
+        ]
+
+    def _any_scannable(self) -> bool:
+        """Whether some local stream carries a batchable filter."""
+        return bool(self.table.scannable.any())
 
     # -- channel plumbing ----------------------------------------------
     def _handle_uplink(self, message: Message) -> None:
@@ -231,7 +265,7 @@ class ShardWorker:
         """
         if self.replay_mode == "event":
             mode = "event"
-        elif self.replay_mode == "auto" and not self.table.scannable.any():
+        elif self.replay_mode == "auto" and not self._any_scannable():
             mode = "event"
         else:
             mode = "batch"
@@ -444,6 +478,128 @@ class ShardWorker:
         raise TransportError(f"worker {self.index}: unknown request {op!r}")
 
 
+class SpatialShardWorker(ShardWorker):
+    """A shard runtime speaking the spatial vocabulary (DESIGN.md §10).
+
+    Same epoch protocol, vector payloads: sources are
+    :class:`~repro.spatial.source.SpatialStreamSource`\\ s, the record
+    payload matrix is ``(m, d)``, the quiescence pre-scan keys on the
+    table's *geometric* plane (the region write-through installs AABB
+    quiescence boxes instead of scalar bounds), and the control plane
+    trades probe/constraint intervals for point probes and region
+    frames.  The prescan and bulk-stage primitives handle vector
+    payloads natively, so ``scan``/``advance``/``dispatch``/``finish``
+    are inherited verbatim.
+    """
+
+    def _make_sources(self, initial_payloads) -> list:
+        from repro.spatial.source import SpatialStreamSource
+
+        points = np.asarray(initial_payloads, dtype=np.float64)
+        return [
+            SpatialStreamSource(stream_id, points[stream_id], self.channel)
+            for stream_id in range(len(points))
+        ]
+
+    def _any_scannable(self) -> bool:
+        return bool(self.table.geo_scannable.any())
+
+    @property
+    def _dimension(self) -> int:
+        return int(self.values.shape[1])
+
+    def _handle_uplink(self, message: Message) -> None:
+        if message.kind is MessageKind.PROBE_REPLY:
+            assert isinstance(message, PointProbeReplyMessage)
+            self._probe_reply = message
+            return
+        if message.kind is MessageKind.UPDATE:
+            assert isinstance(message, PointUpdateMessage)
+            self.outbox.append(
+                (int(message.stream_id), message.point, float(message.time))
+            )
+            return
+        raise RuntimeError(  # pragma: no cover - defensive
+            f"worker received unexpected uplink {message.kind}"
+        )
+
+    def probe(self, local_id: int, time: float) -> tuple[np.ndarray, float]:
+        """One point-probe round-trip against the local source."""
+        self._probe_reply = None
+        self.channel.send_to_source(
+            PointProbeRequestMessage(stream_id=int(local_id), time=float(time))
+        )
+        reply = self._probe_reply
+        if reply is None:  # pragma: no cover - defensive
+            raise TransportError(
+                f"worker {self.index}: source {local_id} did not reply"
+            )
+        return reply.point, float(reply.time)
+
+    def probe_batch(
+        self, local_ids, time: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Probe several local sources; replies as an ``(m, d)`` frame."""
+        rows = (
+            local_ids.tolist()
+            if isinstance(local_ids, np.ndarray)
+            else list(local_ids)
+        )
+        points = np.empty((len(rows), self._dimension), dtype=np.float64)
+        times = np.empty(len(rows), dtype=np.float64)
+        for i, local_id in enumerate(rows):
+            point, reply_time = self.probe(local_id, time)
+            points[i] = point
+            times[i] = reply_time
+        return points, times
+
+    def _packed_outbox(self):
+        """The captured self-corrections as a point-batch frame."""
+        d = self._dimension
+        if not self.outbox:
+            return pack_points(
+                np.empty(0, dtype=np.int64), np.empty((0, d)), np.empty(0), d
+            )
+        rows = [entry[0] for entry in self.outbox]
+        points = np.asarray([entry[1] for entry in self.outbox], np.float64)
+        times = [entry[2] for entry in self.outbox]
+        return pack_points(rows, points, times, d)
+
+    def deploy_regions(self, local_ids, frame, assumed, times):
+        """Install a region frame in order; corrections back as a frame.
+
+        The frame decodes once (shared instances per distinct encoding,
+        mirroring the sequential coordinator's shared region objects)
+        and installs through the sources, whose membership write-through
+        scatters the quiescence boxes into the worker's geometric plane.
+        """
+        regions = unpack_regions(frame)
+        self.outbox.clear()
+        send = self.channel.send_to_source
+        for local_id, region, belief, time in zip(
+            local_ids.tolist(), regions, assumed.tolist(), times.tolist()
+        ):
+            send(
+                RegionConstraintMessage(
+                    stream_id=local_id,
+                    time=time,
+                    region=region,
+                    assumed_inside=None if belief < 0 else bool(belief),
+                )
+            )
+        self._assert_nothing_in_flight()
+        return self._packed_outbox()
+
+    def handle(self, request: tuple):
+        if request[0] == "deploy_regions":
+            return self.deploy_regions(*request[1:5])
+        return super().handle(request)
+
+
+#: Worker stack selector used by :func:`_worker_main` (spec ``stack`` key).
+_WORKER_STACKS = {"streams": ShardWorker, "spatial": SpatialShardWorker}
+
+
 def _worker_main(conn, spec: dict) -> None:
     """Process entrypoint: build the shard runtime, serve requests.
 
@@ -454,7 +610,8 @@ def _worker_main(conn, spec: dict) -> None:
     (deserialize + handle + serialize) feeds the capacity model.
     """
     try:
-        worker = ShardWorker(**spec)
+        worker_cls = _WORKER_STACKS[spec.pop("stack", "streams")]
+        worker = worker_cls(**spec)
     except Exception:  # pragma: no cover - construction is deterministic
         try:
             conn.send_bytes(pickle.dumps(("err", traceback.format_exc())))
@@ -712,6 +869,19 @@ class TransportShardedServer(DeferredDeliveryMixin):
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    #: Worker stack this coordinator launches (``_WORKER_STACKS`` key).
+    _worker_stack = "streams"
+
+    def _initial_payloads(self, lo: int, hi: int) -> np.ndarray:
+        """A shard's initial payloads (copied: the spec crosses a fork)."""
+        return np.asarray(
+            self._trace.initial_values[lo:hi], dtype=np.float64
+        ).copy()
+
+    def _record_payloads(self, keep: np.ndarray) -> np.ndarray:
+        """A shard's record payload column/matrix."""
+        return self._trace.values[keep]
+
     def launch(self) -> "TransportShardedServer":
         """Spawn one worker process per shard and open the bus."""
         if self.bus is not None:
@@ -733,15 +903,14 @@ class TransportShardedServer(DeferredDeliveryMixin):
             for index, (lo, hi) in enumerate(self.ranges):
                 keep = (trace.stream_ids >= lo) & (trace.stream_ids < hi)
                 spec = {
+                    "stack": self._worker_stack,
                     "index": index,
-                    "initial_values": np.asarray(
-                        trace.initial_values[lo:hi], dtype=np.float64
-                    ).copy(),
+                    "initial_values": self._initial_payloads(lo, hi),
                     "times": trace.times[keep],
                     "local_ids": (trace.stream_ids[keep] - lo).astype(
                         np.int64
                     ),
-                    "values": trace.values[keep],
+                    "values": self._record_payloads(keep),
                     "gpos": np.nonzero(keep)[0].astype(np.int64),
                     "latency_model": self._latency_model,
                     "replay_mode": self._replay_mode,
@@ -1052,11 +1221,62 @@ class TransportShardedServer(DeferredDeliveryMixin):
     # ------------------------------------------------------------------
     # The epoch replay loop
     # ------------------------------------------------------------------
-    def replay(self, horizon: float | None = None) -> list[dict]:
-        """Drive the full trace; returns the per-worker replay stats."""
+    def _uplink_message(self, lo: int, item) -> Message:
+        """Reconstitute one captured worker uplink as a global message."""
+        local_id, value, time = item
+        return UpdateMessage(
+            stream_id=int(local_id) + lo,
+            time=float(time),
+            value=float(value),
+        )
+
+    def _trace_payloads(self) -> np.ndarray:
+        """The trace's record payload column (checking-run oracle feed)."""
+        return self._trace.values
+
+    def replay(
+        self,
+        horizon: float | None = None,
+        oracle_apply: Callable | None = None,
+        after_apply: Callable | None = None,
+    ) -> list[dict]:
+        """Drive the full trace; returns the per-worker replay stats.
+
+        With ``oracle_apply``/``after_apply`` callbacks this is a
+        *checking* run: the coordinator — which holds the full trace —
+        applies the oracle itself, record by record in global order, and
+        evaluates the checker at epoch boundaries.  Between two
+        dispatches every record is quiescent (its source emits no
+        message, so the protocol's answer cannot move), which makes the
+        boundary evaluation order-identical to sequential per-event
+        checking; for the dispatched record itself the oracle applies
+        before the dispatch and the check runs after the reaction
+        settles, exactly the sequential ``oracle_apply → apply →
+        after_apply`` sandwich.  Checks charge nothing, so the ledger is
+        untouched — and the workers keep their batched pre-scan, which
+        sequential checking (forced per-event) gives up.
+        """
         bus = self._require_bus()
         n_workers = len(self.ranges)
         candidates: dict[int, int | None] = {}
+        checking = oracle_apply is not None or after_apply is not None
+        trace = self._trace
+        payloads = self._trace_payloads() if checking else None
+        n_records = len(trace.times)
+        cursor = 0
+
+        def settle(upto: int) -> None:
+            """Oracle-apply + check the quiescent records [cursor, upto)."""
+            nonlocal cursor
+            while cursor < upto:
+                if oracle_apply is not None:
+                    oracle_apply(
+                        int(trace.stream_ids[cursor]), payloads[cursor]
+                    )
+                if after_apply is not None:
+                    after_apply(float(trace.times[cursor]))
+                cursor += 1
+
         while True:
             # Settle anything a previous epoch left queued (defensive;
             # step boundaries flush and drain already).
@@ -1078,6 +1298,10 @@ class TransportShardedServer(DeferredDeliveryMixin):
                 break
             owner = min(live, key=live.get)
             g = live[owner]
+            if checking:
+                settle(g)
+                if oracle_apply is not None:
+                    oracle_apply(int(trace.stream_ids[g]), payloads[g])
             for index in range(n_workers):
                 if index != owner:
                     bus.post(index, ("advance", g))
@@ -1086,15 +1310,20 @@ class TransportShardedServer(DeferredDeliveryMixin):
             candidates[owner] = None
             self._dirty.add(owner)
             lo = self.ranges[owner][0]
-            for local_id, value, time in uplinks:
+            for item in uplinks:
                 self.ledger.record_kind(MessageKind.UPDATE)
-                self._receive_update(
-                    UpdateMessage(
-                        stream_id=int(local_id) + lo,
-                        time=float(time),
-                        value=float(value),
-                    )
-                )
+                self._receive_update(self._uplink_message(lo, item))
+            if checking:
+                # Settle the reaction (deploy flush + self-correction
+                # drain) before the boundary check, as inline delivery
+                # would have in the sequential coordinator.
+                self._flush_deploys()
+                self._drain_pending()
+                if after_apply is not None:
+                    after_apply(float(trace.times[g]))
+                cursor = g + 1
+        if checking:
+            settle(n_records)
         for index in range(n_workers):
             bus.post(index, ("finish", horizon))
         stats = [None] * n_workers
@@ -1115,3 +1344,175 @@ class TransportShardedServer(DeferredDeliveryMixin):
                 for part in self._worker_stats
             ]
         return out
+
+
+class SpatialTransportShardedServer(TransportShardedServer):
+    """Coordinator for coupled *spatial* protocols over worker processes.
+
+    Exposes the :class:`~repro.server.sharded.ShardedSpatialServer`
+    control plane — ``probe`` returns a point, ``probe_all`` a point
+    dict, ``deploy`` takes a region and belief — over the same epoch
+    protocol and ledger-identity argument as the scalar transport.  The
+    wire vocabulary changes shape, not discipline:
+
+    * probes move ``(m, d)`` coordinate frames instead of value arrays;
+    * a deploy flush packs each owner run's regions into one
+      :class:`~repro.spatial.messages.RegionBatchFrame` (constraint-rect
+      columns with identity-deduped encoding) and scatters the mirror's
+      containers column *and geometric plane* in bulk
+      (:func:`~repro.state.sharding.scatter_region_deploys`), so the
+      coordinator's table shows everything a sequential sharded spatial
+      coordinator's would — while the workers' own write-through
+      installs the same boxes for their AABB pre-scans;
+    * self-corrections return as point-batch frames and join the
+      deferred-delivery FIFO as
+      :class:`~repro.spatial.messages.PointUpdateMessage`\\ s.
+
+    ``broadcast`` is deliberately absent: it is a scalar-interval
+    operation no spatial protocol speaks.
+    """
+
+    _worker_stack = "spatial"
+
+    def __init__(self, trace, protocol, n_shards: int, **kwargs) -> None:
+        super().__init__(trace, protocol, n_shards, **kwargs)
+        self._dimension = int(trace.dimension)
+
+    # -- launch hooks ---------------------------------------------------
+    def _initial_payloads(self, lo: int, hi: int) -> np.ndarray:
+        return np.ascontiguousarray(
+            self._trace.initial_points[lo:hi], dtype=np.float64
+        )
+
+    def _record_payloads(self, keep: np.ndarray) -> np.ndarray:
+        return self._trace.points[keep]
+
+    def _trace_payloads(self) -> np.ndarray:
+        return self._trace.points
+
+    # -- control plane --------------------------------------------------
+    def probe(self, stream_id: int) -> np.ndarray:
+        """Probe one source at its worker (2 messages, charged here)."""
+        self._flush_deploys()
+        index, view = self._view_for(stream_id)
+        self.ledger.record_kind(MessageKind.PROBE_REQUEST)
+        point, time = self._rpc(
+            index, ("probe", int(stream_id) - view.lo, self._now)
+        )
+        self.ledger.record_kind(MessageKind.PROBE_REPLY)
+        point = np.asarray(point, dtype=np.float64)
+        view.record_report(int(stream_id) - view.lo, point, float(time))
+        self._dirty.add(index)
+        return point
+
+    def probe_all(
+        self, stream_ids: list[int] | None = None
+    ) -> dict[int, np.ndarray]:
+        """Probe several (default: all) sources; one RPC per worker run."""
+        self._flush_deploys()
+        targets = self.stream_ids if stream_ids is None else list(stream_ids)
+        results: dict[int, np.ndarray] = {}
+        for index, gids in self._owner_runs(targets):
+            view = self.shard_views[index]
+            count = len(gids)
+            self.ledger.record_kind(MessageKind.PROBE_REQUEST, count)
+            rows = np.fromiter(
+                (gid - view.lo for gid in gids), np.int64, count
+            )
+            points, times = self._rpc(
+                index, ("probe_batch", rows, self._now)
+            )
+            self.ledger.record_kind(MessageKind.PROBE_REPLY, count)
+            self._dirty.add(index)
+            scatter_point_reports(view, rows, points, times)
+            for i, gid in enumerate(gids):
+                results[gid] = points[i]
+        return results
+
+    def deploy(
+        self,
+        stream_id: int,
+        region,
+        assumed_inside: bool | None = None,
+    ) -> None:
+        """Buffer a region constraint; everything lands at the next flush."""
+        self._deploy_buffer.append(
+            (int(stream_id), region, assumed_inside, self._now)
+        )
+
+    def broadcast(self, *args, **kwargs) -> None:
+        raise TypeError(
+            "broadcast deploys one scalar interval to every stream; "
+            "spatial protocols deploy per-stream regions instead"
+        )
+
+    def _flush_deploys(self) -> None:
+        """Transmit buffered regions; queue their self-corrections.
+
+        One :class:`RegionBatchFrame` per consecutive same-worker run of
+        the buffer, so the per-source install order is the sequential
+        deploy order; the coordinator mirror's containers column and
+        geometric plane are scattered in bulk before any RPC reply can
+        be observed.
+        """
+        if not self._deploy_buffer:
+            return
+        buffered, self._deploy_buffer = self._deploy_buffer, []
+        n = len(buffered)
+        self.ledger.record_kind(MessageKind.CONSTRAINT, n)
+        gids = np.fromiter((item[0] for item in buffered), np.int64, n)
+        regions = [item[1] for item in buffered]
+        assumed = np.fromiter(
+            (-1 if item[2] is None else int(item[2]) for item in buffered),
+            np.int8,
+            n,
+        )
+        times = np.fromiter((item[3] for item in buffered), np.float64, n)
+        scatter_region_deploys(self._state, gids, regions, self._dimension)
+        owners = self._shard_of[gids]
+        cuts = np.nonzero(np.diff(owners))[0] + 1
+        bounds = [0, *cuts.tolist(), n]
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            index = int(owners[a])
+            lo = self.ranges[index][0]
+            corrections = self._rpc(
+                index,
+                (
+                    "deploy_regions",
+                    gids[a:b] - lo,
+                    pack_regions(regions[a:b], self._dimension),
+                    assumed[a:b],
+                    times[a:b],
+                ),
+            )
+            self._dirty.add(index)
+            for i in range(len(corrections)):
+                self.ledger.record_kind(MessageKind.UPDATE)
+                time = float(corrections.times[i])
+                if time > self._now:
+                    self._now = time
+                self._pending.append(
+                    PointUpdateMessage(
+                        stream_id=int(corrections.rows[i]) + lo,
+                        time=time,
+                        point=corrections.points[i].copy(),
+                    )
+                )
+
+    # -- delivery -------------------------------------------------------
+    def _uplink_message(self, lo: int, item) -> Message:
+        local_id, point, time = item
+        return PointUpdateMessage(
+            stream_id=int(local_id) + lo,
+            time=float(time),
+            point=np.asarray(point, dtype=np.float64),
+        )
+
+    def _handle_delivery(self, message) -> None:
+        index, view = self._view_for(message.stream_id)
+        view.record_report(
+            message.stream_id - view.lo, message.point, message.time
+        )
+        self.protocol.on_update(
+            self, message.stream_id, message.point, message.time
+        )

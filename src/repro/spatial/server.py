@@ -4,6 +4,13 @@ Mirrors :class:`repro.server.server.Server` with vector payloads; the
 same deferred-update discipline — inherited from the runtime kernel's
 :class:`repro.runtime.dispatch.DeferredDeliveryMixin` — guarantees
 protocol handlers are never re-entered by self-correction reports.
+
+This control plane (``probe``, ``probe_all``, ``deploy``) is what the
+sharded and process-parallel spatial coordinators reproduce:
+:class:`repro.server.sharded.ShardedSpatialServer` in-process, and
+:class:`repro.server.transport.SpatialTransportShardedServer` across
+worker processes, where the same vocabulary travels as columnar
+point/region frames (:mod:`repro.spatial.messages`).
 """
 
 from __future__ import annotations

@@ -202,6 +202,96 @@ class StateShardView(StreamStateTable):
         )
 
 
+def scatter_point_reports(
+    table: StreamStateTable,
+    rows: np.ndarray,
+    points: np.ndarray,
+    times: np.ndarray,
+) -> None:
+    """Vectorized :meth:`StreamStateTable.record_report` over a point
+    batch — one fancy-indexed scatter per plane instead of a per-stream
+    loop.
+
+    The shard-transport coordinator mirrors every worker probe batch
+    into its global table through this (DESIGN.md §10); rank listeners
+    are invalidated wholesale, which a batch of fresh reports dirties
+    anyway.  *rows* may be local (through a :class:`StateShardView`) or
+    global (through the parent) — the planes alias either way.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if len(rows) == 0:
+        return
+    points = np.asarray(points, dtype=np.float64)
+    plane = table._ensure_points(points.shape[1])
+    plane[rows] = points
+    table.report_time[rows] = times
+    if table._known_count != table.n_streams:
+        table.known[rows] = True
+        table._known_count = int(np.count_nonzero(table.known))
+    for listener in table._listeners:
+        listener.invalidate()
+
+
+def scatter_region_deploys(
+    table: StreamStateTable,
+    rows: np.ndarray,
+    regions,
+    dimension: int,
+) -> None:
+    """Vectorized mirror of a region-constraint batch into *table*'s
+    containers column and geometric plane.
+
+    Equivalent to per-stream :meth:`StreamStateTable.
+    record_container_deploy` plus :meth:`record_region_deploy` /
+    :meth:`clear_region_filter`, but grouped by distinct region object
+    so each region's quiescence boxes are computed once and scattered
+    with one fancy-indexed assignment per plane.  Rows deployed twice
+    in one batch keep only their last region (in-order semantics).
+
+    Membership-belief columns (``inside``) are *not* written: in the
+    shard transport they are worker-owned, exactly as the scalar
+    coordinator mirror leaves beliefs to the workers.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if len(rows) == 0:
+        return
+    dimension = int(dimension)
+    last: dict[int, int] = {}
+    for position, row in enumerate(rows.tolist()):
+        last[int(row)] = position
+    keep = sorted(last.values())
+    containers = table._ensure_containers()
+    groups: dict[int, tuple[object, list[int]]] = {}
+    for position in keep:
+        region = regions[position]
+        entry = groups.get(id(region))
+        if entry is None:
+            groups[id(region)] = (region, [position])
+        else:
+            entry[1].append(position)
+    for region, positions in groups.values():
+        idx = rows[np.asarray(positions, dtype=np.int64)]
+        containers[idx] = region
+        boxes = region.quiescence_bboxes(dimension)
+        if boxes is None:
+            table.geo_scannable[idx] = False
+            if table.geo_lower is not None:
+                table.geo_lower[idx] = np.inf
+                table.geo_upper[idx] = -np.inf
+                table.geo_outer_lower[idx] = -np.inf
+                table.geo_outer_upper[idx] = np.inf
+        else:
+            table._ensure_geometry(dimension)
+            inner_lo, inner_hi, outer_lo, outer_hi = boxes
+            table.geo_lower[idx] = inner_lo
+            table.geo_upper[idx] = inner_hi
+            table.geo_outer_lower[idx] = outer_lo
+            table.geo_outer_upper[idx] = outer_hi
+            table.geo_scannable[idx] = True
+        for row in idx.tolist():
+            table._note_constraint(row)
+
+
 def merge_pair_lists(
     pair_lists: Sequence[Sequence[tuple[float, int]]],
     count: int | None = None,

@@ -103,8 +103,8 @@ def test_spatial_spec_runs_under_both_topologies():
     assert sharded.final_answer == report.final_answer
 
 
-def test_spatial_parallel_fanout_raises_a_clear_error():
-    """Spatial protocols have no transport endpoint yet; raise clearly."""
+def test_spatial_parallel_runs_on_the_transport():
+    """``sharded(n, parallel=True)`` serves spatial protocols now."""
     from repro.spatial.queries import SpatialKnnQuery
 
     spec = QuerySpec(
@@ -113,10 +113,21 @@ def test_spatial_parallel_fanout_raises_a_clear_error():
         tolerance=RankTolerance(k=3, r=2),
     )
     workload = Workload.moving_objects(n_objects=30, horizon=50.0, seed=2)
-    with pytest.raises(
-        ValueError, match="not yet supported for spatial protocols"
-    ):
-        Engine().run(spec, workload, Deployment.sharded(2, parallel=True))
+    sequential = Engine().run(spec, workload, Deployment.sharded(2))
+    parallel = Engine().run(
+        spec, workload, Deployment.sharded(2, parallel=True)
+    )
+    assert parallel.ledger == sequential.ledger
+    assert parallel.final_answer == sequential.final_answer
+    assert "transport" in parallel.extras["replay"]
+    # The one genuinely unsupported combination still raises, with the
+    # offending knobs named.
+    with pytest.raises(ValueError, match="latency.*parallel|parallel.*latency"):
+        Engine().run(
+            spec,
+            workload,
+            Deployment.sharded(2, parallel=True, latency=0.5),
+        )
 
 
 def test_run_queries_shared_deployment():

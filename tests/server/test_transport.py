@@ -91,16 +91,21 @@ def test_transport_matches_single_server_too():
     assert parallel.final_answer == single.final_answer
 
 
-def test_checking_runs_fall_back_to_the_sequential_coordinator():
-    # check_every > 0 needs the in-process oracle hooks; the run must
-    # still succeed (sequential path) and match the single server.
+def test_checking_runs_route_through_the_transport():
+    # Regression for the PR-7 limitation: check_every > 0 used to fall
+    # back to the sequential coordinator.  It now runs coordinator-side
+    # oracle probes at epoch boundaries on the transport itself — the
+    # merged stats carry the transport counters (no fallback) and the
+    # checks, violations, and ledger all match the single server.
     engine = Engine()
     spec = COUPLED_SPECS["rtp"]
     single = engine.run(spec, WORKLOAD, Deployment.single(check_every=5))
     checked = engine.run(
         spec, WORKLOAD, Deployment.sharded(2, parallel=True, check_every=5)
     )
+    assert "transport" in checked.extras["replay"], "fallback is gone"
     assert checked.checks == single.checks > 0
+    assert list(checked.violations) == list(single.violations)
     assert checked.ledger == single.ledger
 
 

@@ -1,0 +1,220 @@
+"""Round-trip properties of the spatial RPC frame codec.
+
+The shard transport ships point and region batches as contiguous
+little-endian columns (``repro/spatial/messages.py``, DESIGN.md §10).
+The codec's contract is exact round-trip identity: ``pack_points`` /
+``pack_regions`` followed by the receiver-side decode must reproduce
+the batch bit-for-bit — over random batches, empty batches, and
+single-object shards — and rows carrying the same region encoding must
+decode to one shared instance, mirroring the sequential coordinator's
+shared deployed-region objects.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import (
+    ALL_SPACE,
+    EMPTY_REGION,
+    BallRegion,
+    BoxRegion,
+    UnionRegion,
+)
+from repro.spatial.messages import (
+    REGION_PICKLED,
+    pack_points,
+    pack_regions,
+    unpack_regions,
+)
+
+finite = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+# ----------------------------------------------------------------------
+# Point batches
+# ----------------------------------------------------------------------
+@st.composite
+def point_batches(draw):
+    d = draw(st.integers(min_value=1, max_value=4))
+    m = draw(st.integers(min_value=0, max_value=32))
+    rows = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=10**6),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    points = draw(
+        st.lists(
+            st.lists(finite, min_size=d, max_size=d),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    times = draw(st.lists(finite, min_size=m, max_size=m))
+    return d, rows, points, times
+
+
+@given(point_batches())
+@settings(max_examples=60, deadline=None)
+def test_point_frame_round_trips_exactly(batch):
+    d, rows, points, times = batch
+    m = len(rows)
+    frame = pack_points(
+        rows, np.asarray(points, dtype=float).reshape(m, d), times, d
+    )
+    assert len(frame) == m
+    assert frame.dimension == d
+    # Wire layout: contiguous little-endian columns.
+    for column in (frame.rows, frame.points, frame.times):
+        assert column.flags.c_contiguous
+        assert column.dtype.byteorder in ("<", "=")
+    assert frame.rows.tolist() == rows
+    assert frame.points.tolist() == [list(map(float, p)) for p in points]
+    assert frame.times.tolist() == list(map(float, times))
+
+
+def test_point_frame_empty_batch_keeps_dimension():
+    frame = pack_points(
+        np.empty(0, dtype=np.int64), np.empty((0, 3)), np.empty(0), 3
+    )
+    assert len(frame) == 0
+    assert frame.dimension == 3
+    assert frame.points.shape == (0, 3)
+
+
+def test_point_frame_rejects_shape_mismatch():
+    with pytest.raises(ValueError, match="shape"):
+        pack_points([1, 2], np.zeros((2, 2)), [0.0, 0.0], 3)
+    with pytest.raises(ValueError, match="shape"):
+        pack_points([1], np.zeros((1, 2)), [0.0, 1.0], 2)
+
+
+# ----------------------------------------------------------------------
+# Region batches
+# ----------------------------------------------------------------------
+def _region_strategy(d):
+    def box(lows_highs):
+        lows = np.minimum(lows_highs[0], lows_highs[1])
+        highs = np.maximum(lows_highs[0], lows_highs[1])
+        return BoxRegion(lows, highs)
+
+    coords = st.lists(finite, min_size=d, max_size=d).map(
+        lambda xs: np.asarray(xs, dtype=float)
+    )
+    boxes = st.tuples(coords, coords).map(box)
+    balls = st.tuples(
+        coords, st.floats(min_value=0.0, max_value=1e6)
+    ).map(lambda cr: BallRegion(cr[0], cr[1]))
+    silencers = st.sampled_from([ALL_SPACE, EMPTY_REGION])
+    unions = st.tuples(boxes, balls).map(
+        lambda pair: UnionRegion(list(pair))
+    )
+    return st.one_of(boxes, balls, silencers, unions)
+
+
+@st.composite
+def region_batches(draw):
+    d = draw(st.integers(min_value=1, max_value=3))
+    distinct = draw(
+        st.lists(_region_strategy(d), min_size=1, max_size=6)
+    )
+    # Batches repeat shared objects, as protocols deploy one region to
+    # many streams; sample rows from the distinct pool with repetition.
+    rows = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(distinct) - 1),
+            min_size=0,
+            max_size=24,
+        )
+    )
+    return d, [distinct[i] for i in rows]
+
+
+def _regions_equal(a, b) -> bool:
+    if type(a) is not type(b):
+        return False
+    if a is ALL_SPACE or a is EMPTY_REGION:
+        return a is b
+    if type(a) is BoxRegion:
+        return np.array_equal(a.lows, b.lows) and np.array_equal(
+            a.highs, b.highs
+        )
+    if type(a) is BallRegion:
+        return (
+            np.array_equal(a.center, b.center) and a.radius == b.radius
+        )
+    if type(a) is UnionRegion:
+        return len(a.members) == len(b.members) and all(
+            _regions_equal(x, y) for x, y in zip(a.members, b.members)
+        )
+    return a == b
+
+
+@given(region_batches())
+@settings(max_examples=60, deadline=None)
+def test_region_frame_round_trips_exactly(batch):
+    d, regions = batch
+    frame = pack_regions(regions, d)
+    assert len(frame) == len(regions)
+    decoded = unpack_regions(frame)
+    assert len(decoded) == len(regions)
+    for original, restored in zip(regions, decoded):
+        assert _regions_equal(original, restored), (original, restored)
+
+
+@given(region_batches())
+@settings(max_examples=30, deadline=None)
+def test_region_decode_shares_instances(batch):
+    # Rows with the same wire encoding decode to ONE object, mirroring
+    # the sequential coordinator where streams share deployed regions.
+    d, regions = batch
+    frame = pack_regions(regions, d)
+    decoded = unpack_regions(frame)
+    by_key = {}
+    for i, region in enumerate(decoded):
+        kind = int(frame.kinds[i])
+        blob = (
+            frame.blobs[int(frame.params[i, 0])]
+            if kind == REGION_PICKLED
+            else None
+        )
+        key = (kind, frame.params[i].tobytes(), blob)
+        assert by_key.setdefault(key, region) is region
+
+
+def test_region_frame_empty_batch():
+    frame = pack_regions([], 2)
+    assert len(frame) == 0
+    assert unpack_regions(frame) == []
+
+
+def test_region_frame_single_object_shard():
+    box = BoxRegion([0.0, 0.0], [1.0, 1.0])
+    frame = pack_regions([box], 2)
+    (decoded,) = unpack_regions(frame)
+    assert _regions_equal(box, decoded)
+
+
+def test_union_regions_ride_the_pickled_escape():
+    union = UnionRegion(
+        [BoxRegion([0.0], [1.0]), BallRegion([5.0], 2.0)]
+    )
+    frame = pack_regions([union, union], 1)
+    assert set(frame.kinds.tolist()) == {REGION_PICKLED}
+    # The shared object pickles once, not per row.
+    assert len(frame.blobs) == 1
+    a, b = unpack_regions(frame)
+    assert a is b
+    assert _regions_equal(a, union)
+
+
+def test_unknown_kind_code_raises():
+    frame = pack_regions([ALL_SPACE], 2)
+    frame.kinds[0] = 250
+    with pytest.raises(ValueError, match="unknown region kind"):
+        unpack_regions(frame)
