@@ -344,12 +344,11 @@ def _execute_streams_transport(
         oracle.register_query(query)
         staleness = None
         if deployment.latency is not None:
-            # The transport accepts only zero-delay models, whose
-            # channels deliver inline and never defer — an empty
-            # staleness window classifies identically to the sequential
-            # run's window over those channels (always quiet, never
-            # stale).
-            staleness = StalenessWindow([])
+            # The coordinator's merged in-flight plane models exactly
+            # the quantities the sequential run reads off its per-shard
+            # channels (messages in flight, late deliveries, lagging
+            # streams), so it serves as the staleness window's channel.
+            staleness = StalenessWindow([server.in_flight_plane])
         checker = ToleranceChecker(
             oracle=oracle,
             query=query,
@@ -404,9 +403,10 @@ def _execute_spatial(
     ``parallel=True`` moves the shards onto worker processes under the
     spatial shard transport
     (:class:`repro.server.transport.SpatialTransportShardedServer`),
-    checking runs included.  The transport keeps the scalar transport's
-    latency scope — ``latency=None`` or zero-delay models — and its
-    constructor rejects anything else by name.
+    checking runs included.  Latency models compose with the transport:
+    nonzero models run with externally-stepped worker channels whose
+    pending deliveries cross the process boundary on the coordinator's
+    in-flight plane, byte-identical to sequential sharded serving.
     """
     from repro.spatial.runner import execute_spatial
 
@@ -464,10 +464,6 @@ def _execute_spatial_transport(
         if query is None:
             raise ValueError("checking requires a query")
         oracle = SpatialOracle(trace.initial_points)
-        if deployment.latency is not None:
-            # Zero-delay channels never defer, so the empty window
-            # classifies exactly as the sequential run's window does.
-            staleness = StalenessWindow([])
 
     server = SpatialTransportShardedServer(
         trace,
@@ -478,6 +474,10 @@ def _execute_spatial_transport(
         batch_size=deployment.batch_size,
         min_chunk=deployment.min_chunk,
     )
+    if oracle is not None and deployment.latency is not None:
+        # The merged in-flight plane models the same evidence the
+        # sequential run reads off its per-shard channels.
+        staleness = StalenessWindow([server.in_flight_plane])
 
     checker: ToleranceChecker | None = None
     with server:

@@ -306,10 +306,13 @@ class Deployment:
         geometric plane), and checking runs (``check_every > 0``)
         route through it with coordinator-side oracle probes at epoch
         boundaries.  Sweeps fan combinations out regardless of
-        topology.  The one genuinely unsupported combination:
-        the transport accepts ``latency=None`` or zero-delay models
-        only — a nonzero-delay model with ``parallel=True`` under
-        ``sharded`` is rejected at run time with both knobs named.
+        topology.  Latency models compose with ``parallel=True``:
+        messages whose modeled delivery falls between transport epochs
+        ride the coordinator's in-flight plane (``repro/server/
+        transport.py``), which merges every worker's pending heap under
+        the channel's own ``(delivery time, send seq)`` discipline, so
+        the parallel ledger stays byte-identical to sequential sharded
+        serving under the same model.
     latency:
         The channel delivery discipline.  ``None`` (default) is the
         paper's synchronous channel; a non-negative number is a
@@ -322,9 +325,12 @@ class Deployment:
         synchronous channel.  With checking enabled, a latency-modeled
         run classifies each violation as inherent-to-latency vs a
         protocol bug (DESIGN.md §8) — on the scalar and spatial stacks
-        alike.  ``parallel=True`` fan-out rides along (each worker
-        drains its own engine; decomposable sources decide reports
-        locally, so delivery timing never changes the message multiset).
+        alike.  ``parallel=True`` composes on every sharded path:
+        decomposable protocols fan out (each worker drains its own
+        engine; decomposable sources decide reports locally, so
+        delivery timing never changes the message multiset), and
+        coupled protocols run the shard transport with in-flight
+        deliveries stepped on the coordinator's merged plane.
         Unsupported only for the multi-query stack, whose coordinator
         bypasses the channel.
     durable:

@@ -1,0 +1,127 @@
+"""Columnar wire frames for in-flight heap entries (DESIGN.md §10).
+
+The shard transport's in-flight plane needs a cross-process
+representation of :class:`~repro.network.latency.LatencyChannel` heap
+entries — messages whose delivery time falls *between* transport
+epochs.  A frame packs one epoch's worth of ``(delivery time, send
+seq, message)`` entries into contiguous little-endian numpy columns,
+the same codec vocabulary as the spatial batch frames
+(:mod:`repro.spatial.messages`), so an epoch boundary costs one recv
+plus vectorized column reads instead of a per-entry pickle loop.
+
+Two shapes share the :class:`InFlightFrame` container:
+
+* **update frames** carry extracted uplink entries wholesale —
+  delivery time, send seq, stream row, send-time stamp, and the scalar
+  payload — because the coordinator delivers these itself from the
+  merged plane (the spatial transport substitutes a
+  :class:`~repro.spatial.messages.PointBatchFrame` for the payload
+  column);
+* **pending frames** carry downlink entries as metadata only
+  (``values is None``) — the install stays authoritative in the
+  worker's local heap, the coordinator merely needs the delivery key
+  to schedule the worker's clock step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_I8 = np.dtype("<i8")
+_F8 = np.dtype("<f8")
+
+
+def le_column(values, dtype, shape=None) -> np.ndarray:
+    """Coerce to a C-contiguous little-endian column of *dtype*."""
+    column = np.ascontiguousarray(values, dtype=dtype)
+    if shape is not None and column.shape != shape:
+        raise ValueError(
+            f"frame column has shape {column.shape}, expected {shape}"
+        )
+    return column
+
+
+@dataclass(frozen=True)
+class InFlightFrame:
+    """One batch of in-flight heap entries on the wire.
+
+    Parallel little-endian columns, one row per heap entry, rows in
+    ``(delivery, seq)`` heap order: ``delivery`` (``<f8`` delivery
+    times), ``seqs`` (``<i8`` channel send seqs — the FIFO tiebreaker),
+    ``streams`` (``<i8`` local stream rows), ``sends`` (``<f8``
+    send-time stamps, the ``message.time`` the receiver must preserve),
+    and ``values`` (``<f8`` scalar payloads; ``None`` for a
+    metadata-only pending frame).
+    """
+
+    delivery: np.ndarray
+    seqs: np.ndarray
+    streams: np.ndarray
+    sends: np.ndarray
+    values: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.seqs)
+
+
+def _frame(delivery, seqs, streams, sends, values) -> InFlightFrame:
+    seqs = le_column(seqs, _I8)
+    if seqs.ndim != 1:
+        raise ValueError("seqs must be a 1-D column")
+    m = len(seqs)
+    return InFlightFrame(
+        delivery=le_column(delivery, _F8, shape=(m,)),
+        seqs=seqs,
+        streams=le_column(streams, _I8, shape=(m,)),
+        sends=le_column(sends, _F8, shape=(m,)),
+        values=(
+            None if values is None else le_column(values, _F8, shape=(m,))
+        ),
+    )
+
+
+def pack_in_flight(entries) -> InFlightFrame:
+    """Frame extracted uplink entries ``[(delivery, seq, message)]``.
+
+    Messages must carry scalar ``value`` payloads
+    (:class:`~repro.network.messages.UpdateMessage`); entries are
+    framed in the order given, which the channel guarantees is
+    ``(delivery, seq)`` heap order.
+    """
+    return _frame(
+        [time for time, _, _ in entries],
+        [seq for _, seq, _ in entries],
+        [message.stream_id for _, _, message in entries],
+        [message.time for _, _, message in entries],
+        [message.value for _, _, message in entries],
+    )
+
+
+def pack_pending(entries) -> InFlightFrame:
+    """Frame pending entries as delivery metadata (no payload column)."""
+    return _frame(
+        [time for time, _, _ in entries],
+        [seq for _, seq, _ in entries],
+        [message.stream_id for _, _, message in entries],
+        [message.time for _, _, message in entries],
+        None,
+    )
+
+
+def unpack_in_flight(
+    frame: InFlightFrame,
+) -> list[tuple[float, int, int, float, float | None]]:
+    """Decode a frame to ``(delivery, seq, stream, send_time, value)`` rows."""
+    values = frame.values
+    return [
+        (
+            float(frame.delivery[i]),
+            int(frame.seqs[i]),
+            int(frame.streams[i]),
+            float(frame.sends[i]),
+            None if values is None else float(values[i]),
+        )
+        for i in range(len(frame))
+    ]

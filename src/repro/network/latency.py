@@ -35,7 +35,7 @@ Determinism and ordering guarantees:
 from __future__ import annotations
 
 import heapq
-import itertools
+import math
 from dataclasses import dataclass
 from typing import Callable
 
@@ -243,7 +243,14 @@ class LatencyChannel(Channel):
         self._sample = model.make_sampler(self.channel_index)
         #: The in-flight heap: ``(delivery time, send seq, message)``.
         self._in_flight: list[tuple[float, int, Message]] = []
-        self._seq = itertools.count()
+        self._seq = 0
+        self._route_count = 0
+        #: When True the channel never self-schedules delivery events;
+        #: an external stepper (the shard transport's in-flight plane)
+        #: calls :meth:`deliver_due` / :meth:`extract_in_flight` /
+        #: :meth:`acknowledge_extracted` to drive deliveries in the
+        #: global order it alone can see.
+        self.external_delivery = False
         #: Per-(is_uplink, stream) FIFO floor: no later send of the same
         #: flow may be delivered before an earlier one.
         self._fifo_floor: dict[tuple[bool, int], float] = {}
@@ -320,6 +327,7 @@ class LatencyChannel(Channel):
         self._route(message, is_uplink=False)
 
     def _route(self, message: Message, is_uplink: bool) -> None:
+        self._route_count += 1
         if message.kind.is_probe:
             # The synchronous resolution RPC: a probe never queues, and
             # never carries flow-ordering obligations.
@@ -329,23 +337,30 @@ class LatencyChannel(Channel):
         if delay < 0:  # pragma: no cover - models validate already
             raise ValueError(f"latency model produced negative delay {delay}")
         key = (is_uplink, message.stream_id)
-        if delay == 0.0 and not self._flow_in_flight.get(key):
+        floor = self._fifo_floor.get(key)
+        if (
+            delay == 0.0
+            and not self._flow_in_flight.get(key)
+            and (floor is None or floor <= self.engine.now)
+        ):
             self._deliver(message, self.engine.now)
             return
-        # A zero draw behind an in-flight flow-mate joins the heap at
-        # the flow's FIFO floor instead of overtaking it inline.
+        # A zero draw behind an in-flight flow-mate — or behind a
+        # flow-mate force-delivered at a future heap time, whose FIFO
+        # floor outlives it — joins the heap at the floor instead of
+        # overtaking it inline.
         delivery_time = self.engine.now + delay
-        floor = self._fifo_floor.get(key)
         if floor is not None and delivery_time < floor:
             delivery_time = floor
         self._fifo_floor[key] = delivery_time
         self._flow_in_flight[key] = self._flow_in_flight.get(key, 0) + 1
-        heapq.heappush(
-            self._in_flight, (delivery_time, next(self._seq), message)
-        )
-        self.engine.schedule_at(
-            delivery_time, self._deliver_due, label="latency-delivery"
-        )
+        seq = self._seq
+        self._seq += 1
+        heapq.heappush(self._in_flight, (delivery_time, seq, message))
+        if not self.external_delivery:
+            self.engine.schedule_at(
+                delivery_time, self._deliver_due, label="latency-delivery"
+            )
 
     # ------------------------------------------------------------------
     # Delivery
@@ -354,15 +369,35 @@ class LatencyChannel(Channel):
         self._delivered_count += 1
         if deferred:
             self._deferred_delivered_count += 1
-            key = (message.kind.is_uplink, message.stream_id)
-            self._flow_in_flight[key] -= 1
-            previous = self._last_delivery.get(message.stream_id)
-            if previous is None or time > previous:
-                self._last_delivery[message.stream_id] = time
+            self._settle_flow(
+                (message.kind.is_uplink, message.stream_id), time
+            )
         if message.kind.is_uplink:
             self._deliver_to_server(message)
         else:
             self._deliver_to_source(message)
+
+    def _settle_flow(self, key: tuple[bool, int], time: float) -> None:
+        """Book one deferred delivery against the flow's bookkeeping.
+
+        The flow count is pruned when it reaches zero, and the FIFO
+        floor with it — but only once the engine clock has caught up to
+        the floor.  A floor still in the future (a forced drain just
+        delivered at a future heap time) must survive so a subsequent
+        zero-delay send on the flow is clamped to it instead of
+        overtaking the drained flow-mate inline.
+        """
+        count = self._flow_in_flight.get(key, 0) - 1
+        if count > 0:
+            self._flow_in_flight[key] = count
+        else:
+            self._flow_in_flight.pop(key, None)
+            floor = self._fifo_floor.get(key)
+            if floor is not None and floor <= self.engine.now:
+                del self._fifo_floor[key]
+        previous = self._last_delivery.get(key[1])
+        if previous is None or time > previous:
+            self._last_delivery[key[1]] = time
 
     def _deliver_due(self) -> None:
         """Engine-event action: deliver everything whose time has come.
@@ -390,3 +425,108 @@ class LatencyChannel(Channel):
             self._deliver(message, time, deferred=True)
             drained += 1
         return drained
+
+    # ------------------------------------------------------------------
+    # External stepping (the shard transport's in-flight plane)
+    # ------------------------------------------------------------------
+    @property
+    def send_seq(self) -> int:
+        """Watermark: the send seq the next queued message will get.
+
+        An external stepper snapshots this before an operation and asks
+        :meth:`pending_after` for the entries the operation queued.
+        """
+        return self._seq
+
+    @property
+    def route_count(self) -> int:
+        """Total messages routed (queued *or* delivered inline)."""
+        return self._route_count
+
+    @property
+    def next_delivery_key(self) -> tuple[float, int] | None:
+        """The ``(delivery time, send seq)`` key of the earliest entry."""
+        if not self._in_flight:
+            return None
+        time, seq, _ = self._in_flight[0]
+        return time, seq
+
+    def pending_after(self, seq: int) -> list[tuple[float, int, Message]]:
+        """In-flight entries with send seq > *seq*, in (time, seq) order."""
+        return sorted(
+            entry for entry in self._in_flight if entry[1] > seq
+        )
+
+    def extract_in_flight(
+        self, uplink: bool = True
+    ) -> list[tuple[float, int, Message]]:
+        """Remove and return every pending entry of one direction.
+
+        The caller assumes delivery responsibility for the extracted
+        entries (the transport coordinator delivers uplinks itself from
+        the merged plane).  Flow counts, FIFO floors, and delivery
+        counters are *not* touched here: the flow stays "in flight"
+        locally — which is what keeps zero-draw inline eligibility
+        byte-identical to the single-process channel — until the caller
+        books each delivery via :meth:`acknowledge_extracted`.
+        """
+        keep: list[tuple[float, int, Message]] = []
+        extracted: list[tuple[float, int, Message]] = []
+        for entry in self._in_flight:
+            target = extracted if entry[2].kind.is_uplink == uplink else keep
+            target.append(entry)
+        if extracted:
+            self._in_flight = keep
+            heapq.heapify(self._in_flight)
+            extracted.sort()
+        return extracted
+
+    def acknowledge_extracted(
+        self, stream_id: int, time: float, is_uplink: bool = True
+    ) -> None:
+        """Book a delivery performed elsewhere for an extracted entry.
+
+        Mirrors exactly the bookkeeping a local deferred delivery would
+        have done — counters, flow decrement (with pruning), FIFO-floor
+        retirement, last-delivery evidence — without touching any
+        handler.
+        """
+        self._delivered_count += 1
+        self._deferred_delivered_count += 1
+        self._settle_flow((bool(is_uplink), int(stream_id)), float(time))
+
+    def deliver_due(
+        self,
+        limit_time: float,
+        limit_seq: int | None = None,
+        stop_after_send: bool = False,
+    ) -> tuple[int, bool]:
+        """Deliver pending entries up to ``(limit_time, limit_seq)``.
+
+        The external stepper's delivery hook: pops heap entries whose
+        ``(delivery time, send seq)`` key is at or below the limit and
+        delivers each as a deferred delivery, exactly as the engine
+        event loop would have.  With ``stop_after_send`` the loop
+        returns early as soon as a delivery routed a new message —
+        giving the caller the chance to observe (and react to) that
+        send before later same-batch deliveries fire, which is how the
+        transport reproduces the engine's nested-reaction interleave.
+
+        Returns ``(delivered, stopped_early)``.
+        """
+        limit = (
+            float(limit_time),
+            math.inf if limit_seq is None else limit_seq,
+        )
+        delivered = 0
+        while self._in_flight:
+            time, seq, message = self._in_flight[0]
+            if (time, seq) > limit:
+                break
+            heapq.heappop(self._in_flight)
+            routed_before = self._route_count
+            self._deliver(message, time, deferred=True)
+            delivered += 1
+            if stop_after_send and self._route_count != routed_before:
+                return delivered, True
+        return delivered, False

@@ -78,6 +78,34 @@ DEFAULT_MIN_CHUNK = 32
 REPLAY_MODES = ("auto", "event", "batch", "batch-chunk")
 
 
+def in_flight_barrier(channels):
+    """``(earliest delivery time, lagging stream ids)`` over latency
+    channels, or ``(None, empty)`` when nothing flies.
+
+    While a message is in flight the pre-scan's claims are unsafe in
+    two ways: the in-flight streams' table rows mix deployed-but-not-
+    installed bounds with the source's old filter state, and any
+    delivery can run a protocol step that rewrites *other* streams'
+    bounds.  The batched loop therefore treats in-flight streams as
+    always-potential and never claims quiescence at or past the
+    earliest pending delivery.
+
+    Shared with the shard transport's workers, whose pre-scan must
+    re-check the same barrier against their local heaps — the
+    coordinator's merged in-flight plane holds the extracted uplink
+    half, so a worker's barrier covers exactly the deliveries that
+    stayed local (pending constraint installs).
+    """
+    t_barrier = None
+    lagging: set[int] = set()
+    for channel in channels:
+        t = channel.next_delivery_time
+        if t is not None:
+            t_barrier = t if t_barrier is None else min(t_barrier, t)
+            lagging |= channel.in_flight_stream_ids()
+    return t_barrier, lagging
+
+
 class ExecutionSession:
     """Engine + ledger + channel + sources + host, assembled once.
 
@@ -602,24 +630,7 @@ class ExecutionSession:
     _BROADCAST_CAP = 32
 
     def _in_flight_barrier(self):
-        """``(earliest delivery time, lagging stream ids)`` over the
-        latency channels, or ``(None, empty)`` when nothing flies.
-
-        While a message is in flight the pre-scan's claims are unsafe in
-        two ways: the in-flight streams' table rows mix deployed-but-not-
-        installed bounds with the source's old filter state, and any
-        delivery can run a protocol step that rewrites *other* streams'
-        bounds.  The batched loop therefore treats in-flight streams as
-        always-potential and never claims quiescence at or past the
-        earliest pending delivery."""
-        t_barrier = None
-        lagging: set[int] = set()
-        for channel in self.latency_channels:
-            t = channel.next_delivery_time
-            if t is not None:
-                t_barrier = t if t_barrier is None else min(t_barrier, t)
-                lagging |= channel.in_flight_stream_ids()
-        return t_barrier, lagging
+        return in_flight_barrier(self.latency_channels)
 
     def _dispatch_record(self, deferred, stream_ids, payloads, times, j) -> None:
         """Run one record through the faithful per-event machinery."""

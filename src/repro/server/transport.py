@@ -63,11 +63,24 @@ after_apply=...)``) — the protocol answer only changes at dispatches,
 so boundary checks see exactly the answers sequential per-event
 checking sees, while the workers keep their batched pre-scan.
 
-Scope: the transport supports the synchronous discipline and zero-delay
-latency models only (``latency=None`` or a model whose ``is_zero``
-holds).  With nonzero modeled delay the in-flight barrier would couple
-workers record-by-record, which is the sequential coordinator's job;
-the constructor raises a clear error instead.
+Nonzero latency models ride the same epoch protocol through the
+coordinator's **in-flight plane** (:class:`InFlightPlane`).  Each
+worker channel is *externally stepped* — it never self-delivers from
+its own engine — and every reply carries an aux envelope exporting the
+channel's pending heap: uplinks extracted wholesale into columnar
+frames (:mod:`repro.network.frames`, with a point-batch variant in
+:mod:`repro.spatial.messages`), pending constraint installs as
+delivery-key metadata (the install stays authoritative in the worker's
+local heap).  The coordinator merges everything into one global heap
+keyed by the channel's own ``(delivery time, send seq)`` discipline
+and the epoch stepper advances to the earliest pending delivery
+instead of assuming quiescence: plane entries due at or before the
+next candidate record are delivered first — uplinks by the coordinator
+itself, installs by clock-carrying ``deliver`` ops that replicate the
+engine's batch-drain tie order and stop early on nested sends — so the
+dispatch interleaving, and hence the ledger, stays byte-identical to
+sequential sharded serving under the same model
+(tests/server/test_transport_latency.py).
 """
 
 from __future__ import annotations
@@ -75,16 +88,22 @@ from __future__ import annotations
 import gc
 import heapq
 import itertools
+import math
 import multiprocessing
 import pickle
 import time as _time
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.network.accounting import MessageLedger, Phase
+from repro.network.frames import (
+    pack_in_flight,
+    pack_pending,
+    unpack_in_flight,
+)
 from repro.network.messages import (
     ConstraintMessage,
     Message,
@@ -102,8 +121,10 @@ from repro.spatial.messages import (
     PointProbeRequestMessage,
     PointUpdateMessage,
     RegionConstraintMessage,
+    pack_point_in_flight,
     pack_points,
     pack_regions,
+    unpack_point_in_flight,
     unpack_regions,
 )
 from repro.state.sharding import (
@@ -165,6 +186,7 @@ class ShardWorker:
             ExecutionSession,
             _DeferredAssignments,
             _StatePrescan,
+            in_flight_barrier,
         )
 
         self.index = int(index)
@@ -178,6 +200,17 @@ class ShardWorker:
         self.channel = ExecutionSession._make_channel(
             self.ledger, self.engine, latency_model, channel_index=index
         )
+        self._latent = isinstance(self.channel, LatencyChannel)
+        if self._latent:
+            # Externally stepped: the channel never self-schedules
+            # delivery events — the coordinator drives every deferred
+            # delivery through explicit ``deliver`` ops so global
+            # delivery order is decided on the merged in-flight plane.
+            self.channel.external_delivery = True
+        self._barrier = in_flight_barrier
+        #: Highest send seq whose pending (downlink) entry has been
+        #: exported to the coordinator's plane.
+        self._exported_seq = -1
         self.sources = self._make_sources(initial_values)
         self.channel.bind_server(self._handle_uplink)
         self.table = StreamStateTable(n_local)
@@ -242,16 +275,68 @@ class ShardWorker:
             f"worker received unexpected uplink {message.kind}"
         )
 
-    def _assert_nothing_in_flight(self) -> None:
-        """The zero-delay contract: no message may outlive its send."""
-        if (
-            isinstance(self.channel, LatencyChannel)
-            and self.channel.in_flight_count
-        ):  # pragma: no cover - zero models deliver inline by construction
-            raise TransportError(
-                "transport worker has messages in flight; only zero-delay "
-                "latency models are supported across the process boundary"
+    # -- the in-flight plane's worker half ------------------------------
+    def _pack_uplinks(self, entries):
+        """Frame extracted uplink entries (scalar payloads here)."""
+        return pack_in_flight(entries)
+
+    def _collect_aux(self):
+        """Export the channel's pending heap after an operation.
+
+        Uplinks are *extracted* — the coordinator delivers them itself
+        from the merged plane, so they leave the local heap (flow
+        counts and FIFO floors stay up until the coordinator's acks
+        arrive, preserving zero-draw inline eligibility).  Downlinks
+        stay authoritative in the local heap; only their delivery keys
+        cross, once each, tracked by ``_exported_seq``.
+        """
+        if not self._latent:
+            return None
+        uplinks = self.channel.extract_in_flight(uplink=True)
+        pending = self.channel.pending_after(self._exported_seq)
+        if pending:
+            self._exported_seq = max(seq for _, seq, _ in pending)
+        if not uplinks and not pending:
+            return None
+        return {
+            "uplinks": self._pack_uplinks(uplinks) if uplinks else None,
+            "pending": pack_pending(pending) if pending else None,
+        }
+
+    def _apply_acks(self, times, streams) -> None:
+        """Book plane-side uplink deliveries the coordinator performed."""
+        for time, stream in zip(times.tolist(), streams.tolist()):
+            self.channel.acknowledge_extracted(stream, time, is_uplink=True)
+
+    def deliver(
+        self, time: float, seq_limit: int, advance: bool
+    ) -> tuple[list, int, bool]:
+        """Deliver local heap entries up to ``(time, seq_limit)``.
+
+        Replicates the engine's own stepping: each entry is delivered
+        with the clock advanced to *its* delivery time (so cascade
+        sends sample their delay at the correct ``engine.now``), and
+        the loop stops early as soon as a delivery routes a new message
+        so the coordinator can run the nested reaction before later
+        same-batch installs fire.  With ``advance`` false the clock is
+        frozen — the end-of-replay forced drain, exactly like
+        :meth:`~repro.network.latency.LatencyChannel.drain_in_flight`.
+        """
+        self.outbox.clear()
+        limit = (float(time), int(seq_limit))
+        delivered = 0
+        while True:
+            head = self.channel.next_delivery_key
+            if head is None or head > limit:
+                return list(self.outbox), delivered, False
+            if advance and head[0] > self.engine.now:
+                self.engine.run(until=head[0])
+            count, stopped = self.channel.deliver_due(
+                head[0], head[1], stop_after_send=True
             )
+            delivered += count
+            if stopped:
+                return list(self.outbox), delivered, True
 
     # -- scanning -------------------------------------------------------
     def _resolve_mode(self) -> str:
@@ -274,20 +359,31 @@ class ShardWorker:
         self.mode = mode
         return mode
 
-    def scan(self) -> int | None:
+    def scan(self) -> tuple[int | None, bool]:
         """The shard's first-crossing candidate (global trace position).
 
-        Invariant on return: ``[pos, scan_from)`` is proven quiescent
-        against the current columns, and the candidate — when not
-        ``None`` — is the record at ``scan_from``.  In ``event`` mode
-        nothing is proven: every record is its own candidate, which
-        collapses the epoch protocol to exact global per-event order.
+        Returns ``(candidate, blocked)``.  Invariant on return:
+        ``[pos, scan_from)`` is proven quiescent against the current
+        columns, and the candidate — when not ``None`` — is the record
+        at ``scan_from``.  In ``event`` mode nothing is proven: every
+        record is its own candidate, which collapses the epoch protocol
+        to exact global per-event order.
+
+        Under a nonzero latency model quiescence proofs are only valid
+        below the channel's in-flight barrier (a pending constraint
+        install may turn any later record into a crossing), so the
+        chunked scan caps its claims there; ``blocked`` reports that
+        records remain beyond the cap with no candidate to show — the
+        coordinator must deliver from the plane before this shard can
+        make progress.
         """
         mode = self.mode or self._resolve_mode()
         n = len(self.times)
         if mode == "event":
             self.scan_from = self.pos
-            return int(self.gpos[self.pos]) if self.pos < n else None
+            if self.pos < n:
+                return int(self.gpos[self.pos]), False
+            return None, False
         if self.scan_from < self.pos:
             self.scan_from = self.pos
         changed = self.table.drain_constraint_watch()
@@ -308,10 +404,19 @@ class ShardWorker:
                 hits = np.nonzero(mask)[0]
                 if hits.size:
                     self.scan_from = int(sub[hits[0]])
-                    return int(self.gpos[self.scan_from])
+                    return int(self.gpos[self.scan_from]), False
+        n_eff = n
+        if self._latent:
+            t_bar, _ = self._barrier([self.channel])
+            if t_bar is not None:
+                n_eff = int(
+                    np.searchsorted(self.times, t_bar, side="left")
+                )
+                if n_eff < self.scan_from:
+                    n_eff = self.scan_from
         i = self.scan_from
-        while i < n:
-            end = min(i + self.batch_size, n)
+        while i < n_eff:
+            end = min(i + self.batch_size, n_eff)
             self.stats["chunk_scans"] += 1
             mask = self.prescan.crossing_mask(
                 self.local_ids[i:end], self.values[i:end]
@@ -319,10 +424,12 @@ class ShardWorker:
             hits = np.nonzero(mask)[0]
             if hits.size:
                 self.scan_from = i + int(hits[0])
-                return int(self.gpos[self.scan_from])
+                return int(self.gpos[self.scan_from]), False
             i = end
-        self.scan_from = n
-        return None
+        self.scan_from = n_eff
+        if n_eff < n:
+            self.stats["inflight_truncations"] += 1
+        return None, n_eff < n
 
     # -- replay ---------------------------------------------------------
     def advance(self, g: int) -> None:
@@ -340,6 +447,31 @@ class ShardWorker:
             raise TransportError(
                 f"worker {self.index}: advance past the proven frontier "
                 f"(to {k}, proven {self.scan_from})"
+            )
+        self.deferred.stage(
+            self.local_ids[self.pos : k], self.values[self.pos : k]
+        )
+        self.stats["staged"] += k - self.pos
+        self.pos = k
+
+    def advance_time(self, t: float) -> None:
+        """Bulk-stage the proven-quiescent records with time below *t*.
+
+        Issued to every worker just before the coordinator fires a
+        plane delivery at *t*: the sequential engine consumes exactly
+        the records strictly below a delivery's time before the
+        delivery event fires, and the reaction's probes must read the
+        sources at that same frontier.  Every such record is inside the
+        proven window — the plane head is a lower bound on all
+        candidates and on every worker's in-flight barrier.
+        """
+        k = int(np.searchsorted(self.times, float(t), side="left"))
+        if k <= self.pos:
+            return
+        if k > max(self.scan_from, self.pos):
+            raise TransportError(
+                f"worker {self.index}: advance_time past the proven "
+                f"frontier (to {k}, proven {self.scan_from})"
             )
         self.deferred.stage(
             self.local_ids[self.pos : k], self.values[self.pos : k]
@@ -373,12 +505,24 @@ class ShardWorker:
         if self.scan_from < self.pos:
             self.scan_from = self.pos
         self.stats["dispatches"] += 1
-        self._assert_nothing_in_flight()
         return list(self.outbox)
 
     # -- control plane --------------------------------------------------
-    def probe(self, local_id: int, time: float) -> tuple[float, float]:
+    def _advance_clock(self, clock) -> None:
+        """Catch the local engine up to the coordinator's global clock.
+
+        Externally-stepped channels schedule no engine events, so this
+        moves time only — any delay sampling during the operation then
+        happens at the same ``engine.now`` as in the sequential run.
+        """
+        if clock is not None and float(clock) > self.engine.now:
+            self.engine.run(until=float(clock))
+
+    def probe(
+        self, local_id: int, time: float, clock: float | None = None
+    ) -> tuple[float, float]:
         """One probe round-trip against the local source."""
+        self._advance_clock(clock)
         self._probe_reply = None
         self.channel.send_to_source(
             ProbeRequestMessage(stream_id=int(local_id), time=float(time))
@@ -391,9 +535,10 @@ class ShardWorker:
         return float(reply.value), float(reply.time)
 
     def probe_batch(
-        self, local_ids, time: float
+        self, local_ids, time: float, clock: float | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Probe several local sources; replies as parallel arrays."""
+        self._advance_clock(clock)
         count = len(local_ids)
         values = np.empty(count, dtype=np.float64)
         times = np.empty(count, dtype=np.float64)
@@ -405,7 +550,7 @@ class ShardWorker:
         return values, times
 
     def deploy_batch(
-        self, local_ids, lowers, uppers, assumed, times
+        self, local_ids, lowers, uppers, assumed, times, clock=None
     ) -> list[tuple[int, float, float]]:
         """Install constraints in order; return self-corrections in order.
 
@@ -413,6 +558,7 @@ class ShardWorker:
         the serialization cost model's cheap path); ``assumed`` encodes
         the optional belief as int8 (-1 none, 0 outside, 1 inside).
         """
+        self._advance_clock(clock)
         self.outbox.clear()
         send = self.channel.send_to_source
         for local_id, lower, upper, belief, time in zip(
@@ -431,16 +577,22 @@ class ShardWorker:
                     assumed_inside=None if belief < 0 else bool(belief),
                 )
             )
-        self._assert_nothing_in_flight()
         return list(self.outbox)
 
-    def finish(self, horizon: float | None) -> dict:
-        """Commit the proven-quiescent tail, settle time, report stats."""
+    def settle(self, horizon: float | None) -> None:
+        """Commit the proven-quiescent tail and settle the clock.
+
+        The worker half of the sequential end-of-replay sequence: stage
+        everything proven, flush the staged writes, and run the engine
+        out to the horizon (which fires nothing — deliveries are
+        externally stepped — but freezes ``engine.now`` where the
+        forced drain of the remaining plane entries expects it).
+        """
         n = len(self.times)
         if self.pos < n:
             if max(self.scan_from, self.pos) < n:
                 raise TransportError(
-                    f"worker {self.index}: finish with unproven records "
+                    f"worker {self.index}: settle with unproven records "
                     f"[{self.scan_from}, {n})"
                 )
             self.deferred.stage(
@@ -451,6 +603,10 @@ class ShardWorker:
         self.deferred.flush_all()
         if horizon is not None and horizon > self.engine.now:
             self.engine.run(until=horizon)
+
+    def finish(self, horizon: float | None) -> dict:
+        """Settle (idempotent after an explicit ``settle``) + stats."""
+        self.settle(horizon)
         stats = dict(self.stats)
         stats["mode"] = self.mode or self._resolve_mode()
         stats["kernel"] = "transport"
@@ -459,20 +615,38 @@ class ShardWorker:
 
     # -- request demux ---------------------------------------------------
     def handle(self, request: tuple):
+        """Demux one request; replied ops get an ``(payload, aux)``
+        envelope whose aux half exports the channel's pending heap."""
         op = request[0]
+        if op == "ack":
+            self._apply_acks(request[1], request[2])
+            return _NO_REPLY
+        payload = self._handle_op(op, request)
+        if payload is _NO_REPLY:
+            return _NO_REPLY
+        return payload, self._collect_aux()
+
+    def _handle_op(self, op: str, request: tuple):
         if op == "scan":
             return self.scan()
         if op == "advance":
             self.advance(request[1])
             return _NO_REPLY
+        if op == "advance_time":
+            self.advance_time(request[1])
+            return _NO_REPLY
         if op == "dispatch":
             return self.dispatch(request[1])
+        if op == "deliver":
+            return self.deliver(request[1], request[2], request[3])
         if op == "probe":
-            return self.probe(request[1], request[2])
+            return self.probe(request[1], request[2], request[3])
         if op == "probe_batch":
-            return self.probe_batch(request[1], request[2])
+            return self.probe_batch(request[1], request[2], request[3])
         if op == "deploy_batch":
-            return self.deploy_batch(*request[1:6])
+            return self.deploy_batch(*request[1:7])
+        if op == "settle":
+            return self.settle(request[1])
         if op == "finish":
             return self.finish(request[1])
         raise TransportError(f"worker {self.index}: unknown request {op!r}")
@@ -523,8 +697,14 @@ class SpatialShardWorker(ShardWorker):
             f"worker received unexpected uplink {message.kind}"
         )
 
-    def probe(self, local_id: int, time: float) -> tuple[np.ndarray, float]:
+    def _pack_uplinks(self, entries):
+        return pack_point_in_flight(entries, self._dimension)
+
+    def probe(
+        self, local_id: int, time: float, clock: float | None = None
+    ) -> tuple[np.ndarray, float]:
         """One point-probe round-trip against the local source."""
+        self._advance_clock(clock)
         self._probe_reply = None
         self.channel.send_to_source(
             PointProbeRequestMessage(stream_id=int(local_id), time=float(time))
@@ -537,9 +717,10 @@ class SpatialShardWorker(ShardWorker):
         return reply.point, float(reply.time)
 
     def probe_batch(
-        self, local_ids, time: float
+        self, local_ids, time: float, clock: float | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Probe several local sources; replies as an ``(m, d)`` frame."""
+        self._advance_clock(clock)
         rows = (
             local_ids.tolist()
             if isinstance(local_ids, np.ndarray)
@@ -565,7 +746,7 @@ class SpatialShardWorker(ShardWorker):
         times = [entry[2] for entry in self.outbox]
         return pack_points(rows, points, times, d)
 
-    def deploy_regions(self, local_ids, frame, assumed, times):
+    def deploy_regions(self, local_ids, frame, assumed, times, clock=None):
         """Install a region frame in order; corrections back as a frame.
 
         The frame decodes once (shared instances per distinct encoding,
@@ -573,6 +754,7 @@ class SpatialShardWorker(ShardWorker):
         and installs through the sources, whose membership write-through
         scatters the quiescence boxes into the worker's geometric plane.
         """
+        self._advance_clock(clock)
         regions = unpack_regions(frame)
         self.outbox.clear()
         send = self.channel.send_to_source
@@ -587,13 +769,12 @@ class SpatialShardWorker(ShardWorker):
                     assumed_inside=None if belief < 0 else bool(belief),
                 )
             )
-        self._assert_nothing_in_flight()
         return self._packed_outbox()
 
-    def handle(self, request: tuple):
-        if request[0] == "deploy_regions":
-            return self.deploy_regions(*request[1:5])
-        return super().handle(request)
+    def _handle_op(self, op: str, request: tuple):
+        if op == "deploy_regions":
+            return self.deploy_regions(*request[1:6])
+        return super()._handle_op(op, request)
 
 
 #: Worker stack selector used by :func:`_worker_main` (spec ``stack`` key).
@@ -787,6 +968,156 @@ class CoordinatorBus:
                 pass
 
 
+@dataclass(frozen=True)
+class _PlaneEntry:
+    """One in-flight message on the coordinator's merged plane."""
+
+    time: float  #: modeled delivery time
+    lseq: int  #: send seq on the owning worker's channel (FIFO tiebreak)
+    worker: int
+    stream: int  #: global stream id
+    lstream: int  #: local stream row (ack + deliver vocabulary)
+    uplink: bool
+    send_time: float
+    payload: object = field(default=None, compare=False)
+
+
+class InFlightPlane:
+    """The coordinator's merged in-flight heap (DESIGN.md §10.4).
+
+    The cross-process generalization of one
+    :class:`~repro.network.latency.LatencyChannel` heap: every worker's
+    pending entries, merged under the same ``(delivery time, send seq)``
+    discipline.  Global order is tracked by a lazy head heap ``(time,
+    arrival seq, worker)`` — the transport analogue of the engine's
+    one-event-per-send schedule, where an event that finds its message
+    already delivered fires as a no-op — while each worker's entries
+    live in a per-worker heap keyed ``(time, local send seq)``, because
+    that local key is the order the worker's own engine would have
+    delivered them in.
+
+    The plane doubles as the latency *evidence* provider: it implements
+    the :class:`~repro.correctness.staleness.StalenessWindow` channel
+    API (``in_flight_count``, ``deferred_delivered_count``,
+    ``in_flight_stream_ids``, ``recently_delivered_streams``) for
+    messages whose flight crosses the process boundary.
+    """
+
+    def __init__(self) -> None:
+        self._arrival = itertools.count()
+        self._heads: list[tuple[float, int, int]] = []
+        self._queues: dict[int, list[tuple[float, int, _PlaneEntry]]] = {}
+        self._count = 0
+        self._delivered = 0
+        self._last_delivery: dict[int, float] = {}
+
+    def push(self, entry: _PlaneEntry) -> None:
+        heapq.heappush(
+            self._heads, (entry.time, next(self._arrival), entry.worker)
+        )
+        heapq.heappush(
+            self._queues.setdefault(entry.worker, []),
+            (entry.time, entry.lseq, entry),
+        )
+        self._count += 1
+
+    # -- stepping -------------------------------------------------------
+    @property
+    def next_delivery_time(self) -> float | None:
+        """Earliest pending delivery time across all workers (exact)."""
+        times = [queue[0][0] for queue in self._queues.values() if queue]
+        return min(times) if times else None
+
+    def next_group(self, limit: float) -> tuple[int, float] | None:
+        """Consume the earliest head due at or before *limit*.
+
+        Returns ``(worker, trigger time)`` for a head whose worker
+        still has an entry due at that time; stale heads (their entry
+        was delivered by an earlier group's drain) are discarded, the
+        engine's no-op-event semantics.
+        """
+        while self._heads and self._heads[0][0] <= limit:
+            time, _, worker = heapq.heappop(self._heads)
+            queue = self._queues.get(worker)
+            if queue and queue[0][0] <= time:
+                return worker, time
+        return None
+
+    def peek_worker(
+        self, worker: int, limit: float
+    ) -> _PlaneEntry | None:
+        """The worker's earliest entry due at or before *limit*."""
+        queue = self._queues.get(worker)
+        if queue and queue[0][0] <= limit:
+            return queue[0][2]
+        return None
+
+    def downlink_run(
+        self, worker: int, limit: float
+    ) -> tuple[float, int, int]:
+        """The worker's leading consecutive downlink entries ≤ *limit*.
+
+        Returns ``(time, lseq, count)`` of the run's last entry — the
+        key limit for one ``deliver`` op.  The run stops at the first
+        uplink because that delivery (and its reaction) belongs to the
+        coordinator and must interleave at its exact heap position.
+        """
+        queue = self._queues.get(worker) or []
+        last = None
+        count = 0
+        for time, lseq, entry in sorted(queue):
+            if time > limit or entry.uplink:
+                break
+            last = (time, lseq)
+            count += 1
+        if last is None:  # pragma: no cover - callers peek first
+            raise ValueError("no leading downlink run")
+        return last[0], last[1], count
+
+    def pop_worker(self, worker: int, count: int = 1) -> list[_PlaneEntry]:
+        """Book delivery of the worker's *count* earliest entries."""
+        queue = self._queues[worker]
+        out = []
+        for _ in range(count):
+            time, _, entry = heapq.heappop(queue)
+            self._count -= 1
+            self._delivered += 1
+            previous = self._last_delivery.get(entry.stream)
+            if previous is None or time > previous:
+                self._last_delivery[entry.stream] = time
+            out.append(entry)
+        return out
+
+    def worker_pending(self, worker: int) -> bool:
+        return bool(self._queues.get(worker))
+
+    # -- staleness evidence (the LatencyChannel channel API) ------------
+    @property
+    def in_flight_count(self) -> int:
+        return self._count
+
+    @property
+    def deferred_delivered_count(self) -> int:
+        return self._delivered
+
+    def in_flight_stream_ids(self) -> set[int]:
+        return {
+            entry.stream
+            for queue in self._queues.values()
+            for _, _, entry in queue
+        }
+
+    def recently_delivered_streams(
+        self, time: float, window: float
+    ) -> set[int]:
+        cutoff = time - window
+        return {
+            stream
+            for stream, delivered in self._last_delivery.items()
+            if cutoff <= delivered <= time
+        }
+
+
 class TransportShardedServer(DeferredDeliveryMixin):
     """Coordinator for coupled protocols over worker processes.
 
@@ -817,6 +1148,15 @@ class TransportShardedServer(DeferredDeliveryMixin):
       FIFO then guarantees each worker stages its quiescent prefix
       against the pre-reaction columns it was proven under, before any
       of the reaction's probes or deployments can touch them.
+    * **In-flight order.**  Under a nonzero model every deferred
+      message lives on the merged plane under its channel's own
+      ``(delivery time, send seq)`` key, worker channels never
+      self-deliver, and the stepper fires plane groups before any
+      record at or past their delivery times — so deliveries, nested
+      reactions, and dispatches interleave exactly as the sequential
+      engine's event loop would have fired them (measure-zero
+      cross-shard delivery-time ties excepted, where the global
+      arrival order replaces the engine's insertion order).
     """
 
     def __init__(
@@ -832,13 +1172,6 @@ class TransportShardedServer(DeferredDeliveryMixin):
         from repro.runtime.session import DEFAULT_BATCH_SIZE, DEFAULT_MIN_CHUNK
 
         model = as_latency_model(latency)
-        if model is not None and not model.is_zero:
-            raise ValueError(
-                "the shard transport supports latency=None or zero-delay "
-                "models only: a nonzero in-flight delay couples workers "
-                "record-by-record, which is the sequential sharded "
-                "coordinator's regime; drop parallel=True to model latency"
-            )
         self.protocol = protocol
         self._now = 0.0
         self._trace = trace
@@ -861,6 +1194,18 @@ class TransportShardedServer(DeferredDeliveryMixin):
             tuple[int, float, float, bool | None, float]
         ] = []
         self._dirty: set[int] = set(range(len(self.ranges)))
+        #: Whether the model can defer deliveries across epochs; drives
+        #: the in-flight-plane stepping and the settle/drain end phase.
+        self._coupled = model is not None and not model.is_zero
+        self._plane = InFlightPlane()
+        #: Global event-time mirror (≥ every processed delivery/record
+        #: time); distinct from ``_now``, which tracks message *send*
+        #: times exactly as the sequential coordinator's clock does.
+        self._clock = 0.0
+        #: Per-worker buffered delivery acks, posted before the next op.
+        self._acks: list[list[tuple[float, int]]] = [
+            [] for _ in self.ranges
+        ]
         self._epochs = 0
         self._worker_stats: list[dict] | None = None
         self.bus: CoordinatorBus | None = None
@@ -996,6 +1341,7 @@ class TransportShardedServer(DeferredDeliveryMixin):
         self._require_bus()
         self.ledger.phase = Phase.INITIALIZATION
         self._now = time
+        self._clock = float(time)
         self._guarded_call(self.protocol.initialize, self)
         self.ledger.phase = Phase.MAINTENANCE
 
@@ -1009,11 +1355,84 @@ class TransportShardedServer(DeferredDeliveryMixin):
         index = int(self._shard_of[int(stream_id)])
         return index, self.shard_views[index]
 
-    def _rpc(self, index: int, request: tuple):
+    def _post(self, index: int, request: tuple) -> None:
+        """Post a request, preceded by any buffered delivery acks.
+
+        Acks retire the worker-local flow bookkeeping of uplinks the
+        coordinator delivered from the plane; batching them onto the
+        next real request keeps them off the hot path while pipe FIFO
+        guarantees they land before the operation that might send on
+        the same flow.
+        """
         bus = self._require_bus()
+        acks = self._acks[index]
+        if acks:
+            self._acks[index] = []
+            n = len(acks)
+            times = np.fromiter((a[0] for a in acks), np.float64, n)
+            streams = np.fromiter((a[1] for a in acks), np.int64, n)
+            bus.post(index, ("ack", times, streams))
         bus.post(index, request)
-        ((_, payload),) = bus.collect([index])
+
+    def _absorb(self, index: int, reply):
+        """Unwrap one ``(payload, aux)`` envelope, merging the aux's
+        exported heap entries into the plane."""
+        payload, aux = reply
+        if aux:
+            lo = self.ranges[index][0]
+            uplinks = aux.get("uplinks")
+            if uplinks is not None:
+                for delivery, lseq, lstream, send, value in (
+                    self._unpack_uplinks(uplinks)
+                ):
+                    # Charged here — export time is send time, the same
+                    # MAINTENANCE/INITIALIZATION slot the sequential
+                    # channel charges the send in.
+                    self.ledger.record_kind(MessageKind.UPDATE)
+                    self._plane.push(
+                        _PlaneEntry(
+                            time=delivery,
+                            lseq=lseq,
+                            worker=index,
+                            stream=lstream + lo,
+                            lstream=lstream,
+                            uplink=True,
+                            send_time=send,
+                            payload=value,
+                        )
+                    )
+            pending = aux.get("pending")
+            if pending is not None:
+                for delivery, lseq, lstream, send, _ in unpack_in_flight(
+                    pending
+                ):
+                    # Metadata only: the install was already charged at
+                    # deploy flush; the worker's heap stays
+                    # authoritative for its payload.
+                    self._plane.push(
+                        _PlaneEntry(
+                            time=delivery,
+                            lseq=lseq,
+                            worker=index,
+                            stream=lstream + lo,
+                            lstream=lstream,
+                            uplink=False,
+                            send_time=send,
+                        )
+                    )
         return payload
+
+    def _unpack_uplinks(self, frame):
+        """Decode an uplink export frame (scalar payloads here)."""
+        return unpack_in_flight(frame)
+
+    def _collect_one(self, index: int):
+        ((_, reply),) = self._require_bus().collect([index])
+        return self._absorb(index, reply)
+
+    def _rpc(self, index: int, request: tuple):
+        self._post(index, request)
+        return self._collect_one(index)
 
     def probe(self, stream_id: int) -> float:
         """Probe one source at its worker (2 messages, charged here)."""
@@ -1021,7 +1440,7 @@ class TransportShardedServer(DeferredDeliveryMixin):
         index, view = self._view_for(stream_id)
         self.ledger.record_kind(MessageKind.PROBE_REQUEST)
         value, time = self._rpc(
-            index, ("probe", int(stream_id) - view.lo, self._now)
+            index, ("probe", int(stream_id) - view.lo, self._now, self._clock)
         )
         self.ledger.record_kind(MessageKind.PROBE_REPLY)
         view.record_report(int(stream_id) - view.lo, float(value), float(time))
@@ -1061,7 +1480,7 @@ class TransportShardedServer(DeferredDeliveryMixin):
                 (gid - view.lo for gid in gids), np.int64, count
             )
             values, times = self._rpc(
-                index, ("probe_batch", rows, self._now)
+                index, ("probe_batch", rows, self._now, self._clock)
             )
             self.ledger.record_kind(MessageKind.PROBE_REPLY, count)
             self._dirty.add(index)
@@ -1167,6 +1586,7 @@ class TransportShardedServer(DeferredDeliveryMixin):
                     uppers[a:b],
                     assumed[a:b],
                     times[a:b],
+                    self._clock,
                 ),
             )
             self._dirty.add(index)
@@ -1258,12 +1678,13 @@ class TransportShardedServer(DeferredDeliveryMixin):
         """
         bus = self._require_bus()
         n_workers = len(self.ranges)
-        candidates: dict[int, int | None] = {}
+        candidates: dict[int, tuple[int | None, bool]] = {}
         checking = oracle_apply is not None or after_apply is not None
         trace = self._trace
         payloads = self._trace_payloads() if checking else None
         n_records = len(trace.times)
         cursor = 0
+        plane = self._plane
 
         def settle(upto: int) -> None:
             """Oracle-apply + check the quiescent records [cursor, upto)."""
@@ -1285,29 +1706,79 @@ class TransportShardedServer(DeferredDeliveryMixin):
             dirty = sorted(self._dirty)
             self._dirty = set()
             for index in dirty:
-                bus.post(index, ("scan",))
-            for index, candidate in bus.collect(dirty):
-                candidates[index] = candidate
+                self._post(index, ("scan",))
+            for index, reply in bus.collect(dirty):
+                candidates[index] = self._absorb(index, reply)
             self._epochs += 1
             live = {
                 index: candidate
-                for index, candidate in candidates.items()
+                for index, (candidate, _) in candidates.items()
                 if candidate is not None
             }
-            if not live:
+            if live:
+                owner = min(live, key=live.get)
+                g = live[owner]
+                limit = float(trace.times[g])
+            else:
+                owner = g = None
+                limit = math.inf if horizon is None else float(horizon)
+                if any(b for _, b in candidates.values()):
+                    # Some worker's proofs are capped behind a pending
+                    # install; it cannot show a candidate until the
+                    # plane delivers, however late the delivery falls.
+                    head = plane.next_delivery_time
+                    if head is None:  # pragma: no cover - defensive
+                        raise TransportError(
+                            "workers blocked behind the in-flight "
+                            "barrier with an empty plane"
+                        )
+                    limit = max(limit, head)
+            head = plane.next_delivery_time
+            if head is not None and head <= limit:
+                # Advance to the earliest pending delivery instead of
+                # assuming quiescence: the plane group due first fires,
+                # then the loop restarts so the dirty workers rescan —
+                # one group at a time, because an install changes the
+                # constraint columns candidates were proven against,
+                # and the record it flips may precede the next head.
+                group = plane.next_group(limit)
+                if group is not None:
+                    if checking:
+                        # Keep the oracle sandwich exact: check the
+                        # quiescent records that precede this delivery
+                        # before its reaction can move the answer.
+                        bound = g if g is not None else n_records
+                        settle(
+                            int(
+                                np.searchsorted(
+                                    trace.times[:bound],
+                                    group[1],
+                                    side="left",
+                                )
+                            )
+                        )
+                    # Sequential replay consumes every record strictly
+                    # below a delivery's time before the delivery event
+                    # fires; the reaction's probes read the sources at
+                    # that frontier.  Catch every shard up first.
+                    for index in range(n_workers):
+                        self._post(index, ("advance_time", group[1]))
+                    self._deliver_plane_group(*group)
+                    continue
+            if owner is None:
                 break
-            owner = min(live, key=live.get)
-            g = live[owner]
             if checking:
                 settle(g)
                 if oracle_apply is not None:
                     oracle_apply(int(trace.stream_ids[g]), payloads[g])
+            if limit > self._clock:
+                self._clock = limit
             for index in range(n_workers):
                 if index != owner:
-                    bus.post(index, ("advance", g))
-            bus.post(owner, ("dispatch", g))
-            ((_, uplinks),) = bus.collect([owner])
-            candidates[owner] = None
+                    self._post(index, ("advance", g))
+            self._post(owner, ("dispatch", g))
+            uplinks = self._collect_one(owner)
+            candidates[owner] = (None, False)
             self._dirty.add(owner)
             lo = self.ranges[owner][0]
             for item in uplinks:
@@ -1324,18 +1795,104 @@ class TransportShardedServer(DeferredDeliveryMixin):
                 cursor = g + 1
         if checking:
             settle(n_records)
+        if self._coupled:
+            # The sequential end-of-replay sequence, across the pipe:
+            # every worker stages its proven tail and runs its engine
+            # out to the horizon (firing nothing — deliveries are
+            # externally stepped), then the plane's leftovers are
+            # force-delivered in worker order, heap order within —
+            # channel-by-channel drain_in_flight(), exactly.
+            for index in range(n_workers):
+                self._post(index, ("settle", horizon))
+            for index, reply in bus.collect(range(n_workers)):
+                self._absorb(index, reply)
+            if horizon is not None and float(horizon) > self._clock:
+                self._clock = float(horizon)
+            self._drain_remaining()
         for index in range(n_workers):
-            bus.post(index, ("finish", horizon))
+            self._post(index, ("finish", horizon))
         stats = [None] * n_workers
-        for index, payload in bus.collect(range(n_workers)):
-            stats[index] = payload
+        for index, reply in bus.collect(range(n_workers)):
+            stats[index] = self._absorb(index, reply)
         self._worker_stats = stats
         return list(stats)
+
+    def _deliver_plane_group(
+        self, worker: int, t0: float, advance: bool = True
+    ) -> None:
+        """Deliver one worker's plane entries due at or before *t0*.
+
+        Entries go in ``(time, local send seq)`` order — the order the
+        worker's own engine would have fired them.  Uplinks are
+        delivered by the coordinator itself (ack buffered, reaction run
+        through the deferred-delivery discipline); runs of consecutive
+        downlinks become one ``deliver`` op, re-issued after any
+        early stop so nested reactions interleave exactly as the
+        engine's.  With ``advance`` false the worker clocks stay frozen
+        (the end-of-replay forced drain).
+        """
+        plane = self._plane
+        lo = self.ranges[worker][0]
+        while True:
+            entry = plane.peek_worker(worker, t0)
+            if entry is None:
+                return
+            if entry.uplink:
+                plane.pop_worker(worker)
+                if advance and entry.time > self._clock:
+                    self._clock = entry.time
+                self._acks[worker].append((entry.time, entry.lstream))
+                self._receive_update(
+                    self._uplink_message(
+                        lo, (entry.lstream, entry.payload, entry.send_time)
+                    )
+                )
+                continue
+            time_limit, seq_limit, _ = plane.downlink_run(worker, t0)
+            outbox, delivered, _ = self._rpc(
+                worker, ("deliver", time_limit, seq_limit, advance)
+            )
+            if delivered < 1:  # pragma: no cover - defensive
+                raise TransportError(
+                    f"worker {worker}: deliver op consumed nothing at "
+                    f"({time_limit}, {seq_limit})"
+                )
+            done = plane.pop_worker(worker, delivered)
+            if advance and done[-1].time > self._clock:
+                self._clock = done[-1].time
+            self._dirty.add(worker)
+            for item in outbox:
+                # Inline self-corrections the installs provoked,
+                # charged at their send exactly as a deploy flush's.
+                self.ledger.record_kind(MessageKind.UPDATE)
+                self._receive_update(self._uplink_message(lo, item))
+
+    def _drain_remaining(self) -> None:
+        """Force-deliver every remaining plane entry, worker by worker.
+
+        Cascades that land on a not-yet-drained worker are picked up by
+        its turn; cascades onto an already-drained worker stay pending
+        — precisely the sequential coordinator's channel-order
+        ``drain_in_flight()`` semantics.
+        """
+        for worker in range(len(self.ranges)):
+            while self._plane.worker_pending(worker):
+                self._deliver_plane_group(worker, math.inf, advance=False)
+
+    @property
+    def in_flight_plane(self) -> InFlightPlane:
+        """The merged cross-process in-flight heap (latency evidence)."""
+        return self._plane
 
     def transport_stats(self) -> dict:
         """Coordination + serialization counters for the cost model."""
         bus = self.bus
-        out = {"epochs": self._epochs, "workers": len(self.ranges)}
+        out = {
+            "epochs": self._epochs,
+            "workers": len(self.ranges),
+            "in_flight_deliveries": self._plane.deferred_delivered_count,
+            "in_flight_leaked": self._plane.in_flight_count,
+        }
         if bus is not None:
             out.update(bus.stats.as_dict())
         if self._worker_stats is not None:
@@ -1397,7 +1954,7 @@ class SpatialTransportShardedServer(TransportShardedServer):
         index, view = self._view_for(stream_id)
         self.ledger.record_kind(MessageKind.PROBE_REQUEST)
         point, time = self._rpc(
-            index, ("probe", int(stream_id) - view.lo, self._now)
+            index, ("probe", int(stream_id) - view.lo, self._now, self._clock)
         )
         self.ledger.record_kind(MessageKind.PROBE_REPLY)
         point = np.asarray(point, dtype=np.float64)
@@ -1420,7 +1977,7 @@ class SpatialTransportShardedServer(TransportShardedServer):
                 (gid - view.lo for gid in gids), np.int64, count
             )
             points, times = self._rpc(
-                index, ("probe_batch", rows, self._now)
+                index, ("probe_batch", rows, self._now, self._clock)
             )
             self.ledger.record_kind(MessageKind.PROBE_REPLY, count)
             self._dirty.add(index)
@@ -1483,6 +2040,7 @@ class SpatialTransportShardedServer(TransportShardedServer):
                     pack_regions(regions[a:b], self._dimension),
                     assumed[a:b],
                     times[a:b],
+                    self._clock,
                 ),
             )
             self._dirty.add(index)
@@ -1500,6 +2058,9 @@ class SpatialTransportShardedServer(TransportShardedServer):
                 )
 
     # -- delivery -------------------------------------------------------
+    def _unpack_uplinks(self, frame):
+        return unpack_point_in_flight(frame)
+
     def _uplink_message(self, lo: int, item) -> Message:
         local_id, point, time = item
         return PointUpdateMessage(

@@ -120,14 +120,16 @@ def test_spatial_parallel_runs_on_the_transport():
     assert parallel.ledger == sequential.ledger
     assert parallel.final_answer == sequential.final_answer
     assert "transport" in parallel.extras["replay"]
-    # The one genuinely unsupported combination still raises, with the
-    # offending knobs named.
-    with pytest.raises(ValueError, match="latency.*parallel|parallel.*latency"):
-        Engine().run(
-            spec,
-            workload,
-            Deployment.sharded(2, parallel=True, latency=0.5),
-        )
+    # Nonzero latency composes too: deferred deliveries cross the
+    # process boundary on the in-flight plane, ledger still identical.
+    delayed_seq = Engine().run(
+        spec, workload, Deployment.sharded(2, latency=0.5)
+    )
+    delayed_par = Engine().run(
+        spec, workload, Deployment.sharded(2, parallel=True, latency=0.5)
+    )
+    assert delayed_par.ledger == delayed_seq.ledger
+    assert delayed_par.final_answer == delayed_seq.final_answer
 
 
 def test_run_queries_shared_deployment():

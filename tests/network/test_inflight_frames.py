@@ -1,0 +1,152 @@
+"""Round-trip properties of the in-flight wire frames (DESIGN.md §10).
+
+The shard transport's in-flight plane crosses the process boundary as
+columnar frames: extracted uplink entries ride an update frame (full
+payload), pending downlinks a metadata-only frame.  The plane's merge
+key is ``(delivery time, send seq)``, so the codec must preserve the
+key columns bit-exactly — including FIFO ties (equal delivery times
+ordered by seq) and cross-epoch carryover (an entry packed in a later
+epoch keeps the send seq it was enqueued with).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.frames import (
+    InFlightFrame,
+    pack_in_flight,
+    pack_pending,
+    unpack_in_flight,
+)
+from repro.network.messages import ConstraintMessage, UpdateMessage
+from repro.spatial.messages import (
+    PointUpdateMessage,
+    pack_point_in_flight,
+    unpack_point_in_flight,
+)
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def heap_entries(draw):
+    """Entries in ``(delivery, seq)`` heap order, as the channel emits
+    them: delivery times may tie (FIFO ties break on seq), and seqs are
+    unique but need not start at zero (cross-epoch carryover keeps the
+    seq of the epoch the message was sent in)."""
+    n = draw(st.integers(0, 30))
+    base_seq = draw(st.integers(0, 10_000))
+    seqs = sorted(
+        draw(
+            st.sets(
+                st.integers(base_seq, base_seq + 10_000), min_size=n, max_size=n
+            )
+        )
+    )
+    deliveries = sorted(
+        draw(
+            st.lists(
+                st.floats(0.0, 1e6, **finite), min_size=n, max_size=n
+            )
+        )
+    )
+    rows = []
+    for time, seq in zip(deliveries, seqs):
+        rows.append(
+            (
+                time,
+                seq,
+                draw(st.integers(0, 99)),
+                draw(st.floats(0.0, 1e6, **finite)),
+                draw(st.floats(-1e9, 1e9, **finite)),
+            )
+        )
+    return rows
+
+
+@given(heap_entries())
+@settings(max_examples=100, deadline=None)
+def test_uplink_frame_round_trips(rows):
+    entries = [
+        (time, seq, UpdateMessage(stream_id=stream, time=send, value=value))
+        for time, seq, stream, send, value in rows
+    ]
+    frame = pack_in_flight(entries)
+    assert isinstance(frame, InFlightFrame)
+    assert len(frame) == len(rows)
+    assert unpack_in_flight(frame) == rows
+
+
+@given(heap_entries())
+@settings(max_examples=100, deadline=None)
+def test_pending_frame_round_trips_metadata_only(rows):
+    entries = [
+        (time, seq, ConstraintMessage(stream_id=stream, time=send))
+        for time, seq, stream, send, _ in rows
+    ]
+    frame = pack_pending(entries)
+    assert frame.values is None
+    assert unpack_in_flight(frame) == [
+        (time, seq, stream, send, None)
+        for time, seq, stream, send, _ in rows
+    ]
+
+
+@given(heap_entries(), st.integers(1, 3))
+@settings(max_examples=60, deadline=None)
+def test_point_frame_round_trips(rows, dimension):
+    points = [
+        np.linspace(send, send + dimension, num=dimension)
+        for _, _, _, send, _ in rows
+    ]
+    entries = [
+        (
+            time,
+            seq,
+            PointUpdateMessage(stream_id=stream, time=send, point=point),
+        )
+        for (time, seq, stream, send, _), point in zip(rows, points)
+    ]
+    frame = pack_point_in_flight(entries, dimension)
+    decoded = unpack_point_in_flight(frame)
+    assert len(decoded) == len(rows)
+    for (time, seq, stream, send, _), point, row in zip(
+        rows, points, decoded
+    ):
+        assert row[:4] == (time, seq, stream, send)
+        assert row[4].shape == (dimension,)
+        assert np.array_equal(row[4], point)
+
+
+def test_empty_frames_round_trip():
+    for frame in (pack_in_flight([]), pack_pending([])):
+        assert len(frame) == 0
+        assert unpack_in_flight(frame) == []
+    point_frame = pack_point_in_flight([], 2)
+    assert len(point_frame) == 0
+    assert unpack_point_in_flight(point_frame) == []
+
+
+def test_fifo_ties_keep_seq_order():
+    # Two messages of one flow delivered at the same instant: the frame
+    # must preserve the (delivery, seq) order the heap popped them in.
+    entries = [
+        (5.0, 7, UpdateMessage(stream_id=1, time=4.0, value=1.0)),
+        (5.0, 9, UpdateMessage(stream_id=1, time=4.5, value=2.0)),
+    ]
+    decoded = unpack_in_flight(pack_in_flight(entries))
+    assert [(seq, value) for _, seq, _, _, value in decoded] == [
+        (7, 1.0),
+        (9, 2.0),
+    ]
+
+
+def test_cross_epoch_carryover_keeps_send_seqs():
+    # An entry extracted two epochs after it was sent still carries its
+    # original channel seq — the plane's FIFO tiebreaker spans epochs.
+    early = (9.0, 3, UpdateMessage(stream_id=0, time=1.0, value=0.5))
+    late = (9.5, 41, UpdateMessage(stream_id=0, time=8.0, value=1.5))
+    decoded = unpack_in_flight(pack_in_flight([early, late]))
+    assert [seq for _, seq, _, _, _ in decoded] == [3, 41]
+    assert [send for _, _, _, send, _ in decoded] == [1.0, 8.0]

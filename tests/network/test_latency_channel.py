@@ -199,6 +199,27 @@ class TestDelivery:
         channel.send_to_server(UpdateMessage(stream_id=1, time=6.0, value=3.0))
         assert [m.value for m, _ in server_log] == [1.0, 2.0, 3.0]
 
+    def test_flow_bookkeeping_prunes_after_soak(self):
+        """Regression: ``_flow_in_flight`` / ``_fifo_floor`` entries for
+        settled flows were never pruned, so a long run leaked one dict
+        entry per (direction, stream) flow ever used — and a stale floor
+        could clamp a send long after its flow went idle."""
+        engine, ledger, channel, server_log, _ = make_channel(
+            UniformLatency(0.1, 0.5, seed=2)
+        )
+        for i in range(500):
+            engine.schedule_at(
+                float(i),
+                lambda i=i: channel.send_to_server(
+                    UpdateMessage(stream_id=i % 4, time=float(i), value=float(i))
+                ),
+            )
+        engine.run()
+        assert channel.in_flight_count == 0
+        assert len(server_log) == 500
+        assert channel._flow_in_flight == {}
+        assert channel._fifo_floor == {}
+
     def test_unrelated_streams_may_overtake(self):
         engine, ledger, channel, server_log, _ = make_channel(
             FixedLatency(uplink=5.0, downlink=0.0)
@@ -368,6 +389,34 @@ def test_every_message_delivered_exactly_once_in_flow_order(
     # Delivery times never decrease while the engine drives them.
     engine_times = [at for *_, at in delivered]
     assert engine_times == sorted(engine_times)
+
+
+@given(
+    st.floats(0.5, 10.0, allow_nan=False, allow_infinity=False),
+    st.floats(0.0, 0.4, allow_nan=False, allow_infinity=False),
+    st.integers(0, N_STREAMS - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_post_drain_zero_draw_clamps_to_fifo_floor(delay, later_draw, stream):
+    """Regression: a flow-mate force-delivered at a *future* heap time
+    (``drain_in_flight`` with the clock behind the heap) left no floor,
+    so a subsequent zero/short draw on the flow delivered inline —
+    overtaking the drained mate in delivery-time order.  The floor must
+    outlive the drained flow and clamp the later send."""
+    engine, ledger, channel, server_log, _ = make_channel(
+        FixedLatency(uplink=delay, downlink=0.0), n_sources=N_STREAMS
+    )
+    channel.send_to_server(UpdateMessage(stream_id=stream, time=0.0, value=1.0))
+    channel.drain_in_flight()  # delivered at heap time `delay`; clock still 0
+    assert engine.now < delay
+    channel._sample = lambda is_uplink: later_draw  # shorter than the floor
+    channel.send_to_server(UpdateMessage(stream_id=stream, time=0.0, value=2.0))
+    # Not inline, and clamped to the drained mate's arrival time.
+    assert [m.value for m, _ in server_log] == [1.0]
+    assert channel.next_delivery_time == delay
+    engine.run()
+    assert [m.value for m, _ in server_log] == [1.0, 2.0]
+    assert channel.in_flight_count == 0
 
 
 class ReentrancyProbe(DeferredDeliveryMixin):

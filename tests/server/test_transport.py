@@ -6,12 +6,14 @@ protocols onto worker processes behind the epoch-stepped coordinator
 coordinator's message ledger — and the final answer — must equal
 sequential sharded serving across the full grid of {sequential,
 parallel} x {2, 4} shards x {event, batch} replay x {synchronous,
-latency=0} channels, for every coupled scalar protocol.
+latency=0} channels, for every coupled scalar protocol.  (Nonzero
+latency models ride the in-flight plane and get their own grid in
+``test_transport_latency.py``.)
 
 Alongside the grid: worker-crash behaviour (a clean raised error, no
-hang, no partially-merged ledger), the zero-latency scope guard, the
-merged replay diagnostics, and the ``is_zero`` latency classification
-the scope guard rests on.
+hang, no partially-merged ledger), the merged replay diagnostics, and
+the ``is_zero`` latency classification the zero/nonzero routing rests
+on.
 """
 
 import time
@@ -144,7 +146,7 @@ def test_transport_report_merges_worker_diagnostics():
 
 
 # ----------------------------------------------------------------------
-# Scope: zero-delay channels only
+# Latency classification (routes zero-delay past the in-flight plane)
 # ----------------------------------------------------------------------
 def test_latency_models_classify_zero_delay():
     from repro.network.latency import (
@@ -163,13 +165,20 @@ def test_latency_models_classify_zero_delay():
     assert not ExponentialLatency(0.1, 0.0).is_zero
 
 
-def test_nonzero_latency_is_rejected_up_front():
+def test_nonzero_latency_is_accepted_and_steps_the_plane():
+    # Regression: nonzero models used to be rejected up front with a
+    # "zero-delay channels" ValueError.  They now construct, replay,
+    # and account their deferred deliveries on the in-flight plane.
     from repro.server.transport import TransportShardedServer
 
     trace = WORKLOAD.materialize()
     protocol = COUPLED_SPECS["rtp"].build()
-    with pytest.raises(ValueError, match="zero-delay"):
-        TransportShardedServer(trace, protocol, 2, latency=0.5)
+    server = TransportShardedServer(trace, protocol, 2, latency=0.5)
+    with server:
+        server.initialize(0.0)
+        server.replay(horizon=trace.horizon)
+        stats = server.transport_stats()
+    assert stats["in_flight_deliveries"] > 0
 
 
 # ----------------------------------------------------------------------

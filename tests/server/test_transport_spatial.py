@@ -104,13 +104,20 @@ def test_spatial_transport_accepts_zero_delay_latency():
     assert parallel.final_answer == sequential.final_answer
 
 
-def test_nonzero_latency_is_rejected_up_front():
+def test_nonzero_latency_is_accepted_and_steps_the_plane():
+    # Regression: nonzero models used to be rejected up front with a
+    # "zero-delay channels" ValueError.  They now construct, replay,
+    # and account their deferred deliveries on the in-flight plane.
     from repro.server.transport import SpatialTransportShardedServer
 
     trace = WORKLOAD.materialize()
     protocol = SPATIAL_SPECS["rtp-2d"].build()
-    with pytest.raises(ValueError, match="zero-delay"):
-        SpatialTransportShardedServer(trace, protocol, 2, latency=0.5)
+    server = SpatialTransportShardedServer(trace, protocol, 2, latency=0.5)
+    with server:
+        server.initialize(0.0)
+        server.replay(horizon=trace.horizon)
+        stats = server.transport_stats()
+    assert stats["in_flight_deliveries"] > 0
 
 
 # ----------------------------------------------------------------------
